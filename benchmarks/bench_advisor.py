@@ -1,0 +1,81 @@
+"""Experiment E13 (extension) — view-selection advisor (Section 7).
+
+Measures candidate generation and greedy selection over a growing
+workload, and reports the estimated workload improvement the chosen
+summary views buy under a storage budget.
+"""
+
+import pytest
+
+from repro.advisor import generate_candidates, recommend_views
+from repro.bench import ResultTable, time_best
+from repro.blocks.normalize import parse_query
+from repro.workloads.telephony import telephony_catalog
+
+WORKLOAD = [
+    "SELECT Calls.Plan_Id, SUM(Charge) FROM Calls WHERE Year = 1995 GROUP BY Calls.Plan_Id",
+    "SELECT Calls.Plan_Id, Month, COUNT(Charge) FROM Calls GROUP BY Calls.Plan_Id, Month",
+    "SELECT Year, AVG(Charge) FROM Calls GROUP BY Year",
+    "SELECT Cust_Id, SUM(Charge) FROM Calls GROUP BY Cust_Id",
+    "SELECT Month, MIN(Charge), MAX(Charge) FROM Calls GROUP BY Month",
+    "SELECT Day, Month, SUM(Charge) FROM Calls WHERE Year = 1994 GROUP BY Day, Month",
+]
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return telephony_catalog(n_calls=1_000_000)
+
+
+def test_candidate_generation(catalog, benchmark):
+    queries = [parse_query(q, catalog) for q in WORKLOAD]
+    candidates = generate_candidates(queries)
+    assert len(candidates) >= len(WORKLOAD) - 1
+    benchmark(lambda: generate_candidates(queries))
+
+
+def test_selection_scaling(catalog, benchmark):
+    table_out = ResultTable(
+        "E13: advisor scaling with workload size",
+        ["queries", "candidates", "chosen", "est_speedup", "seconds"],
+    )
+    for size in (2, 4, 6):
+        workload = WORKLOAD[:size]
+        queries = [parse_query(q, catalog) for q in workload]
+        n_candidates = len(generate_candidates(queries))
+        rec = recommend_views(catalog, workload, space_budget_rows=20_000)
+        seconds = time_best(
+            lambda: recommend_views(
+                catalog, workload, space_budget_rows=20_000
+            ),
+            repeats=2,
+        )
+        table_out.add(
+            size,
+            n_candidates,
+            len(rec.views),
+            round(rec.workload_speedup, 1),
+            seconds,
+        )
+    table_out.show()
+
+    benchmark(
+        lambda: recommend_views(
+            catalog, WORKLOAD[:4], space_budget_rows=20_000
+        )
+    )
+
+
+def test_budget_sweep(catalog, benchmark):
+    table_out = ResultTable(
+        "E13: estimated workload speedup vs storage budget",
+        ["budget_rows", "views", "est_speedup"],
+    )
+    for budget in (100, 1_000, 10_000, 100_000):
+        rec = recommend_views(catalog, WORKLOAD, space_budget_rows=budget)
+        table_out.add(budget, len(rec.views), round(rec.workload_speedup, 1))
+    table_out.show()
+
+    benchmark(
+        lambda: recommend_views(catalog, WORKLOAD, space_budget_rows=10_000)
+    )

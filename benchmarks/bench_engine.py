@@ -1,0 +1,71 @@
+"""Experiment E10 support — multiset-engine throughput.
+
+Not a paper claim, but the substrate every equivalence check rests on:
+join + grouping throughput of the evaluator, and materialization cost of
+a realistic summary view. Keeping these visible guards against substrate
+regressions silently inflating the E1 speedups.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, time_best
+from repro.workloads import star, telephony
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    wl = telephony.generate(n_calls=5_000, seed=4)
+    return wl, wl.database()
+
+
+def test_scan_filter_group(warehouse, benchmark):
+    wl, db = warehouse
+    sql = (
+        "SELECT Plan_Id, SUM(Charge) FROM Calls "
+        "WHERE Year = 1995 GROUP BY Plan_Id"
+    )
+    benchmark(lambda: db.execute(sql))
+
+
+def test_join_group(warehouse, benchmark):
+    wl, db = warehouse
+    benchmark(lambda: db.execute(wl.query))
+
+
+def test_view_materialization(warehouse, benchmark):
+    wl, db = warehouse
+
+    def materialize_fresh():
+        db.load("Calls", wl.tables["Calls"])  # invalidates the cache
+        return db.materialize("V1")
+
+    benchmark(materialize_fresh)
+
+
+def test_throughput_series(benchmark):
+    table_out = ResultTable(
+        "engine throughput (join + group over Calls x Plans)",
+        ["calls", "seconds", "rows_per_sec"],
+    )
+    for n_calls in (1_000, 4_000, 16_000):
+        wl = telephony.generate(n_calls=n_calls, seed=4)
+        db = wl.database()
+        seconds = time_best(lambda: db.execute(wl.query), repeats=2)
+        table_out.add(n_calls, seconds, int(n_calls / seconds))
+    table_out.show()
+
+    wl = telephony.generate(n_calls=2_000, seed=4)
+    db = wl.database()
+    benchmark(lambda: db.execute(wl.query))
+
+
+def test_star_materialization(benchmark):
+    wl = star.generate(n_sales=3_000)
+    db = wl.database()
+
+    def materialize_all():
+        db.load("Sales", wl.tables["Sales"])
+        for name in wl.views:
+            db.materialize(name)
+
+    benchmark(materialize_all)

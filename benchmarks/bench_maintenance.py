@@ -1,0 +1,105 @@
+"""Experiment E12 (extension) — incremental maintenance vs recompute.
+
+The warehouse setting of Section 1 only works if the summary views can be
+kept fresh cheaply ([BLT86, GMS93, JMS95]). Measures per-insert cost of
+:class:`~repro.maintenance.MaintainedView` against full recomputation of
+the view, as the base table grows — the shape to observe: recompute cost
+grows linearly with |Calls| while incremental cost stays flat.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, speedup, time_best
+from repro.blocks.normalize import parse_view
+from repro.engine.database import Database
+from repro.maintenance import MaintainedView
+from repro.workloads import telephony
+
+VIEW_SQL = """
+CREATE VIEW V1 (Plan_Id, Month, Year, Revenue, N) AS
+SELECT Plan_Id, Month, Year, SUM(Charge), COUNT(Charge)
+FROM Calls
+GROUP BY Plan_Id, Month, Year
+"""
+
+
+def _setup(n_calls: int):
+    wl = telephony.generate(n_calls=n_calls, seed=13)
+    db = Database(wl.catalog, wl.tables)
+    view = parse_view(VIEW_SQL, wl.catalog.copy())
+    maintained = MaintainedView(view, db)
+    return wl, db, maintained
+
+
+def _fresh_call(i: int):
+    return (10_000_000 + i, 1, 2, 3, 6, 1995, 42)
+
+
+def test_insert_cost_series(benchmark):
+    table_out = ResultTable(
+        "E12: per-insert maintenance vs view recompute (seconds)",
+        ["calls", "incremental", "recompute", "speedup"],
+    )
+    for n_calls in (1_000, 4_000, 16_000):
+        wl, db, maintained = _setup(n_calls)
+        counter = iter(range(1_000_000))
+
+        def incremental():
+            maintained.apply("Calls", inserts=[_fresh_call(next(counter))])
+            return maintained.table()
+
+        t_inc = time_best(incremental, repeats=3)
+
+        def recompute():
+            return db.execute(maintained.block)
+
+        t_full = time_best(recompute, repeats=2)
+        table_out.add(n_calls, t_inc, t_full, speedup(t_full, t_inc))
+    table_out.show()
+
+    _wl, _db, maintained = _setup(4_000)
+    counter = iter(range(1_000_000))
+    benchmark(
+        lambda: maintained.apply(
+            "Calls", inserts=[_fresh_call(next(counter))]
+        )
+    )
+
+
+def test_delete_extremum_worst_case(benchmark):
+    """Deleting a MIN/MAX extremum forces a group recompute — the
+    documented worst case."""
+    wl = telephony.generate(n_calls=4_000, seed=13)
+    db = Database(wl.catalog, wl.tables)
+    view = parse_view(
+        "CREATE VIEW M (Plan_Id, Hi) AS "
+        "SELECT Plan_Id, MAX(Charge) FROM Calls GROUP BY Plan_Id",
+        wl.catalog.copy(),
+    )
+    maintained = MaintainedView(view, db)
+
+    def churn():
+        row = db.table("Calls").rows[0]
+        maintained.apply("Calls", deletes=[row])
+        result = maintained.table()  # may trigger the dirty recompute
+        maintained.apply("Calls", inserts=[row])
+        return result
+
+    benchmark(churn)
+
+
+def test_stream_consistency(benchmark):
+    """A batch of inserts followed by a consistency check (the oracle the
+    correctness tests rely on)."""
+    _wl, _db, maintained = _setup(2_000)
+    counter = iter(range(1_000_000))
+
+    def burst():
+        maintained.apply(
+            "Calls",
+            inserts=[_fresh_call(next(counter)) for _ in range(20)],
+        )
+        return len(maintained.table())
+
+    benchmark(burst)
+    assert maintained.consistency_check()

@@ -1,0 +1,82 @@
+"""Experiment E11b — candidate-mapping enumeration (condition C1).
+
+Self-joins are the combinatorial worst case for Definition 2.1: a view
+with k occurrences of table R against a query with n occurrences admits
+n!/(n-k)! one-to-one mappings (and n^k many-to-1 ones). The rewriter
+visits all of them; this bench quantifies that fan-out.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, time_best
+from repro.blocks.normalize import parse_query, parse_view
+from repro.catalog.schema import Catalog, table
+from repro.mappings.enumerate_mappings import count_mappings
+
+
+def make_pair(view_occurrences: int, query_occurrences: int):
+    catalog = Catalog([table("R", ["a", "b"])])
+    view_from = ", ".join(
+        f"R v{i}" for i in range(view_occurrences)
+    )
+    query_from = ", ".join(
+        f"R q{i}" for i in range(query_occurrences)
+    )
+    view = parse_view(
+        f"CREATE VIEW V (x) AS SELECT v0.a FROM {view_from}", catalog
+    )
+    query = parse_query(f"SELECT q0.a FROM {query_from}", catalog)
+    return view, query
+
+
+def expected_one_to_one(n: int, k: int) -> int:
+    out = 1
+    for i in range(k):
+        out *= n - i
+    return out
+
+
+def test_self_join_fanout(benchmark):
+    table_out = ResultTable(
+        "E11b: 1-1 mapping fan-out on self-joins",
+        ["view_occs", "query_occs", "mappings", "seconds"],
+    )
+    for k, n in [(1, 4), (2, 4), (3, 4), (2, 6), (3, 6)]:
+        view, query = make_pair(k, n)
+        found = count_mappings(view.block, query)
+        assert found == expected_one_to_one(n, k)
+        seconds = time_best(
+            lambda: count_mappings(view.block, query), repeats=3
+        )
+        table_out.add(k, n, found, seconds)
+    table_out.show()
+
+    view, query = make_pair(3, 6)
+    benchmark(lambda: count_mappings(view.block, query))
+
+
+def test_many_to_one_fanout(benchmark):
+    table_out = ResultTable(
+        "E11b: many-to-1 mapping fan-out (Section 5.2)",
+        ["view_occs", "query_occs", "mappings"],
+    )
+    for k, n in [(2, 3), (3, 3), (2, 4)]:
+        view, query = make_pair(k, n)
+        found = count_mappings(view.block, query, many_to_one=True)
+        assert found == n**k
+        table_out.add(k, n, found)
+    table_out.show()
+
+    view, query = make_pair(3, 4)
+    benchmark(
+        lambda: count_mappings(view.block, query, many_to_one=True)
+    )
+
+
+def test_no_match_is_cheap(benchmark):
+    """Mismatched table names must fail fast (the common case when many
+    views are registered)."""
+    catalog = Catalog([table("R", ["a"]), table("S", ["c"])])
+    view = parse_view("CREATE VIEW V (c) AS SELECT c FROM S", catalog)
+    query = parse_query("SELECT a FROM R", catalog)
+    benchmark(lambda: count_mappings(view.block, query))

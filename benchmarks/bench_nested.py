@@ -1,0 +1,64 @@
+"""Experiment E16 (extension) — nested-query rewriting (Section 7).
+
+A yearly rollup written as a subquery over a monthly aggregate: the
+inner block is answered from the materialized monthly summary. Measures
+(a) the rewrite_nested decision latency and (b) evaluation through the
+rewritten plan vs the raw nested query.
+"""
+
+import pytest
+
+from repro import Database, RewriteEngine
+from repro.bench import ResultTable, speedup, time_best
+from repro.workloads import telephony
+
+NESTED_SQL = """
+SELECT t.Plan_Id, SUM(t.Rev)
+FROM (SELECT Calls.Plan_Id AS Plan_Id, Month, SUM(Charge) AS Rev
+      FROM Calls WHERE Year = 1995
+      GROUP BY Calls.Plan_Id, Month) t
+GROUP BY t.Plan_Id
+"""
+
+VIEW_SQL = """
+CREATE VIEW Monthly (Plan_Id, Month, Year, Rev, N) AS
+SELECT Calls.Plan_Id, Month, Year, SUM(Charge), COUNT(Charge)
+FROM Calls
+GROUP BY Calls.Plan_Id, Month, Year
+"""
+
+
+def _setup(n_calls: int):
+    wl = telephony.generate(n_calls=n_calls, seed=19)
+    engine = RewriteEngine(wl.catalog)
+    engine.add_view(VIEW_SQL, row_count=200)
+    db = Database(wl.catalog, wl.tables)
+    db.materialize("Monthly")
+    return engine, db
+
+
+def test_nested_speedup_series(benchmark):
+    table_out = ResultTable(
+        "E16: nested query direct vs inner-rewritten (seconds)",
+        ["calls", "t_direct", "t_rewritten", "speedup"],
+    )
+    for n_calls in (1_000, 4_000, 16_000):
+        engine, db = _setup(n_calls)
+        result = engine.rewrite_nested(NESTED_SQL)
+        assert result.inner_rewrites, "the inner block must be rewritten"
+        t_direct = time_best(lambda: db.execute(NESTED_SQL), repeats=2)
+        t_rewritten = time_best(lambda: result.execute(db), repeats=2)
+        assert db.execute(NESTED_SQL).multiset_equal(result.execute(db))
+        table_out.add(
+            n_calls, t_direct, t_rewritten, speedup(t_direct, t_rewritten)
+        )
+    table_out.show()
+
+    engine, db = _setup(4_000)
+    result = engine.rewrite_nested(NESTED_SQL)
+    benchmark(lambda: result.execute(db))
+
+
+def test_rewrite_nested_latency(benchmark):
+    engine, _db = _setup(1_000)
+    benchmark(lambda: engine.rewrite_nested(NESTED_SQL))

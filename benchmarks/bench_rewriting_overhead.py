@@ -1,0 +1,88 @@
+"""Experiment E11 — rewriting-search overhead for the optimizer.
+
+The paper argues (Section 6, discussing [GMR95]) that "although our
+algorithms may create a larger search space for the optimizer, we believe
+this is not a practical concern". We measure it: latency of
+``RewriteEngine.rewrite`` as the number of registered views and the query
+size grow. The shape to observe: milliseconds, growing roughly linearly
+in the number of candidate views.
+"""
+
+import pytest
+
+from repro import Catalog, RewriteEngine, parse_view, table
+from repro.bench import ResultTable, time_best
+
+N_TABLES = 6
+
+
+def make_catalog() -> Catalog:
+    return Catalog(
+        [
+            table(f"T{i}", ["k", "g", "v"], key=["k"], row_count=1000)
+            for i in range(N_TABLES)
+        ]
+    )
+
+
+def make_engine(n_views: int) -> RewriteEngine:
+    catalog = make_catalog()
+    engine = RewriteEngine(catalog)
+    for i in range(n_views):
+        base = f"T{i % N_TABLES}"
+        engine.add_view(
+            f"CREATE VIEW W{i} (g, s, n) AS "
+            f"SELECT g, SUM(v), COUNT(v) FROM {base} GROUP BY g"
+        )
+    return engine
+
+
+QUERY = "SELECT g, SUM(v) FROM T0 GROUP BY g"
+JOIN_QUERY = (
+    "SELECT T0.g, SUM(T1.v) FROM T0, T1 WHERE T0.k = T1.k GROUP BY T0.g"
+)
+
+
+def test_latency_vs_view_count(benchmark):
+    table_out = ResultTable(
+        "E11: rewrite() latency vs registered views",
+        ["views", "rewritings", "seconds"],
+    )
+    for n_views in (1, 2, 4, 8, 16):
+        engine = make_engine(n_views)
+        found = engine.rewrite(QUERY)
+        seconds = time_best(lambda: engine.rewrite(QUERY), repeats=3)
+        table_out.add(n_views, len(found), seconds)
+    table_out.show()
+
+    engine = make_engine(8)
+    benchmark(lambda: engine.rewrite(QUERY))
+
+
+def test_latency_vs_query_size(benchmark):
+    table_out = ResultTable(
+        "E11: rewrite() latency vs query FROM size",
+        ["from_tables", "seconds"],
+    )
+    engine = make_engine(4)
+    for n_tables in (1, 2, 3, 4):
+        froms = ", ".join(f"T{i}" for i in range(n_tables))
+        joins = " AND ".join(
+            f"T{i}.k = T{i + 1}.k" for i in range(n_tables - 1)
+        )
+        sql = f"SELECT T0.g, SUM(T0.v) FROM {froms}"
+        if joins:
+            sql += f" WHERE {joins}"
+        sql += " GROUP BY T0.g"
+        seconds = time_best(lambda: engine.rewrite(sql), repeats=3)
+        table_out.add(n_tables, seconds)
+    table_out.show()
+
+    benchmark(lambda: engine.rewrite(JOIN_QUERY))
+
+
+def test_single_view_check(benchmark):
+    """The inner loop: conditions + rewriting for one (view, mapping)."""
+    engine = make_engine(1)
+    view = engine.views[0]
+    benchmark(lambda: engine.rewrite_with(QUERY, view))

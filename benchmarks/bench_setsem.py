@@ -1,0 +1,114 @@
+"""Experiment E7 — Section 5: keys, set semantics and many-to-1 mappings.
+
+Measures (a) key inference for query results (Propositions 5.1/5.2 and
+the FD closure behind them) and (b) the Example 5.1 rewriting path with
+its many-to-1 mapping enumeration.
+"""
+
+import pytest
+
+from repro import Catalog, parse_query, parse_view, table
+from repro.bench import ResultTable, time_best
+from repro.catalog.keys import core_key, result_is_set
+from repro.core.setsem import try_rewrite_set_semantics
+from repro.mappings.enumerate_mappings import enumerate_mappings
+
+
+@pytest.fixture(scope="module")
+def keyed_catalog():
+    return Catalog(
+        [
+            table("R1", ["A", "B", "C"], key=["A"]),
+            table("K", ["id", "ref", "val"], key=["id"]),
+            table("L", ["lid", "w"], key=["lid"]),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def example_51(keyed_catalog):
+    query = parse_query("SELECT A FROM R1 WHERE B = C", keyed_catalog)
+    view = parse_view(
+        "CREATE VIEW V1 (A2, A3) AS "
+        "SELECT x.A, y.A FROM R1 x, R1 y WHERE x.B = y.C",
+        keyed_catalog,
+    )
+    return query, view
+
+
+def test_key_inference(keyed_catalog, benchmark):
+    table_out = ResultTable(
+        "E7: key inference for query results",
+        ["query", "is_set", "core_key_size"],
+    )
+    queries = {
+        "key retained": "SELECT id, val FROM K",
+        "key dropped": "SELECT val FROM K",
+        "fk join": "SELECT id, w FROM K, L WHERE ref = lid",
+        "cartesian": "SELECT id, lid FROM K, L",
+    }
+    for name, sql in queries.items():
+        block = parse_query(sql, keyed_catalog)
+        key = core_key(block, keyed_catalog)
+        table_out.add(
+            name,
+            result_is_set(block, keyed_catalog),
+            len(key) if key else 0,
+        )
+    table_out.show()
+
+    block = parse_query(
+        "SELECT id, w FROM K, L WHERE ref = lid", keyed_catalog
+    )
+    benchmark(lambda: result_is_set(block, keyed_catalog))
+
+
+def test_example_5_1_rewrite(keyed_catalog, example_51, benchmark):
+    query, view = example_51
+
+    def find():
+        out = []
+        for mapping in enumerate_mappings(
+            view.block, query, many_to_one=True
+        ):
+            rewriting = try_rewrite_set_semantics(
+                query, view, mapping, keyed_catalog
+            )
+            if rewriting is not None:
+                out.append(rewriting)
+        return out
+
+    found = find()
+    assert found, "Example 5.1 must be rewritable with the key"
+    benchmark(find)
+
+
+def test_set_semantics_overhead_vs_multiset(
+    keyed_catalog, example_51, benchmark
+):
+    """How much the Section 5 machinery adds on top of the 1-1 path."""
+    from repro.core.multiview import single_view_rewritings
+
+    query, view = example_51
+    table_out = ResultTable(
+        "E7: rewriting search with and without set semantics",
+        ["mode", "rewritings", "seconds"],
+    )
+    for mode, use_sets in (("multiset only", False), ("with Section 5", True)):
+        found = single_view_rewritings(
+            query, view, keyed_catalog, use_set_semantics=use_sets
+        )
+        seconds = time_best(
+            lambda: single_view_rewritings(
+                query, view, keyed_catalog, use_set_semantics=use_sets
+            ),
+            repeats=3,
+        )
+        table_out.add(mode, len(found), seconds)
+    table_out.show()
+
+    benchmark(
+        lambda: single_view_rewritings(
+            query, view, keyed_catalog, use_set_semantics=True
+        )
+    )

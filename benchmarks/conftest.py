@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``. Each file regenerates
+one experiment from EXPERIMENTS.md and prints its data series as a table
+(captured with ``-s`` or in the pytest summary).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        default="small",
+        choices=["small", "full"],
+        help="'full' uses paper-like sizes; 'small' keeps CI fast",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request):
+    return request.config.getoption("--bench-scale")

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Mobile-computing scenario: answer queries from cached results.
+
+The paper's second motivation (Section 1): "in mobile computing
+applications the database relations may be stored on a server and be
+accessible only via low bandwidth wireless communication ... Locally
+cached materialized views of the data, such as the results of previous
+queries, may improve the performance of such applications."
+
+A disconnected client holds a :class:`repro.QueryCache` of earlier query
+results. Each new query is answered from the cache when the rewriter
+finds a *semantic* match — including rollups and filters the earlier
+queries never mentioned — and is queued for the server otherwise.
+
+Run:  python examples/mobile_cache.py
+"""
+
+import random
+
+from repro import Catalog, Database, QueryCache, table
+
+SCHEMA = [
+    table(
+        "Flights",
+        ["Flight_Id", "Origin", "Dest", "Dep_Hour", "Price"],
+        key=["Flight_Id"],
+        row_count=5_000,
+    ),
+]
+
+#: Queries the user ran while connected; their results get cached.
+CONNECTED_QUERIES = [
+    "SELECT Dest, Dep_Hour, Price FROM Flights WHERE Origin = 'SFO'",
+    "SELECT Origin, Dest, MIN(Price), SUM(Price), COUNT(Price) "
+    "FROM Flights GROUP BY Origin, Dest",
+]
+
+#: Queries issued later, while disconnected.
+OFFLINE_QUERIES = {
+    "morning SFO fares": """
+        SELECT Dest, Price FROM Flights
+        WHERE Origin = 'SFO' AND Dep_Hour <= 9
+    """,
+    "cheapest fare per destination from SFO": """
+        SELECT Dest, MIN(Price) FROM Flights
+        WHERE Origin = 'SFO' GROUP BY Dest
+    """,
+    "average fare per origin": """
+        SELECT Origin, AVG(Price) FROM Flights GROUP BY Origin
+    """,
+    "seat map detail (needs the server)": """
+        SELECT Flight_Id, Price FROM Flights WHERE Dep_Hour = 7
+    """,
+}
+
+
+def make_server_database(catalog: Catalog) -> Database:
+    rng = random.Random(5)
+    airports = ["SFO", "JFK", "ORD", "LAX", "SEA"]
+    rows = [
+        (
+            i,
+            rng.choice(airports),
+            rng.choice(airports),
+            rng.randint(0, 23),
+            rng.randint(80, 900),
+        )
+        for i in range(2_000)
+    ]
+    return Database(catalog, {"Flights": rows})
+
+
+def main() -> None:
+    catalog = Catalog(SCHEMA)
+    server = make_server_database(catalog)
+    cache = QueryCache(catalog)
+
+    print("--- connected: running and caching queries ---")
+    for sql in CONNECTED_QUERIES:
+        result, _hit = cache.answer(sql, server)
+        print(
+            f"cached {cache.cached_names[-1]!r}: {len(result)} rows "
+            f"(of {len(server.table('Flights'))} in Flights)"
+        )
+
+    print("\n--- offline session (base tables unreachable) ---")
+    for name, sql in OFFLINE_QUERIES.items():
+        answer = cache.try_answer(sql)
+        if answer is None:
+            print(f"\n[{name}] cache MISS -> queued for the server")
+            continue
+        verified = answer.multiset_equal(server.execute(sql))
+        print(
+            f"\n[{name}] cache HIT ({len(answer)} rows, "
+            f"verified {'OK' if verified else 'MISMATCH'} against server)"
+        )
+        rewriting = cache.find_rewriting(sql)
+        print(rewriting.sql())
+
+    print(
+        f"\ncache stats: {cache.stats.hits} hits, {cache.stats.misses} "
+        f"misses ({cache.stats.hit_rate:.0%} hit rate), "
+        f"{cache.size_rows} rows held"
+    )
+
+
+if __name__ == "__main__":
+    main()

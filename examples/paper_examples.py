@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""A guided tour of every worked example in the paper.
+
+For each of Examples 1.1, 3.1, 4.1, 4.2, 4.4, 4.5 and 5.1 this script
+shows the query, the view, whether the view is usable, the rewriting the
+algorithm produces, and an engine-checked verdict on equivalence.
+
+Run:  python examples/paper_examples.py
+"""
+
+from repro import (
+    Catalog,
+    block_to_sql,
+    check_equivalent,
+    enumerate_mappings,
+    parse_query,
+    parse_view,
+    table,
+    try_rewrite_aggregation,
+    try_rewrite_conjunctive,
+    try_rewrite_set_semantics,
+    view_to_sql,
+)
+
+
+def show(title, catalog, query, view, rewriting, compare="multiset"):
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print("\nQuery Q:")
+    print(block_to_sql(query))
+    print("\nView:")
+    print(view_to_sql(view))
+    if rewriting is None:
+        print("\n=> view NOT usable (as the paper predicts)")
+        return
+    print("\n=> rewriting Q':")
+    print(rewriting.sql())
+    counterexample = check_equivalent(
+        catalog, query, rewriting, trials=30, domain=3, compare=compare
+    )
+    verdict = "EQUIVALENT" if counterexample is None else "MISMATCH!"
+    print(f"\nengine check on 30 random databases: {verdict}")
+    print()
+
+
+def first_rewriting(query, view, fn, **kwargs):
+    many = kwargs.pop("many_to_one", False)
+    for mapping in enumerate_mappings(view.block, query, many_to_one=many):
+        rewriting = fn(query, view, mapping, **kwargs)
+        if rewriting is not None:
+            return rewriting
+    return None
+
+
+def example_1_1():
+    catalog = Catalog(
+        [
+            table("Calling_Plans", ["Plan_Id", "Plan_Name"], key=["Plan_Id"]),
+            table(
+                "Calls",
+                ["Call_Id", "Cust_Id", "Plan_Id", "Day", "Month", "Year",
+                 "Charge"],
+                key=["Call_Id"],
+            ),
+        ]
+    )
+    query = parse_query(
+        """
+        SELECT Calling_Plans.Plan_Id, Plan_Name, SUM(Charge)
+        FROM Calls, Calling_Plans
+        WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1995
+        GROUP BY Calling_Plans.Plan_Id, Plan_Name
+        HAVING SUM(Charge) < 1000000
+        """,
+        catalog,
+    )
+    view = parse_view(
+        """
+        CREATE VIEW V1 (Plan_Id, Plan_Name, Month, Year, Monthly_Earnings) AS
+        SELECT Calls.Plan_Id, Plan_Name, Month, Year, SUM(Charge)
+        FROM Calls, Calling_Plans
+        WHERE Calls.Plan_Id = Calling_Plans.Plan_Id
+        GROUP BY Calls.Plan_Id, Plan_Name, Month, Year
+        """,
+        catalog,
+    )
+    catalog.add_view(view)
+    rewriting = first_rewriting(query, view, try_rewrite_aggregation)
+    show("Example 1.1 - telephony warehouse (aggregation view)",
+         catalog, query, view, rewriting)
+
+
+def example_3_1():
+    catalog = Catalog([table("R1", ["A", "B"]), table("R2", ["C", "D"])])
+    query = parse_query(
+        "SELECT R1.A, SUM(B) FROM R1, R2 "
+        "WHERE R1.A = C AND B = 6 AND D = 6 GROUP BY R1.A",
+        catalog,
+    )
+    view = parse_view(
+        "CREATE VIEW V1 (C, D) AS SELECT C, D FROM R1, R2 WHERE A = C AND B = D",
+        catalog,
+    )
+    catalog.add_view(view)
+    rewriting = first_rewriting(query, view, try_rewrite_conjunctive)
+    show("Example 3.1 - conjunctive view, aggregation query",
+         catalog, query, view, rewriting)
+
+
+def example_4_1():
+    catalog = Catalog(
+        [table("R1", ["A", "B", "C", "D"]), table("R2", ["E", "F"])]
+    )
+    query = parse_query(
+        "SELECT A, E, COUNT(B) FROM R1, R2 WHERE C = F AND B = D "
+        "GROUP BY A, E",
+        catalog,
+    )
+    view = parse_view(
+        "CREATE VIEW V1 (A, C, N) AS "
+        "SELECT A, C, COUNT(D) FROM R1 WHERE B = D GROUP BY A, C",
+        catalog,
+    )
+    catalog.add_view(view)
+    rewriting = first_rewriting(query, view, try_rewrite_aggregation)
+    show("Example 4.1 - coalescing subgroups", catalog, query, view, rewriting)
+
+
+def example_4_2():
+    catalog = Catalog(
+        [table("R1", ["A", "B", "C", "D"]), table("R2", ["E", "F"])]
+    )
+    query = parse_query("SELECT A, SUM(E) FROM R1, R2 GROUP BY A", catalog)
+    v1 = parse_view(
+        "CREATE VIEW V1 (A, B, S) AS SELECT A, B, SUM(C) FROM R1 GROUP BY A, B",
+        catalog,
+    )
+    print("=" * 72)
+    print("Example 4.2 - recovery of lost multiplicities")
+    print("=" * 72)
+    print("\nFirst attempt: view V1 without a COUNT output")
+    assert first_rewriting(query, v1, try_rewrite_aggregation) is None
+    print("=> NOT usable: the multiplicity of R1's A column is lost\n")
+
+    v2 = parse_view(
+        "CREATE VIEW V2 (A, B, S, N) AS "
+        "SELECT A, B, SUM(C), COUNT(C) FROM R1 GROUP BY A, B",
+        catalog,
+    )
+    catalog.add_view(v2)
+    rewriting = first_rewriting(query, v2, try_rewrite_aggregation)
+    show("Example 4.2 (continued) - V2 retains COUNT(C)",
+         catalog, query, v2, rewriting)
+
+
+def example_4_4():
+    catalog = Catalog(
+        [table("R1", ["A", "B", "C", "D"]), table("R2", ["E", "F"])]
+    )
+    query = parse_query(
+        "SELECT A, E, SUM(B) FROM R1, R2 WHERE B = F GROUP BY A, E", catalog
+    )
+    view = parse_view(
+        "CREATE VIEW V (A, E, F, S) AS "
+        "SELECT A, E, F, SUM(B) FROM R1, R2 GROUP BY A, E, F",
+        catalog,
+    )
+    rewriting = first_rewriting(query, view, try_rewrite_aggregation)
+    show("Example 4.4 - query constrains an aggregated view column",
+         catalog, query, view, rewriting)
+
+
+def example_4_5():
+    catalog = Catalog([table("R1", ["A", "B", "C"])])
+    query = parse_query("SELECT A, B FROM R1", catalog)
+    view = parse_view(
+        "CREATE VIEW V1 (A, B, N) AS "
+        "SELECT A, B, COUNT(C) FROM R1 GROUP BY A, B",
+        catalog,
+    )
+    rewriting = first_rewriting(query, view, try_rewrite_aggregation)
+    show("Example 4.5 - conjunctive query, aggregation view (Section 4.5)",
+         catalog, query, view, rewriting)
+
+
+def example_5_1():
+    catalog = Catalog([table("R1", ["A", "B", "C"], key=["A"])])
+    query = parse_query("SELECT A FROM R1 WHERE B = C", catalog)
+    view = parse_view(
+        "CREATE VIEW V1 (A2, A3) AS "
+        "SELECT x.A, y.A FROM R1 x, R1 y WHERE x.B = y.C",
+        catalog,
+    )
+    catalog.add_view(view)
+    rewriting = first_rewriting(
+        query, view, try_rewrite_set_semantics,
+        many_to_one=True, catalog=catalog,
+    )
+    show("Example 5.1 - keys enable a many-to-1 mapping (Section 5)",
+         catalog, query, view, rewriting)
+
+
+if __name__ == "__main__":
+    example_1_1()
+    example_3_1()
+    example_4_1()
+    example_4_2()
+    example_4_4()
+    example_4_5()
+    example_5_1()

@@ -1,0 +1,156 @@
+"""repro: answering SQL queries with aggregation using materialized views.
+
+A faithful, executable reproduction of Dar, Jagadish, Levy and Srivastava,
+*"Reasoning with Aggregation Constraints in Views"* (1996; the work
+published at VLDB'96 as "Answering Queries with Aggregation Using Views").
+
+Quickstart::
+
+    from repro import Catalog, Database, RewriteEngine, table
+
+    catalog = Catalog([
+        table("Calls", ["Call_Id", "Plan_Id", "Year", "Charge"],
+              key=["Call_Id"], row_count=1_000_000),
+    ])
+    engine = RewriteEngine(catalog)
+    engine.add_view(
+        "CREATE VIEW Yearly (Plan_Id, Year, Total) AS "
+        "SELECT Plan_Id, Year, SUM(Charge) FROM Calls "
+        "GROUP BY Plan_Id, Year"
+    )
+    result = engine.rewrite(
+        "SELECT Plan_Id, SUM(Charge) FROM Calls "
+        "WHERE Year = 1995 GROUP BY Plan_Id"
+    )
+    print(result.best().sql())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced experiments.
+"""
+
+from .blocks import (
+    AggFunc,
+    Aggregate,
+    Column,
+    Comparison,
+    Constant,
+    Op,
+    QueryBlock,
+    Relation,
+    SelectItem,
+    ViewDef,
+    block_to_sql,
+    parse_query,
+    parse_view,
+    view_to_sql,
+)
+from .blocks.nested import NestedQuery, nested_to_sql, parse_nested_query
+from .blocks.unfold import unfold_views
+from .cache import CacheStats, QueryCache
+from .catalog import Catalog, TableSchema, fd, table
+from .maintenance import MaintainedView
+from .advisor import Recommendation, recommend_views
+from .constraints import (
+    Closure,
+    DifferenceClosure,
+    equivalent,
+    implies,
+    normalize_having,
+    satisfiable,
+)
+from .core import (
+    RewriteEngine,
+    contained_in,
+    explain_usability,
+    multiset_equivalent,
+    set_equivalent,
+    RewriteResult,
+    Rewriting,
+    all_rewritings,
+    canonical_key,
+    rewrite_iteratively,
+    single_view_rewritings,
+    try_rewrite_aggregation,
+    try_rewrite_conjunctive,
+    try_rewrite_paper_va,
+    try_rewrite_set_semantics,
+)
+from .engine import Database, Table
+from .equivalence import assert_equivalent, check_equivalent
+from .errors import (
+    EvaluationError,
+    NormalizationError,
+    ReproError,
+    RewriteError,
+    SchemaError,
+    SQLSyntaxError,
+    UnsupportedSQLError,
+)
+from .mappings import ColumnMapping, enumerate_mappings
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggFunc",
+    "Aggregate",
+    "Column",
+    "Comparison",
+    "Constant",
+    "Op",
+    "QueryBlock",
+    "Relation",
+    "SelectItem",
+    "ViewDef",
+    "block_to_sql",
+    "parse_query",
+    "parse_view",
+    "view_to_sql",
+    "unfold_views",
+    "NestedQuery",
+    "nested_to_sql",
+    "parse_nested_query",
+    "MaintainedView",
+    "QueryCache",
+    "CacheStats",
+    "Catalog",
+    "TableSchema",
+    "fd",
+    "table",
+    "Closure",
+    "DifferenceClosure",
+    "Recommendation",
+    "recommend_views",
+    "equivalent",
+    "implies",
+    "normalize_having",
+    "satisfiable",
+    "RewriteEngine",
+    "contained_in",
+    "explain_usability",
+    "multiset_equivalent",
+    "set_equivalent",
+    "RewriteResult",
+    "Rewriting",
+    "all_rewritings",
+    "canonical_key",
+    "rewrite_iteratively",
+    "single_view_rewritings",
+    "try_rewrite_aggregation",
+    "try_rewrite_conjunctive",
+    "try_rewrite_paper_va",
+    "try_rewrite_set_semantics",
+    "Database",
+    "Table",
+    "assert_equivalent",
+    "check_equivalent",
+    "EvaluationError",
+    "NormalizationError",
+    "ReproError",
+    "RewriteError",
+    "SchemaError",
+    "SQLSyntaxError",
+    "UnsupportedSQLError",
+    "ColumnMapping",
+    "enumerate_mappings",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""View selection: which summary views should the warehouse cache?"""
+
+from .advisor import Recommendation, recommend_views
+from .candidates import candidate_for, generate_candidates, merge_candidates
+
+__all__ = [
+    "Recommendation",
+    "recommend_views",
+    "candidate_for",
+    "generate_candidates",
+    "merge_candidates",
+]

@@ -1,0 +1,150 @@
+"""Greedy view selection under a space budget (paper Section 7).
+
+The paper closes with "developing strategies for determining which views
+to cache" as ongoing work; this module provides the standard greedy
+benefit-per-space heuristic (in the spirit of Harinarayan, Rajaraman &
+Ullman's cube selection, SIGMOD'96) on top of this library's rewriter and
+cost model:
+
+1. generate candidate summary views from the workload
+   (:mod:`repro.advisor.candidates`);
+2. repeatedly pick the candidate whose *benefit* — total workload cost
+   saved when queries are answered through the cheapest rewriting — per
+   unit of estimated storage is highest;
+3. stop when the space budget is exhausted or no candidate helps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..blocks.normalize import as_block
+from ..blocks.query_block import QueryBlock, ViewDef
+from ..catalog.schema import Catalog
+from ..core.cost import estimate_cost, estimate_result_rows
+from ..core.rewriter import RewriteEngine
+from .candidates import generate_candidates
+
+
+@dataclass
+class QueryPlanReport:
+    """How one workload query fares under the chosen views."""
+
+    query: QueryBlock
+    direct_cost: float
+    best_cost: float
+    view_used: Optional[str]
+
+    @property
+    def speedup(self) -> float:
+        return self.direct_cost / max(self.best_cost, 1e-12)
+
+
+@dataclass
+class Recommendation:
+    """The advisor's output."""
+
+    views: list[ViewDef] = field(default_factory=list)
+    total_size_rows: float = 0.0
+    workload_cost_before: float = 0.0
+    workload_cost_after: float = 0.0
+    per_query: list[QueryPlanReport] = field(default_factory=list)
+
+    @property
+    def workload_speedup(self) -> float:
+        return self.workload_cost_before / max(
+            self.workload_cost_after, 1e-12
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"chosen views: {[v.name for v in self.views]}",
+            f"estimated storage: {self.total_size_rows:,.0f} rows",
+            f"workload cost: {self.workload_cost_before:,.0f} -> "
+            f"{self.workload_cost_after:,.0f} "
+            f"({self.workload_speedup:,.1f}x)",
+        ]
+        return "\n".join(lines)
+
+
+def _workload_cost(
+    catalog: Catalog,
+    queries: Sequence[QueryBlock],
+    views: Sequence[ViewDef],
+) -> tuple[float, list[QueryPlanReport]]:
+    """Total estimated cost with the given views materialized."""
+    trial = catalog.copy()
+    for view in views:
+        trial.add_view(view, row_count=int(estimate_result_rows(view.block, catalog)))
+    engine = RewriteEngine(trial, use_set_semantics=False)
+    total = 0.0
+    reports = []
+    for query in queries:
+        direct = estimate_cost(query, trial)
+        best_cost = direct
+        used = None
+        if views:
+            result = engine.rewrite(query, views=list(views), max_steps=1)
+            if result.ranked and result.ranked[0].cost < best_cost:
+                best_cost = result.ranked[0].cost
+                used = ", ".join(result.ranked[0].rewriting.view_names)
+        total += best_cost
+        reports.append(QueryPlanReport(query, direct, best_cost, used))
+    return total, reports
+
+
+def recommend_views(
+    catalog: Catalog,
+    workload: Sequence[Union[str, QueryBlock]],
+    space_budget_rows: float = float("inf"),
+    candidates: Optional[Sequence[ViewDef]] = None,
+    max_views: int = 8,
+) -> Recommendation:
+    """Choose summary views to materialize for a query workload.
+
+    ``space_budget_rows`` caps the summed *estimated* cardinality of the
+    chosen views. Candidate views default to workload-derived summaries.
+    """
+    queries = [as_block(q, catalog) for q in workload]
+    pool = list(
+        candidates
+        if candidates is not None
+        else generate_candidates(queries)
+    )
+    base_cost, _ = _workload_cost(catalog, queries, [])
+
+    chosen: list[ViewDef] = []
+    used_space = 0.0
+    current_cost = base_cost
+    while pool and len(chosen) < max_views:
+        best = None
+        for candidate in pool:
+            size = estimate_result_rows(candidate.block, catalog)
+            if used_space + size > space_budget_rows:
+                continue
+            cost, _ = _workload_cost(
+                catalog, queries, chosen + [candidate]
+            )
+            gain = current_cost - cost
+            if gain <= 0:
+                continue
+            score = gain / max(size, 1.0)
+            if best is None or score > best[0]:
+                best = (score, candidate, cost, size)
+        if best is None:
+            break
+        _score, candidate, cost, size = best
+        chosen.append(candidate)
+        pool.remove(candidate)
+        used_space += size
+        current_cost = cost
+
+    final_cost, reports = _workload_cost(catalog, queries, chosen)
+    return Recommendation(
+        views=chosen,
+        total_size_rows=used_space,
+        workload_cost_before=base_cost,
+        workload_cost_after=final_cost,
+        per_query=reports,
+    )

@@ -1,0 +1,170 @@
+"""Candidate summary-view generation from a query workload.
+
+For each aggregation query in the workload we synthesize the summary view
+that would answer it through the paper's rewriting machinery:
+
+* grouped by the query's grouping columns *plus* every column the query
+  compares against a constant — the Example 1.1 pattern, where ``V1``
+  groups by Month and Year so that ``Year = 1995`` survives as a residual
+  predicate on a view output;
+* carrying, for each aggregate ``AGG(X)`` of the query, the matching view
+  aggregate (AVG is carried as SUM so the triangle of Section 4.4 can
+  reconstruct it), plus a COUNT output so multiplicities are recoverable
+  (condition C4');
+* keeping the query's column-to-column (join) conditions, but not its
+  constant conditions, so one view serves a family of queries.
+
+Candidates for queries sharing a FROM signature are additionally *merged*
+(union of grouping columns and aggregate outputs), which trades view size
+for reuse across the workload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..blocks.exprs import AggFunc, Aggregate
+from ..blocks.naming import base_of
+from ..blocks.query_block import QueryBlock, SelectItem, ViewDef
+from ..blocks.terms import Column, Comparison, Constant
+from ..core.canonical import canonical_key
+
+
+def _is_constant_atom(atom: Comparison) -> bool:
+    sides = (atom.left, atom.right)
+    return any(isinstance(s, Constant) for s in sides) and any(
+        isinstance(s, Column) for s in sides
+    )
+
+
+def _constant_columns(block: QueryBlock) -> list[Column]:
+    out = []
+    for atom in block.where:
+        if _is_constant_atom(atom):
+            for side in (atom.left, atom.right):
+                if isinstance(side, Column):
+                    out.append(side)
+    return out
+
+
+def _view_aggregates(block: QueryBlock) -> list[Aggregate]:
+    """The aggregate outputs a view needs to answer ``block``."""
+    needed: dict[Aggregate, None] = {}
+    for agg in block.all_aggregates():
+        if not isinstance(agg.arg, Column):
+            continue
+        func = AggFunc.SUM if agg.func is AggFunc.AVG else agg.func
+        needed[Aggregate(func, agg.arg)] = None
+    return list(needed)
+
+
+def candidate_for(query: QueryBlock) -> QueryBlock | None:
+    """The summary-view block tailored to one aggregation query."""
+    if query.is_conjunctive or query.distinct:
+        return None
+    group_cols = list(dict.fromkeys(
+        list(query.group_by) + _constant_columns(query)
+    ))
+    join_atoms = tuple(
+        atom for atom in query.where if not _is_constant_atom(atom)
+    )
+    aggs = _view_aggregates(query)
+    count_arg = aggs[0].arg if aggs else (
+        group_cols[0] if group_cols else query.from_[0].columns[0]
+    )
+
+    select: list[SelectItem] = [SelectItem(c) for c in group_cols]
+    names = [f"g_{base_of(c)}" for c in group_cols]
+    for i, agg in enumerate(aggs):
+        if agg.func is AggFunc.COUNT:
+            continue  # the shared COUNT output below covers it
+        select.append(SelectItem(agg, alias=f"a{i}"))
+        names.append(f"{agg.func.value.lower()}_{base_of(agg.arg)}")
+    select.append(
+        SelectItem(Aggregate(AggFunc.COUNT, count_arg), alias="cnt")
+    )
+    names.append("cnt")
+    if len(set(names)) != len(names):
+        names = [f"o{i}" for i in range(len(select))]
+
+    block = QueryBlock(
+        select=tuple(select),
+        from_=query.from_,
+        where=join_atoms,
+        group_by=tuple(group_cols),
+    )
+    try:
+        return block.validate()
+    except Exception:
+        return None
+
+
+def _from_signature(block: QueryBlock) -> tuple[str, ...]:
+    return tuple(sorted(rel.name for rel in block.from_))
+
+
+def merge_candidates(
+    left: QueryBlock, right: QueryBlock
+) -> QueryBlock | None:
+    """Union two candidates over the same FROM signature.
+
+    Only merges when the blocks share identical FROM tuples and join
+    conditions (candidates built from the same query family do).
+    """
+    if left.from_ != right.from_ or set(left.where) != set(right.where):
+        return None
+    group_cols = list(dict.fromkeys(left.group_by + right.group_by))
+    aggs: dict[Aggregate, None] = {}
+    for block in (left, right):
+        for item in block.select:
+            if isinstance(item.expr, Aggregate):
+                aggs[item.expr] = None
+    select = [SelectItem(c) for c in group_cols]
+    select += [
+        SelectItem(agg, alias=f"a{i}") for i, agg in enumerate(aggs)
+    ]
+    block = QueryBlock(
+        select=tuple(select),
+        from_=left.from_,
+        where=left.where,
+        group_by=tuple(group_cols),
+    )
+    try:
+        return block.validate()
+    except Exception:
+        return None
+
+
+def generate_candidates(
+    queries: Sequence[QueryBlock], merge: bool = True
+) -> list[ViewDef]:
+    """Candidate views for a workload, deduplicated by canonical form."""
+    blocks: list[QueryBlock] = []
+    seen: set[str] = set()
+
+    def add(block: QueryBlock | None):
+        if block is None:
+            return
+        key = canonical_key(block)
+        if key not in seen:
+            seen.add(key)
+            blocks.append(block)
+
+    per_query = [candidate_for(q) for q in queries]
+    for block in per_query:
+        add(block)
+
+    if merge:
+        by_signature: dict[tuple, list[QueryBlock]] = {}
+        for block in [b for b in per_query if b is not None]:
+            by_signature.setdefault(_from_signature(block), []).append(block)
+        for group in by_signature.values():
+            for i, left in enumerate(group):
+                for right in group[i + 1 :]:
+                    add(merge_candidates(left, right))
+
+    views = []
+    for i, block in enumerate(blocks):
+        names = tuple(f"c{j}" for j in range(len(block.select)))
+        views.append(ViewDef(f"Candidate_{i}", block, names))
+    return views

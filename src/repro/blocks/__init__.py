@@ -1,0 +1,57 @@
+"""Normalized query blocks: the paper's Section 2 representation."""
+
+from .exprs import (
+    AggFunc,
+    Aggregate,
+    Arith,
+    ArithOp,
+    Expr,
+    aggregates_in,
+    columns_in,
+    div,
+    has_aggregate,
+    is_row_expr,
+    mul,
+    substitute_expr,
+)
+from .naming import FreshNames, base_of
+from .normalize import as_block, normalize_select, parse_query, parse_view
+from .query_block import QueryBlock, Relation, SelectItem, ViewDef
+from .terms import Column, Comparison, Constant, Op, Term
+from .to_sql import block_to_ast, block_to_sql, view_to_sql
+from .unfold import unfold_once, unfold_views
+
+__all__ = [
+    "AggFunc",
+    "Aggregate",
+    "Arith",
+    "ArithOp",
+    "Expr",
+    "aggregates_in",
+    "columns_in",
+    "div",
+    "has_aggregate",
+    "is_row_expr",
+    "mul",
+    "substitute_expr",
+    "FreshNames",
+    "base_of",
+    "as_block",
+    "normalize_select",
+    "parse_query",
+    "parse_view",
+    "QueryBlock",
+    "Relation",
+    "SelectItem",
+    "ViewDef",
+    "Column",
+    "Comparison",
+    "Constant",
+    "Op",
+    "Term",
+    "block_to_ast",
+    "unfold_once",
+    "unfold_views",
+    "block_to_sql",
+    "view_to_sql",
+]

@@ -1,0 +1,162 @@
+"""Aggregate and arithmetic expressions for SELECT and HAVING.
+
+The paper's input language allows a SELECT item to be a plain column or
+``AGG(Y)`` for a column ``Y``. The *output* of the rewriting algorithms is
+richer: step S4'/S5' and the AVG decomposition (Section 4.4) produce items
+such as ``SUM(N * E)``, ``Cnt_Va * SUM(E)`` and ``SUM(S) / SUM(N)``. This
+module provides the small expression algebra covering both.
+
+Two levels of expression exist:
+
+* *row level* — evaluated once per core-table row: columns, constants and
+  arithmetic over them (appears inside an aggregate's argument);
+* *group level* — evaluated once per group: grouping columns, constants,
+  aggregates over row expressions, and arithmetic over those.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from .terms import Column, Constant
+
+
+class AggFunc(enum.Enum):
+    """The SQL aggregate functions studied by the paper."""
+
+    MIN = "MIN"
+    MAX = "MAX"
+    SUM = "SUM"
+    COUNT = "COUNT"
+    AVG = "AVG"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_duplicate_sensitive(self) -> bool:
+        """True when duplicate rows change the aggregate's value.
+
+        SUM, COUNT and AVG depend on tuple multiplicities; MIN and MAX do
+        not (Section 4's discussion of lost multiplicities).
+        """
+        return self in (AggFunc.SUM, AggFunc.COUNT, AggFunc.AVG)
+
+
+class ArithOp(enum.Enum):
+    """Binary arithmetic operators permitted in expressions."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def apply(self, left, right):
+        if self is ArithOp.ADD:
+            return left + right
+        if self is ArithOp.SUB:
+            return left - right
+        if self is ArithOp.MUL:
+            return left * right
+        return left / right
+
+
+@dataclass(frozen=True)
+class Arith:
+    """Binary arithmetic node; children may be row- or group-level."""
+
+    op: ArithOp
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({_render(self.left)} {self.op} {_render(self.right)})"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``func(arg)`` over the rows of a group.
+
+    ``arg`` is a row-level expression; the paper's language uses a bare
+    column, while rewritings may produce products such as ``SUM(N * E)``.
+    """
+
+    func: AggFunc
+    arg: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.func}({_render(self.arg)})"
+
+
+#: Any expression node.
+Expr = Union[Column, Constant, Arith, Aggregate]
+
+
+def _render(expr: Expr) -> str:
+    return str(expr)
+
+
+def columns_in(expr: Expr) -> Iterator[Column]:
+    """Yield every column mentioned anywhere in ``expr`` (with repeats)."""
+    if isinstance(expr, Column):
+        yield expr
+    elif isinstance(expr, Arith):
+        yield from columns_in(expr.left)
+        yield from columns_in(expr.right)
+    elif isinstance(expr, Aggregate):
+        yield from columns_in(expr.arg)
+
+
+def aggregates_in(expr: Expr) -> Iterator[Aggregate]:
+    """Yield every aggregate node in ``expr``."""
+    if isinstance(expr, Aggregate):
+        yield expr
+    elif isinstance(expr, Arith):
+        yield from aggregates_in(expr.left)
+        yield from aggregates_in(expr.right)
+
+
+def has_aggregate(expr: Expr) -> bool:
+    """True when ``expr`` contains an aggregate node."""
+    return next(aggregates_in(expr), None) is not None
+
+
+def is_row_expr(expr: Expr) -> bool:
+    """True when ``expr`` is valid per-row (no aggregates anywhere)."""
+    if isinstance(expr, (Column, Constant)):
+        return True
+    if isinstance(expr, Arith):
+        return is_row_expr(expr.left) and is_row_expr(expr.right)
+    return False
+
+
+def substitute_expr(expr: Expr, mapping: dict) -> Expr:
+    """Apply a column substitution throughout an expression tree."""
+    if isinstance(expr, Column):
+        return mapping.get(expr, expr)
+    if isinstance(expr, Constant):
+        return expr
+    if isinstance(expr, Arith):
+        return Arith(
+            expr.op,
+            substitute_expr(expr.left, mapping),
+            substitute_expr(expr.right, mapping),
+        )
+    if isinstance(expr, Aggregate):
+        return Aggregate(expr.func, substitute_expr(expr.arg, mapping))
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def mul(left: Expr, right: Expr) -> Arith:
+    """Convenience constructor for ``left * right``."""
+    return Arith(ArithOp.MUL, left, right)
+
+
+def div(left: Expr, right: Expr) -> Arith:
+    """Convenience constructor for ``left / right``."""
+    return Arith(ArithOp.DIV, left, right)

@@ -1,0 +1,47 @@
+"""Fresh unique-column-name allocation (paper Section 2 convention).
+
+The paper renames every column of every table occurrence to a fresh name
+(``R(A1, B1), R(A2, B2)``). We use ``base$k`` with a per-allocator counter;
+``$`` cannot appear in parsed SQL identifiers' *base* position, so generated
+names never collide with user-written ones after the first occurrence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .terms import Column
+
+
+class FreshNames:
+    """Allocates unique column names, avoiding a set of taken names."""
+
+    def __init__(self, taken: Iterable[str] = ()):
+        self._taken: set[str] = set(taken)
+        self._counters: dict[str, int] = {}
+
+    def column(self, base: str) -> Column:
+        """A fresh column named ``base$k`` for the smallest free ``k``."""
+        k = self._counters.get(base, 0) + 1
+        name = f"{base}${k}"
+        while name in self._taken:
+            k += 1
+            name = f"{base}${k}"
+        self._counters[base] = k
+        self._taken.add(name)
+        return Column(name)
+
+    def columns(self, bases: Iterable[str]) -> tuple[Column, ...]:
+        return tuple(self.column(base) for base in bases)
+
+    def reserve(self, names: Iterable[str]) -> None:
+        self._taken.update(names)
+
+
+def base_of(column: Column) -> str:
+    """The base (pre-renaming) name of a generated column."""
+    name = column.name
+    dollar = name.rfind("$")
+    if dollar > 0 and name[dollar + 1 :].isdigit():
+        return name[:dollar]
+    return name

@@ -1,0 +1,193 @@
+"""Nested queries: derived tables in the FROM clause (paper Section 7).
+
+"We are currently extending our work in several ways, including
+considering the view usage problem for arbitrary nested queries." This
+module implements the FROM-subquery fragment:
+
+* ``parse_nested_query`` normalizes ``(SELECT ...) AS t`` items into
+  *query-local views* and returns a :class:`NestedQuery` — the outer
+  single block plus the local view definitions (recursively resolved);
+* :meth:`NestedQuery.flatten` unfolds the *conjunctive* local views back
+  into the outer block (the Section 7 single-block transformation),
+  leaving aggregation subqueries as view references;
+* ``nested_to_sql`` prints the whole thing back as standard SQL with
+  inline subqueries.
+
+Execution uses the engine's ``extra_views`` mechanism; rewriting support
+lives in :meth:`repro.core.rewriter.RewriteEngine.rewrite_nested`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+from ..errors import NormalizationError
+from ..sqlparser.ast import DerivedTable, SelectStmt, TableRef
+from ..sqlparser.parser import parse_select
+from ..sqlparser.printer import print_select
+from .query_block import QueryBlock, ViewDef
+
+if TYPE_CHECKING:
+    from ..catalog.schema import Catalog
+
+
+@dataclass(frozen=True)
+class NestedQuery:
+    """An outer block plus definitions for its derived tables.
+
+    ``local_views`` are ordered so that each definition only references
+    earlier locals (or catalog relations).
+    """
+
+    block: QueryBlock
+    local_views: tuple[ViewDef, ...] = ()
+
+    def local_map(self) -> dict[str, ViewDef]:
+        return {view.name: view for view in self.local_views}
+
+    def with_locals_registered(self, catalog: "Catalog") -> "Catalog":
+        """A catalog copy that also knows the local views."""
+        working = catalog.copy()
+        for view in self.local_views:
+            working.add_view(view)
+        return working
+
+    def flatten(self, catalog: "Catalog") -> "NestedQuery":
+        """Unfold conjunctive local views into the outer block.
+
+        Aggregation-defined derived tables cannot be flattened and stay
+        as local views (possibly referenced by the flattened block).
+        """
+        from .unfold import unfold_views
+
+        working = self.with_locals_registered(catalog)
+        local_names = {view.name for view in self.local_views}
+        flat = unfold_views(self.block, working, only=local_names)
+        # Flatten inside the surviving locals too (a conjunctive local
+        # under an aggregation local).
+        survivors = []
+        for view in self.local_views:
+            body = unfold_views(view.block, working, only=local_names)
+            survivors.append(ViewDef(view.name, body, view.output_names))
+        referenced = _referenced_locals(flat, survivors)
+        return NestedQuery(
+            block=flat,
+            local_views=tuple(
+                v for v in survivors if v.name in referenced
+            ),
+        )
+
+
+def _referenced_locals(
+    block: QueryBlock, locals_: list[ViewDef]
+) -> set[str]:
+    """Local views transitively reachable from ``block``."""
+    by_name = {view.name: view for view in locals_}
+    seen: set[str] = set()
+    frontier = [rel.name for rel in block.from_]
+    while frontier:
+        name = frontier.pop()
+        if name in seen or name not in by_name:
+            continue
+        seen.add(name)
+        frontier.extend(
+            rel.name for rel in by_name[name].block.from_
+        )
+    return seen
+
+
+def normalize_nested(
+    stmt: SelectStmt, catalog: "Catalog"
+) -> NestedQuery:
+    """Normalize a statement whose FROM clause may hold derived tables."""
+    from .normalize import normalize_select
+
+    working = catalog.copy()
+    locals_: list[ViewDef] = []
+    counter = [0]
+
+    def walk(select: SelectStmt) -> SelectStmt:
+        new_from = []
+        for item in select.from_tables:
+            if isinstance(item, DerivedTable):
+                inner_stmt = walk(item.select)
+                inner_block = normalize_select(inner_stmt, working)
+                counter[0] += 1
+                name = f"_subquery_{item.alias}_{counter[0]}"
+                try:
+                    view = ViewDef(name, inner_block)
+                except NormalizationError as error:
+                    raise NormalizationError(
+                        f"derived table {item.alias!r}: {error} "
+                        f"(alias the SELECT items)"
+                    ) from None
+                working.add_view(view)
+                locals_.append(view)
+                new_from.append(TableRef(name, item.alias))
+            else:
+                new_from.append(item)
+        return SelectStmt(
+            items=select.items,
+            from_tables=tuple(new_from),
+            where=select.where,
+            group_by=select.group_by,
+            having=select.having,
+            distinct=select.distinct,
+        )
+
+    outer = normalize_select(walk(stmt), working)
+    return NestedQuery(block=outer, local_views=tuple(locals_))
+
+
+def parse_nested_query(sql: str, catalog: "Catalog") -> NestedQuery:
+    """Parse SQL that may contain FROM-clause subqueries."""
+    return normalize_nested(parse_select(sql), catalog)
+
+
+def nested_to_sql(nested: NestedQuery) -> str:
+    """Render a NestedQuery as SQL with inline derived tables."""
+    from .to_sql import block_to_ast
+
+    by_name = nested.local_map()
+
+    def inline(block: QueryBlock) -> SelectStmt:
+        stmt = block_to_ast(block)
+        new_from = []
+        for i, ref in enumerate(stmt.from_tables):
+            if isinstance(ref, TableRef) and ref.name in by_name:
+                inner = inline(by_name[ref.name].block)
+                # Re-alias the subquery's outputs to the local view's
+                # declared names so outer references resolve.
+                view = by_name[ref.name]
+                items = tuple(
+                    type(item)(item.expr, alias)
+                    for item, alias in zip(inner.items, view.output_names)
+                )
+                inner = SelectStmt(
+                    items=items,
+                    from_tables=inner.from_tables,
+                    where=inner.where,
+                    group_by=inner.group_by,
+                    having=inner.having,
+                    distinct=inner.distinct,
+                )
+                # The outer block's column references are qualified by
+                # the occurrence's rendering name; keep it as the alias.
+                alias = ref.alias or ref.name
+                new_from.append(DerivedTable(inner, alias))
+            else:
+                new_from.append(ref)
+        return SelectStmt(
+            items=stmt.items,
+            from_tables=tuple(new_from),
+            where=stmt.where,
+            group_by=stmt.group_by,
+            having=stmt.having,
+            distinct=stmt.distinct,
+        )
+
+    return print_select(inline(nested.block))
+
+
+QueryLike = Union[str, QueryBlock, NestedQuery]

@@ -1,0 +1,172 @@
+"""Terms and comparison predicates of the paper's query language.
+
+The paper (Section 2) restricts WHERE and HAVING conditions to conjunctions
+of predicates ``A op B`` where ``A`` and ``B`` are column names, aggregation
+columns or constants, and ``op`` is one of ``<, <=, =, >=, >`` (we also
+support ``<>``, which the closure machinery handles soundly).
+
+A :class:`Column` is a *unique* column name in the sense of the paper's
+renamed notation: ``R1(A_1, B_1), R1(A_2, B_2)`` gives every table
+occurrence its own fresh column names, so equality of :class:`Column`
+objects is equality of the underlying query column.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+#: Values a constant may take. ``bool`` is excluded on purpose: SQL's
+#: three-valued logic is outside the paper's language.
+ConstValue = Union[int, float, str]
+
+
+@dataclass(frozen=True, order=True)
+class Column:
+    """A uniquely named query column (paper Section 2 naming convention)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A literal constant appearing in a predicate or SELECT list."""
+
+    value: ConstValue
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+    @property
+    def is_numeric(self) -> bool:
+        return isinstance(self.value, (int, float))
+
+
+#: A predicate argument: a column or a constant.
+Term = Union[Column, Constant]
+
+
+class Op(enum.Enum):
+    """Comparison operators of the paper's predicate language."""
+
+    LT = "<"
+    LE = "<="
+    EQ = "="
+    GE = ">="
+    GT = ">"
+    NE = "<>"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def flipped(self) -> "Op":
+        """The operator with its arguments swapped: ``A op B == B op' A``."""
+        return _FLIP[self]
+
+    @property
+    def negated(self) -> "Op":
+        """The operator of the complementary predicate."""
+        return _NEGATE[self]
+
+    @property
+    def is_order(self) -> bool:
+        """True for the four inequality (order) operators."""
+        return self in (Op.LT, Op.LE, Op.GE, Op.GT)
+
+    def holds(self, left: ConstValue, right: ConstValue) -> bool:
+        """Evaluate the operator on two constant values."""
+        if self is Op.EQ:
+            return left == right
+        if self is Op.NE:
+            return left != right
+        if self is Op.LT:
+            return left < right
+        if self is Op.LE:
+            return left <= right
+        if self is Op.GE:
+            return left >= right
+        return left > right
+
+
+_FLIP = {
+    Op.LT: Op.GT,
+    Op.LE: Op.GE,
+    Op.EQ: Op.EQ,
+    Op.GE: Op.LE,
+    Op.GT: Op.LT,
+    Op.NE: Op.NE,
+}
+
+_NEGATE = {
+    Op.LT: Op.GE,
+    Op.LE: Op.GT,
+    Op.EQ: Op.NE,
+    Op.GE: Op.LT,
+    Op.GT: Op.LE,
+    Op.NE: Op.EQ,
+}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """An atomic predicate ``left op right``.
+
+    In a WHERE clause both sides are :data:`Term`; in a HAVING clause a side
+    may also be an aggregate or arithmetic group expression (see
+    :mod:`repro.blocks.exprs`), so the attribute types are intentionally
+    loose here and validated by :class:`repro.blocks.query_block.QueryBlock`.
+    """
+
+    left: object
+    op: Op
+    right: object
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+    @property
+    def flipped(self) -> "Comparison":
+        """The same predicate with its sides swapped."""
+        return Comparison(self.right, self.op.flipped, self.left)
+
+    def normalized(self) -> "Comparison":
+        """A canonical orientation: GT/GE become LT/LE; for symmetric
+        operators the lexicographically smaller side comes first."""
+        atom = self
+        if atom.op in (Op.GT, Op.GE):
+            atom = atom.flipped
+        if atom.op in (Op.EQ, Op.NE) and _term_key(atom.right) < _term_key(atom.left):
+            atom = atom.flipped
+        return atom
+
+    def substitute(self, mapping: dict) -> "Comparison":
+        """Replace columns per ``mapping`` (columns absent stay unchanged)."""
+        return Comparison(
+            substitute_term(self.left, mapping),
+            self.op,
+            substitute_term(self.right, mapping),
+        )
+
+
+def _term_key(term: object) -> tuple:
+    """A total order over terms used only for canonicalization."""
+    if isinstance(term, Column):
+        return (0, term.name)
+    if isinstance(term, Constant):
+        return (1, str(type(term.value)), str(term.value))
+    return (2, str(term))
+
+
+def substitute_term(term: object, mapping: dict) -> object:
+    """Apply a column substitution to a term (or pass through constants)."""
+    if isinstance(term, Column):
+        return mapping.get(term, term)
+    return term

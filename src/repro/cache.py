@@ -1,0 +1,189 @@
+"""A semantic query-result cache built on the rewriter.
+
+The paper's mobile-computing motivation (Section 1): "Locally cached
+materialized views of the data, such as the results of previous queries,
+may improve the performance of such applications." [Sel88, SJGP90, CR94]
+cached results matched *syntactically*; the point of the paper is that the
+usability conditions enable **semantic** matching — a cached result can
+answer a query it doesn't textually contain.
+
+:class:`QueryCache` remembers (query, result) pairs as materialized
+views, answers later queries by rewriting them over the cached views
+(never touching base tables), and evicts least-recently-used entries
+under a row-count capacity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from .blocks.normalize import as_block
+from .blocks.query_block import QueryBlock, ViewDef
+from .catalog.schema import Catalog
+from .core.multiview import all_rewritings
+from .core.result import Rewriting
+from .engine.database import Database
+from .engine.table import Table
+from .errors import SchemaError
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    remembered: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    view: ViewDef
+    table: Table
+
+    @property
+    def rows(self) -> int:
+        return len(self.table)
+
+
+class QueryCache:
+    """Answers queries from the results of earlier queries.
+
+    ``capacity_rows`` bounds the summed cardinality of cached results;
+    exceeding it evicts least-recently-used entries. The cache owns a
+    private catalog copy, so registrations and evictions never touch the
+    caller's catalog.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        capacity_rows: float = float("inf"),
+        use_set_semantics: bool = False,
+    ):
+        self.base_catalog = catalog
+        self.capacity_rows = capacity_rows
+        self.use_set_semantics = use_set_semantics
+        self._catalog = catalog.copy()
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._counter = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+
+    def remember(
+        self,
+        query: Union[str, QueryBlock],
+        result: Union[Table, Iterable],
+        name: Optional[str] = None,
+    ) -> ViewDef:
+        """Cache a query's result; returns the registered view."""
+        block = as_block(query, self.base_catalog)
+        if name is None:
+            self._counter += 1
+            name = f"cached_{self._counter}"
+        view = ViewDef(name, block)
+        if isinstance(result, Table):
+            table = Table(view.output_names, result.rows)
+        else:
+            table = Table(view.output_names, result)
+        self._catalog.add_view(view, row_count=len(table))
+        self._entries[name] = _Entry(view, table)
+        self._entries.move_to_end(name)
+        self.stats.remembered += 1
+        self._evict_over_capacity(keep=name)
+        return view
+
+    def forget(self, name: str) -> None:
+        """Drop one cached result."""
+        if name not in self._entries:
+            raise SchemaError(f"not cached: {name}")
+        del self._entries[name]
+        self._catalog.remove_view(name)
+
+    def _evict_over_capacity(self, keep: str) -> None:
+        while self.size_rows > self.capacity_rows and len(self._entries) > 1:
+            victim = next(
+                (n for n in self._entries if n != keep), None
+            )
+            if victim is None:
+                return
+            del self._entries[victim]
+            self._catalog.remove_view(victim)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def size_rows(self) -> int:
+        return sum(entry.rows for entry in self._entries.values())
+
+    @property
+    def cached_names(self) -> list[str]:
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+
+    def find_rewriting(
+        self, query: Union[str, QueryBlock]
+    ) -> Optional[Rewriting]:
+        """A rewriting of ``query`` whose FROM reads only cached views."""
+        block = as_block(query, self._catalog)
+        views = [entry.view for entry in self._entries.values()]
+        candidates = all_rewritings(
+            block,
+            views,
+            catalog=self._catalog,
+            use_set_semantics=self.use_set_semantics,
+        )
+        cached = set(self._entries)
+        for rewriting in candidates:
+            names = {rel.name for rel in rewriting.query.from_}
+            if names <= cached:
+                return rewriting
+        return None
+
+    def try_answer(
+        self, query: Union[str, QueryBlock]
+    ) -> Optional[Table]:
+        """Answer from the cache, or None on a miss.
+
+        A hit never reads base tables; the rewritten query runs against
+        the cached result tables only.
+        """
+        rewriting = self.find_rewriting(query)
+        if rewriting is None:
+            self.stats.misses += 1
+            return None
+        db = Database(self._catalog)
+        for name in rewriting.view_names:
+            entry = self._entries[name]
+            db._view_cache[name] = entry.table  # noqa: SLF001 - serving
+            self._entries.move_to_end(name)     # LRU touch
+        self.stats.hits += 1
+        return db.execute(rewriting.query, extra_views=rewriting.extra_views())
+
+    def answer(
+        self,
+        query: Union[str, QueryBlock],
+        database: Database,
+        remember_on_miss: bool = True,
+    ) -> tuple[Table, bool]:
+        """Answer from the cache, falling back to ``database``.
+
+        Returns ``(result, hit)``. On a miss the fresh result is cached
+        (when ``remember_on_miss``).
+        """
+        cached = self.try_answer(query)
+        if cached is not None:
+            return cached, True
+        result = database.execute(as_block(query, self.base_catalog))
+        if remember_on_miss:
+            self.remember(query, result)
+        return result, False

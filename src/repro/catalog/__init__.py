@@ -1,0 +1,23 @@
+"""Schema metadata: tables, views, keys and functional dependencies."""
+
+from .fds import (
+    FunctionalDependency,
+    attribute_closure,
+    fd,
+    implies_fd,
+    is_superkey,
+    minimize_key,
+)
+from .schema import Catalog, TableSchema, table
+
+__all__ = [
+    "FunctionalDependency",
+    "attribute_closure",
+    "fd",
+    "implies_fd",
+    "is_superkey",
+    "minimize_key",
+    "Catalog",
+    "TableSchema",
+    "table",
+]

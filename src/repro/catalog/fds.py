@@ -1,0 +1,78 @@
+"""Functional dependencies and attribute-set closure.
+
+Used by Section 5 of the paper: keys (and FDs, which can be used to infer
+keys) let us determine that query results are *sets*, enabling the relaxed
+many-to-1 usability conditions of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Hashable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``lhs -> rhs`` over attribute names (or any hashable attributes)."""
+
+    lhs: frozenset
+    rhs: frozenset
+
+    def __str__(self) -> str:
+        left = ", ".join(sorted(map(str, self.lhs)))
+        right = ", ".join(sorted(map(str, self.rhs)))
+        return f"{{{left}}} -> {{{right}}}"
+
+
+def fd(lhs: Iterable[Hashable], rhs: Iterable[Hashable]) -> FunctionalDependency:
+    """Convenience constructor for a functional dependency."""
+    return FunctionalDependency(frozenset(lhs), frozenset(rhs))
+
+
+def attribute_closure(
+    attrs: AbstractSet, fds: Sequence[FunctionalDependency]
+) -> frozenset:
+    """The closure of ``attrs`` under ``fds`` (textbook fixpoint algorithm).
+
+    Runs in O(|fds| * total attribute count) per pass; passes are bounded by
+    the number of FDs, which is fine at the scale of a query block.
+    """
+    closure = set(attrs)
+    changed = True
+    while changed:
+        changed = False
+        for dep in fds:
+            if dep.lhs <= closure and not dep.rhs <= closure:
+                closure.update(dep.rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def implies_fd(
+    fds: Sequence[FunctionalDependency], candidate: FunctionalDependency
+) -> bool:
+    """True when ``candidate`` is entailed by ``fds`` (Armstrong axioms)."""
+    return candidate.rhs <= attribute_closure(candidate.lhs, fds)
+
+
+def is_superkey(
+    attrs: AbstractSet,
+    all_attrs: AbstractSet,
+    fds: Sequence[FunctionalDependency],
+) -> bool:
+    """True when ``attrs`` functionally determines ``all_attrs``."""
+    return frozenset(all_attrs) <= attribute_closure(attrs, fds)
+
+
+def minimize_key(
+    attrs: AbstractSet,
+    all_attrs: AbstractSet,
+    fds: Sequence[FunctionalDependency],
+) -> frozenset:
+    """Shrink a superkey to a minimal key by dropping redundant attributes."""
+    key = set(attrs)
+    for attr in sorted(attrs, key=str):
+        trial = key - {attr}
+        if trial and is_superkey(trial, all_attrs, fds):
+            key = trial
+    return frozenset(key)

@@ -1,0 +1,159 @@
+"""Key reasoning for queries and views (paper Section 5.1).
+
+Determines, from schema metadata (keys, functional dependencies), whether
+a query's *core table* (the FROM x WHERE intermediate, Proposition 5.2)
+and its *result* (Proposition 5.1) are guaranteed to be sets. The
+foreign-key-join rule — the key of the leading table suffices after a
+join on the other table's key — falls out of the functional-dependency
+closure, as does key inference from declared FDs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..blocks.query_block import QueryBlock, Relation
+from ..blocks.terms import Column, Constant, Op
+from .fds import FunctionalDependency, attribute_closure, fd, minimize_key
+
+if TYPE_CHECKING:
+    from .schema import Catalog
+
+
+def occurrence_key(rel: Relation, catalog: "Catalog") -> Optional[frozenset[Column]]:
+    """A key of one FROM occurrence (as unique columns), or None.
+
+    Base tables use their declared keys. A view occurrence has a key when
+    the view's result is a set and its grouping columns all survive into
+    the output (one row per group, keyed by the group).
+    """
+    if catalog.is_table(rel.name):
+        schema = catalog.table(rel.name)
+        if not schema.keys:
+            return None
+        key_names = schema.keys[0]
+        return frozenset(rel.column_for(name) for name in key_names)
+
+    view = catalog.view(rel.name)
+    block = view.block
+    if block.is_aggregation:
+        group_positions = _group_output_positions(block)
+        if group_positions is None:
+            return None
+        return frozenset(rel.columns[p] for p in group_positions)
+    if result_is_set(block, catalog):
+        return frozenset(rel.columns)
+    return None
+
+
+def _group_output_positions(block: QueryBlock) -> Optional[list[int]]:
+    """SELECT positions holding all grouping columns, else None."""
+    positions: list[int] = []
+    remaining = set(block.group_by)
+    for i, item in enumerate(block.select):
+        if isinstance(item.expr, Column) and item.expr in remaining:
+            positions.append(i)
+            remaining.discard(item.expr)
+    if remaining:
+        return None
+    return positions
+
+
+def occurrence_is_set(rel: Relation, catalog: "Catalog") -> bool:
+    """Is this FROM occurrence's content duplicate-free?"""
+    if catalog.is_table(rel.name):
+        return catalog.table(rel.name).has_key
+    view = catalog.view(rel.name)
+    return result_is_set(view.block, catalog)
+
+
+def core_is_set(block: QueryBlock, catalog: "Catalog") -> bool:
+    """Proposition 5.2: the core table is a set iff every FROM item is."""
+    return all(occurrence_is_set(rel, catalog) for rel in block.from_)
+
+
+def core_fds(block: QueryBlock, catalog: "Catalog") -> list[FunctionalDependency]:
+    """Functional dependencies holding on the core table.
+
+    Includes per-occurrence key and declared FDs (instantiated onto unique
+    columns), FDs from view grouping structure (group key determines the
+    aggregate outputs), plus equalities and constant pins from WHERE.
+    """
+    fds: list[FunctionalDependency] = []
+    for rel in block.from_:
+        if catalog.is_table(rel.name):
+            schema = catalog.table(rel.name)
+            rename = {
+                name: rel.column_for(name) for name in schema.columns
+            }
+            for dep in schema.all_fds():
+                fds.append(
+                    fd(
+                        (rename[a] for a in dep.lhs),
+                        (rename[a] for a in dep.rhs),
+                    )
+                )
+        else:
+            key = occurrence_key(rel, catalog)
+            if key is not None and key != frozenset(rel.columns):
+                fds.append(fd(key, set(rel.columns) - key))
+    for atom in block.where:
+        if atom.op is not Op.EQ:
+            continue
+        left, right = atom.left, atom.right
+        if isinstance(left, Column) and isinstance(right, Column):
+            fds.append(fd({left}, {right}))
+            fds.append(fd({right}, {left}))
+        elif isinstance(left, Column) and isinstance(right, Constant):
+            fds.append(fd((), {left}))
+        elif isinstance(right, Column) and isinstance(left, Constant):
+            fds.append(fd((), {right}))
+    return fds
+
+
+def core_key(block: QueryBlock, catalog: "Catalog") -> Optional[frozenset[Column]]:
+    """A (minimized) key of the core table, or None when it may be a
+    multiset. The concatenation of per-occurrence keys is a key of the
+    Cartesian product; the FD closure then shrinks it (this yields the
+    paper's foreign-key-join rule)."""
+    if not core_is_set(block, catalog):
+        return None
+    combined: set[Column] = set()
+    for rel in block.from_:
+        key = occurrence_key(rel, catalog)
+        if key is None:
+            return None
+        combined |= key
+    all_cols = block.cols()
+    fds = core_fds(block, catalog)
+    return minimize_key(combined, all_cols, fds)
+
+
+def result_is_set(block: QueryBlock, catalog: "Catalog") -> bool:
+    """Is the query's result guaranteed duplicate-free on every database?
+
+    SELECT DISTINCT results are sets by definition. A grouped query emits
+    one row per group, so its result is a set when the retained columns
+    determine the grouping columns. A conjunctive query needs a set core
+    table whose key survives projection (Proposition 5.1).
+    """
+    if block.distinct:
+        return True
+    if block.is_aggregation:
+        if not block.group_by:
+            return True  # a single output row
+        retained = set(block.col_sel())
+        fds = core_fds(block, catalog)
+        closure = attribute_closure(retained, fds)
+        return set(block.group_by) <= closure
+    key = core_key(block, catalog)
+    if key is None:
+        return False
+    retained = {
+        item.expr for item in block.select if isinstance(item.expr, Column)
+    }
+    if len(retained) != len(block.select):
+        return False
+    fds = core_fds(block, catalog)
+    closure = attribute_closure(retained, fds)
+    return key <= closure

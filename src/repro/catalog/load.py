@@ -1,0 +1,53 @@
+"""Load a catalog from a SQL script (CREATE TABLE / CREATE VIEW).
+
+The entry point for file- and CLI-driven use: a ';'-separated script of
+DDL statements builds a :class:`Catalog`; trailing SELECT statements are
+returned as parsed queries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..blocks.normalize import normalize_select
+from ..blocks.query_block import QueryBlock, ViewDef
+from ..errors import SchemaError
+from ..sqlparser.ast import CreateTableStmt, CreateViewStmt, SelectStmt
+from ..sqlparser.parser import parse_script
+from .schema import Catalog, TableSchema, table
+
+
+def table_from_statement(stmt: CreateTableStmt, row_count: int = 1000) -> TableSchema:
+    """Convert a parsed CREATE TABLE to a schema object."""
+    return table(
+        stmt.name,
+        stmt.columns,
+        key=stmt.primary_key or None,
+        keys=[list(u) for u in stmt.uniques],
+        row_count=row_count,
+    )
+
+
+def load_schema(
+    script: str, catalog: Optional[Catalog] = None
+) -> tuple[Catalog, list[QueryBlock]]:
+    """Execute a DDL script; returns the catalog and any SELECT queries.
+
+    Statements run in order, so views may reference earlier tables and
+    views. Queries (bare SELECTs) are normalized against the catalog state
+    at their point in the script.
+    """
+    catalog = catalog if catalog is not None else Catalog()
+    queries: list[QueryBlock] = []
+    for stmt in parse_script(script):
+        if isinstance(stmt, CreateTableStmt):
+            catalog.add_table(table_from_statement(stmt))
+        elif isinstance(stmt, CreateViewStmt):
+            block = normalize_select(stmt.select, catalog)
+            output_names = stmt.columns or block.output_names()
+            catalog.add_view(ViewDef(stmt.name, block, tuple(output_names)))
+        elif isinstance(stmt, SelectStmt):
+            queries.append(normalize_select(stmt, catalog))
+        else:  # pragma: no cover - parser produces only the above
+            raise SchemaError(f"unsupported statement {stmt!r}")
+    return catalog, queries

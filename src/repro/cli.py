@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro COMMAND``.
+
+Commands:
+
+``rewrite``
+    Load a schema script (CREATE TABLE / CREATE VIEW), rewrite a query to
+    use the materialized views, print ranked rewritings.
+``explain``
+    Diagnose per-condition why each view is or is not usable.
+``check``
+    Empirically compare two queries for multiset-equivalence on random
+    databases.
+``advise``
+    Recommend summary views for a workload under a storage budget.
+``query``
+    Execute a query over CSV data files, optionally through the cheapest
+    view-based rewriting.
+
+Schema scripts are ';'-separated statements; a workload file is a script
+whose SELECT statements form the workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .blocks.normalize import parse_query
+from .blocks.to_sql import block_to_sql, view_to_sql
+from .catalog.load import load_schema
+from .core.explain import explain_usability
+from .core.rewriter import RewriteEngine
+from .equivalence import check_equivalent
+from .errors import ReproError
+
+
+def _load(args) -> tuple:
+    with open(args.schema) as handle:
+        script = handle.read()
+    return load_schema(script)
+
+
+def _query_from(args, catalog, queries):
+    if args.query:
+        return parse_query(args.query, catalog)
+    if queries:
+        return queries[-1]
+    raise ReproError(
+        "no query given: pass --query or end the schema script with a "
+        "SELECT statement"
+    )
+
+
+def cmd_rewrite(args) -> int:
+    catalog, queries = _load(args)
+    query = _query_from(args, catalog, queries)
+    engine = RewriteEngine(catalog)
+    result = engine.rewrite(query, unfold=args.unfold)
+    print(f"-- query (estimated cost {result.original_cost:,.0f}):")
+    print(block_to_sql(result.query))
+    if not result.ranked:
+        print("\n-- no usable view found")
+        if args.explain:
+            print()
+            for view in engine.views:
+                print(explain_usability(result.query, view).summary())
+        return 1
+    shown = result.ranked if args.all else result.ranked[:1]
+    for i, ranked in enumerate(shown, 1):
+        print(
+            f"\n-- rewriting {i} of {len(result.ranked)} "
+            f"(estimated cost {ranked.cost:,.0f}, "
+            f"uses {', '.join(ranked.rewriting.view_names)}):"
+        )
+        print(ranked.rewriting.sql())
+    return 0
+
+
+def cmd_explain(args) -> int:
+    catalog, queries = _load(args)
+    query = _query_from(args, catalog, queries)
+    views = list(catalog.views.values())
+    if args.view:
+        views = [catalog.view(args.view)]
+    for view in views:
+        print(explain_usability(query, view).summary())
+        print()
+    return 0
+
+
+def cmd_check(args) -> int:
+    catalog, queries = _load(args)
+    left = parse_query(args.left, catalog)
+    right = parse_query(args.right, catalog)
+    counterexample = check_equivalent(
+        catalog, left, right, trials=args.trials, seed=args.seed
+    )
+    if counterexample is None:
+        print(
+            f"EQUIVALENT on {args.trials} random databases "
+            f"(seed {args.seed})"
+        )
+        return 0
+    print("NOT EQUIVALENT:")
+    print(counterexample)
+    return 1
+
+
+def cmd_advise(args) -> int:
+    from .advisor import recommend_views
+
+    catalog, queries = _load(args)
+    if args.workload:
+        with open(args.workload) as handle:
+            _catalog, workload = load_schema(handle.read(), catalog)
+    else:
+        workload = queries
+    if not workload:
+        raise ReproError("the workload has no SELECT statements")
+    recommendation = recommend_views(
+        catalog, workload, space_budget_rows=args.budget
+    )
+    print(recommendation.summary())
+    for report in recommendation.per_query:
+        line = f"  {report.speedup:10,.1f}x"
+        line += f"  via {report.view_used}" if report.view_used else "  (direct)"
+        print(line)
+    print()
+    for view in recommendation.views:
+        print(view_to_sql(view) + ";")
+        print()
+    return 0
+
+
+def cmd_query(args) -> int:
+    import time
+
+    from .blocks.nested import parse_nested_query
+    from .engine.io import load_database
+
+    catalog, queries = _load(args)
+    if args.query:
+        nested = parse_nested_query(args.query, catalog)
+    elif queries:
+        from .blocks.nested import NestedQuery
+
+        nested = NestedQuery(block=queries[-1])
+    else:
+        raise ReproError(
+            "no query given: pass --query or end the schema script with a "
+            "SELECT statement"
+        )
+    db = load_database(catalog, args.data)
+
+    plan = nested.block
+    extra = dict(nested.local_map())
+    used = "direct evaluation"
+    if args.use_views:
+        engine = RewriteEngine(catalog)
+        result = engine.rewrite_nested(nested)
+        plan, extra = result.best_plan()
+        if result.used_views:
+            used = "rewritten over " + ", ".join(result.used_views)
+    start = time.perf_counter()
+    table = db.execute(plan, extra_views=extra)
+    elapsed = time.perf_counter() - start
+    print(table.to_text(limit=args.limit))
+    print(f"\n({len(table)} rows in {elapsed * 1000:.2f} ms, {used})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Answer SQL queries with aggregation using materialized views "
+            "(Dar, Jagadish, Levy, Srivastava, 1996)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument(
+            "--schema",
+            required=True,
+            help="SQL script with CREATE TABLE / CREATE VIEW statements",
+        )
+
+    p = sub.add_parser("rewrite", help="rewrite a query to use views")
+    common(p)
+    p.add_argument("--query", help="the SELECT to rewrite")
+    p.add_argument(
+        "--all", action="store_true", help="print every rewriting found"
+    )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="on failure, print per-view condition diagnoses",
+    )
+    p.add_argument(
+        "--unfold",
+        action="store_true",
+        help="first unfold conjunctive views in the query's FROM clause",
+    )
+    p.set_defaults(func=cmd_rewrite)
+
+    p = sub.add_parser("explain", help="diagnose view usability")
+    common(p)
+    p.add_argument("--query", help="the SELECT to diagnose against")
+    p.add_argument("--view", help="restrict to one view name")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("check", help="empirical equivalence check")
+    common(p)
+    p.add_argument("--left", required=True)
+    p.add_argument("--right", required=True)
+    p.add_argument("--trials", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("advise", help="recommend views for a workload")
+    common(p)
+    p.add_argument(
+        "--workload",
+        help="SQL script of SELECTs (defaults to SELECTs in --schema)",
+    )
+    p.add_argument("--budget", type=float, default=float("inf"))
+    p.set_defaults(func=cmd_advise)
+
+    p = sub.add_parser("query", help="run a query over CSV data")
+    common(p)
+    p.add_argument("--data", required=True, help="directory of <table>.csv")
+    p.add_argument("--query", help="the SELECT to run")
+    p.add_argument(
+        "--use-views",
+        action="store_true",
+        help="evaluate through the cheapest view rewriting when one wins",
+    )
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=cmd_query)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

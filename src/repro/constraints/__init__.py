@@ -1,0 +1,28 @@
+"""Predicate reasoning: closures, implication, residuals, HAVING motion."""
+
+from .closure import Closure
+from .difference import DiffAtom, DifferenceClosure, implies_difference
+from .having import normalize_having
+from .implication import equivalent, implies, minimize, satisfiable
+from .residual import (
+    atoms_constants,
+    express_over,
+    find_residual,
+    rewrite_conjunction,
+)
+
+__all__ = [
+    "Closure",
+    "DiffAtom",
+    "DifferenceClosure",
+    "implies_difference",
+    "normalize_having",
+    "equivalent",
+    "implies",
+    "minimize",
+    "satisfiable",
+    "atoms_constants",
+    "express_over",
+    "find_residual",
+    "rewrite_conjunction",
+]

@@ -1,0 +1,199 @@
+"""Difference constraints: the paper's "+ arithmetic" extension.
+
+Section 2: "Our results can be naturally extended to incorporate more
+general built-in predicates, e.g., those involving the arithmetic
+operations + and *." This module implements the additive fragment —
+conjunctions of atoms
+
+    x op y + c      and      x op c
+
+for columns ``x, y``, numeric constant ``c`` and ``op`` among
+``<, <=, =, >=, >`` — via the classic difference-bound-matrix closure:
+every atom normalizes to ``x - y ≤ c`` (strict or not) edges over the
+columns plus a virtual zero node, and an all-pairs shortest-path run
+(tracking strictness) yields satisfiability and entailment.
+
+The plain :class:`~repro.constraints.closure.Closure` stays the engine
+behind the paper's conditions (its language matches the paper's); this
+module extends the *reasoning* substrate for clients that need bounds
+like ``Dep_Hour <= Arr_Hour + 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from ..blocks.terms import Column, Op
+
+Number = Union[int, float]
+
+#: The virtual node representing the constant 0; ``x op c`` becomes an
+#: edge between ``x`` and this node.
+ZERO = Column("$zero")
+
+#: A bound is (value, strict): the constraint ``expr <= value`` (strict
+#: False) or ``expr < value`` (strict True).
+Bound = tuple[Number, bool]
+
+
+@dataclass(frozen=True)
+class DiffAtom:
+    """``left op right + offset`` (right may be None, meaning 0)."""
+
+    left: Column
+    op: Op
+    right: Optional[Column]
+    offset: Number = 0
+
+    def __post_init__(self):
+        if self.op is Op.NE:
+            raise ValueError(
+                "difference-bound reasoning does not support <>"
+            )
+
+    def __str__(self) -> str:
+        if self.right is None:
+            return f"{self.left} {self.op} {self.offset}"
+        if self.offset == 0:
+            return f"{self.left} {self.op} {self.right}"
+        sign = "+" if self.offset >= 0 else "-"
+        return f"{self.left} {self.op} {self.right} {sign} {abs(self.offset)}"
+
+
+def atom(left: str, op: str, right: Optional[str] = None, offset: Number = 0) -> DiffAtom:
+    """Convenience constructor: ``atom("x", "<=", "y", 2)`` is x <= y+2."""
+    return DiffAtom(
+        Column(left),
+        Op(op),
+        Column(right) if right is not None else None,
+        offset,
+    )
+
+
+def _tighter(a: Optional[Bound], b: Bound) -> Bound:
+    if a is None:
+        return b
+    if b[0] < a[0] or (b[0] == a[0] and b[1] and not a[1]):
+        return b
+    return a
+
+
+def _add(a: Bound, b: Bound) -> Bound:
+    return (a[0] + b[0], a[1] or b[1])
+
+
+def _le(a: Bound, b: Bound) -> bool:
+    """Does the constraint ``<= a`` imply the constraint ``<= b``?"""
+    if a[0] < b[0]:
+        return True
+    return a[0] == b[0] and (a[1] or not b[1])
+
+
+class DifferenceClosure:
+    """Closure of a conjunction of difference constraints."""
+
+    def __init__(self, atoms: Iterable[DiffAtom]):
+        self.atoms = tuple(atoms)
+        self.satisfiable = True
+        nodes: set[Column] = {ZERO}
+        edges: dict[tuple[Column, Column], Bound] = {}
+
+        def add_edge(u: Column, v: Column, bound: Bound) -> None:
+            # edge u -> v with weight w means  u - v <= w
+            edges[(u, v)] = _tighter(edges.get((u, v)), bound)
+
+        for item in self.atoms:
+            left = item.left
+            right = item.right if item.right is not None else ZERO
+            nodes.add(left)
+            nodes.add(right)
+            c = item.offset
+            if item.op in (Op.LE, Op.LT):
+                add_edge(left, right, (c, item.op is Op.LT))
+            elif item.op in (Op.GE, Op.GT):
+                add_edge(right, left, (-c, item.op is Op.GT))
+            elif item.op is Op.EQ:
+                add_edge(left, right, (c, False))
+                add_edge(right, left, (-c, False))
+
+        self._nodes = sorted(nodes, key=lambda n: n.name)
+        self._dist: dict[tuple[Column, Column], Bound] = dict(edges)
+
+        # Floyd-Warshall over (value, strict) weights.
+        dist = self._dist
+        for mid in self._nodes:
+            for u in self._nodes:
+                first = dist.get((u, mid))
+                if first is None:
+                    continue
+                for v in self._nodes:
+                    second = dist.get((mid, v))
+                    if second is None:
+                        continue
+                    candidate = _add(first, second)
+                    current = dist.get((u, v))
+                    merged = _tighter(current, candidate)
+                    if merged != current:
+                        dist[(u, v)] = merged
+
+        for node in self._nodes:
+            loop = dist.get((node, node))
+            if loop is not None and (loop[0] < 0 or (loop[0] == 0 and loop[1])):
+                self.satisfiable = False
+                break
+
+    # ------------------------------------------------------------------
+
+    def difference_bound(
+        self, left: Column, right: Optional[Column] = None
+    ) -> Optional[Bound]:
+        """The tightest known bound on ``left - right`` (right=None: 0)."""
+        target = right if right is not None else ZERO
+        if left == target:
+            return (0, False)
+        return self._dist.get((left, target))
+
+    def upper_bound(self, column: Column) -> Optional[Bound]:
+        """Tightest ``column <= c`` / ``< c`` fact, if any."""
+        return self.difference_bound(column, None)
+
+    def lower_bound(self, column: Column) -> Optional[Bound]:
+        """Tightest ``column >= c`` / ``> c`` fact as (c, strict)."""
+        bound = self.difference_bound(ZERO, column)
+        if bound is None:
+            return None
+        return (-bound[0], bound[1])
+
+    def entails(self, goal: DiffAtom) -> bool:
+        """Is ``goal`` implied by the conjunction?"""
+        if not self.satisfiable:
+            return True
+        left = goal.left
+        right = goal.right if goal.right is not None else ZERO
+        c = goal.offset
+        if goal.op in (Op.LE, Op.LT):
+            have = self.difference_bound(left, right)
+            return have is not None and _le(have, (c, goal.op is Op.LT))
+        if goal.op in (Op.GE, Op.GT):
+            have = self.difference_bound(right, left)
+            return have is not None and _le(have, (-c, goal.op is Op.GT))
+        # EQ: both directions, non-strict.
+        forward = self.difference_bound(left, right)
+        backward = self.difference_bound(right, left)
+        return (
+            forward is not None
+            and backward is not None
+            and _le(forward, (c, False))
+            and _le(backward, (-c, False))
+        )
+
+    def entails_all(self, goals: Iterable[DiffAtom]) -> bool:
+        return all(self.entails(g) for g in goals)
+
+
+def implies_difference(
+    premises: Iterable[DiffAtom], conclusion: Iterable[DiffAtom]
+) -> bool:
+    """Conjunction-level implication over difference constraints."""
+    return DifferenceClosure(premises).entails_all(conclusion)

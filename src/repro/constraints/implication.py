@@ -1,0 +1,47 @@
+"""Implication and equivalence of predicate conjunctions."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..blocks.terms import Comparison
+from .closure import Closure
+
+
+def satisfiable(atoms: Iterable[Comparison]) -> bool:
+    """Can some database make every atom true simultaneously?"""
+    return Closure(atoms).satisfiable
+
+
+def implies(premise: Sequence[Comparison], conclusion: Sequence[Comparison]) -> bool:
+    """``premise ⊨ conclusion`` (conjunctions of comparison atoms)."""
+    return Closure(premise).entails_all(conclusion)
+
+
+def equivalent(left: Sequence[Comparison], right: Sequence[Comparison]) -> bool:
+    """Mutual implication of two conjunctions."""
+    left_closure = Closure(left)
+    right_closure = Closure(right)
+    if not left_closure.satisfiable or not right_closure.satisfiable:
+        return left_closure.satisfiable == right_closure.satisfiable
+    return left_closure.entails_all(right) and right_closure.entails_all(left)
+
+
+def minimize(
+    atoms: Sequence[Comparison], context: Sequence[Comparison] = ()
+) -> list[Comparison]:
+    """Drop atoms already implied by ``context`` plus the remaining atoms.
+
+    Greedy and deterministic; the result conjoined with ``context`` is
+    equivalent to ``atoms`` conjoined with ``context``.
+    """
+    kept = list(dict.fromkeys(atoms))
+    changed = True
+    while changed:
+        changed = False
+        for atom in sorted(kept, key=str, reverse=True):
+            rest = [a for a in kept if a != atom]
+            if Closure(tuple(context) + tuple(rest)).entails(atom):
+                kept = rest
+                changed = True
+    return kept

@@ -1,0 +1,51 @@
+"""The paper's core contribution: view-usability tests and rewriting."""
+
+from .aggregate import try_rewrite_aggregation
+from .canonical import blocks_isomorphic, canonical_key
+from .conjunctive import try_rewrite_conjunctive
+from .containment import (
+    contained_in,
+    multiset_equivalent,
+    set_equivalent,
+)
+from .explain import UsabilityDiagnosis, explain_usability
+from .cost import estimate_cost, estimate_result_rows, estimate_rows
+from .multiview import (
+    all_rewritings,
+    rewrite_iteratively,
+    single_view_rewritings,
+)
+from .paper_va import try_rewrite_paper_va
+from .result import Rewriting
+from .rewriter import (
+    NestedRewriteResult,
+    RankedRewriting,
+    RewriteEngine,
+    RewriteResult,
+)
+from .setsem import try_rewrite_set_semantics
+
+__all__ = [
+    "try_rewrite_aggregation",
+    "blocks_isomorphic",
+    "canonical_key",
+    "try_rewrite_conjunctive",
+    "contained_in",
+    "multiset_equivalent",
+    "set_equivalent",
+    "UsabilityDiagnosis",
+    "explain_usability",
+    "estimate_cost",
+    "estimate_result_rows",
+    "estimate_rows",
+    "all_rewritings",
+    "rewrite_iteratively",
+    "single_view_rewritings",
+    "try_rewrite_paper_va",
+    "Rewriting",
+    "NestedRewriteResult",
+    "RankedRewriting",
+    "RewriteEngine",
+    "RewriteResult",
+    "try_rewrite_set_semantics",
+]

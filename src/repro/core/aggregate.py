@@ -1,0 +1,447 @@
+"""Section 4: rewriting aggregation queries using *aggregation* views.
+
+Implements condition C1 plus the modified conditions C2'-C4'
+(Section 4.2), the rewriting steps S1'-S5', the HAVING extensions
+(Section 4.3), the AVG decomposition (Section 4.4), and the Section 4.5
+impossibility (aggregation views cannot answer conjunctive queries under
+multiset semantics).
+
+Strategy note (see DESIGN.md, "Fidelity notes"). The default strategy
+recovers lost multiplicities by *weighting* with the view's COUNT column:
+
+========================  =============================================
+query aggregate            rewritten form (N = view count output)
+========================  =============================================
+``COUNT(A)``               ``SUM(N)``
+``SUM(A)``, A ~ view col   ``SUM(N * B)``  (B a grouping output of V)
+``SUM(A)``, SUM in view    ``SUM(S)``      (S the view's SUM output)
+``SUM(A)``, A external     ``SUM(N * A)``
+``MIN/MAX``                ``MIN/MAX`` of the obvious operand
+``AVG(A)``                 SUM-form / COUNT-form (Section 4.4)
+========================  =============================================
+
+This is equivalent to the paper's auxiliary-view (``Va``) construction in
+the regime where that construction is sound, and correct in general. The
+literal ``Va`` construction is available via
+:func:`repro.core.paper_va.try_rewrite_paper_va`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..blocks.exprs import (
+    AggFunc,
+    Aggregate,
+    Arith,
+    Expr,
+    div,
+    mul,
+)
+from ..blocks.query_block import QueryBlock, SelectItem, ViewDef
+from ..blocks.terms import Column, Comparison
+from ..constraints.closure import Closure
+from ..constraints.having import normalize_having
+from ..constraints.residual import find_residual
+from ..mappings.column_mapping import ColumnMapping
+from .common import (
+    ViewOccurrence,
+    make_view_occurrence,
+    query_namer,
+    select_is_plain,
+    view_is_rewritable,
+)
+from .result import Rewriting
+
+
+class _ViewShape:
+    """Indexed access to an aggregation view's SELECT structure."""
+
+    def __init__(self, view: ViewDef, mapping: ColumnMapping, occ: ViewOccurrence):
+        self.view = view
+        self.occ = occ
+        #: non-aggregation items: view column -> Q' output column
+        self.column_outputs: dict[Column, Column] = {}
+        #: aggregation items: (func, view column) -> Q' output column
+        self.agg_outputs: dict[tuple[AggFunc, Column], Column] = {}
+        self.count_output: Optional[Column] = None
+        for pos, item in enumerate(view.block.select):
+            expr = item.expr
+            out_col = occ.select_columns[pos]
+            if isinstance(expr, Column):
+                self.column_outputs.setdefault(expr, out_col)
+            elif isinstance(expr, Aggregate) and isinstance(expr.arg, Column):
+                self.agg_outputs.setdefault((expr.func, expr.arg), out_col)
+                if expr.func is AggFunc.COUNT and self.count_output is None:
+                    self.count_output = out_col
+
+    def agg_output_for(
+        self, func: AggFunc, preimages, closure_v: Closure
+    ) -> Optional[Column]:
+        """An output ``func(B)`` with B equal (under Conds(V)) to a
+        preimage of the query column."""
+        for (item_func, item_arg), out_col in self.agg_outputs.items():
+            if item_func is not func:
+                continue
+            for pre in preimages:
+                if closure_v.equal(item_arg, pre):
+                    return out_col
+        return None
+
+
+def try_rewrite_aggregation(
+    query: QueryBlock,
+    view: ViewDef,
+    mapping: ColumnMapping,
+    conditions: str = "paper",
+) -> Optional[Rewriting]:
+    """Check C1, C2'-C4' for one mapping; apply S1'-S5' when they hold.
+
+    ``conditions="paper"`` (default) requires a COUNT output in the view
+    exactly where steps S4'/S5' consume one — the reading of C4' part 1(b)
+    consistent with the paper's Example 1.1. ``conditions="strict"``
+    enforces the literal transcription (a COUNT output whenever the query
+    computes SUM/COUNT/AVG), which rejects Example 1.1; see DESIGN.md
+    fidelity note 2.
+    """
+    if conditions not in ("paper", "strict"):
+        raise ValueError(f"unknown conditions mode {conditions!r}")
+    if not view.block.is_aggregation:
+        return None
+    if not view_is_rewritable(view) or not select_is_plain(query):
+        return None
+    if not mapping.is_one_to_one:
+        return None  # condition C1
+
+    # Section 4.5: an aggregation view cannot answer a conjunctive query
+    # under multiset semantics (group-by loses tuple multiplicities).
+    if query.is_conjunctive:
+        return None
+
+    query_n = normalize_having(query)
+    view_n = view.block
+    if view_n.having:
+        view_n = normalize_having(view_n)
+
+    closure_q = Closure(query_n.where)
+    if not closure_q.satisfiable:
+        return None
+    closure_v = Closure(view_n.where)
+
+    image = mapping.image_columns
+    namer = query_namer(query_n, view_n)
+    occurrence = make_view_occurrence(view, mapping, namer)
+    shape = _ViewShape(view, mapping, occurrence)
+
+    # ------------------------------------------------------------------
+    # Condition C2': grouping columns covered by the view must appear in
+    # ColSel(V) (up to Conds(Q)-entailed equality).
+    # ------------------------------------------------------------------
+    sigma: dict[Column, Column] = {}
+    for column in list(query_n.group_by) + list(query_n.col_sel()):
+        if column not in image or column in sigma:
+            continue
+        out_col = _equal_column_output(column, shape, mapping, closure_q)
+        if out_col is None:
+            return None
+        sigma[column] = out_col
+
+    # ------------------------------------------------------------------
+    # Condition C3': Conds(Q) must factor as φ(Conds(V)) AND Conds', with
+    # Conds' over non-image columns plus φ(ColSel(V)) only — aggregated
+    # view outputs admit no further constraints (Example 4.4).
+    # ------------------------------------------------------------------
+    colsel_outputs = frozenset(shape.column_outputs.values())
+    allowed = (query_n.cols() - image) | colsel_outputs
+    residual = find_residual(
+        query_n.where, mapping.apply_atoms(view_n.where), allowed
+    )
+    if residual is None:
+        return None
+
+    # ------------------------------------------------------------------
+    # Condition C4' (+ HAVING extension): compute a Q'-level expression
+    # for every aggregate of SELECT and HAVING.
+    # ------------------------------------------------------------------
+    needs_count = False
+    agg_replacements: dict[Aggregate, Expr] = {}
+    for agg in query_n.all_aggregates():
+        if agg in agg_replacements:
+            continue
+        if not isinstance(agg.arg, Column):
+            return None
+        replacement, uses_count = _rewrite_aggregate(
+            agg, shape, mapping, closure_q, closure_v, image, sigma
+        )
+        if replacement is None:
+            return None
+        if agg.func is AggFunc.COUNT and not query_n.group_by:
+            # COUNT becomes SUM(N), which is NULL (not 0) over the single
+            # empty group a GROUP-BY-less query still emits on an empty
+            # database. Refusing keeps the rewriting sound on that edge.
+            return None
+        if uses_count and shape.count_output is None:
+            return None
+        needs_count = needs_count or uses_count
+        if conditions == "strict" and agg.func in (
+            AggFunc.SUM,
+            AggFunc.COUNT,
+            AggFunc.AVG,
+        ):
+            # C4' part 1(b) read literally: a COUNT output for *any*
+            # duplicate-sensitive aggregate. The paper's own Example 1.1
+            # violates this reading (see DESIGN.md fidelity note 2), so
+            # the default ("paper") requires the COUNT output exactly
+            # where steps S4'/S5' consume it.
+            if shape.count_output is None:
+                return None
+        agg_replacements[agg] = replacement
+
+    # ------------------------------------------------------------------
+    # Section 4.3: a HAVING clause in the view may eliminate groups that Q
+    # needs. Sound regime: exact group alignment, the view covering the
+    # whole query, and GConds(Q) entailing φ(GConds(V)).
+    # ------------------------------------------------------------------
+    if view_n.having:
+        ok = _check_view_having(
+            query_n, view_n, mapping, closure_q, image
+        )
+        if not ok:
+            return None
+
+    # ------------------------------------------------------------------
+    # Steps S1'-S5': assemble Q'.
+    # ------------------------------------------------------------------
+    new_from = []
+    placed = False
+    for idx, rel in enumerate(query_n.from_):
+        if idx in mapping.image_table_indexes:
+            if not placed:
+                new_from.append(occurrence.relation)
+                placed = True
+            continue
+        new_from.append(rel)
+
+    def rewrite_expr(expr: Expr) -> Expr:
+        if isinstance(expr, Aggregate):
+            return agg_replacements[expr]
+        if isinstance(expr, Column):
+            return sigma.get(expr, expr)
+        if isinstance(expr, Arith):
+            return Arith(
+                expr.op, rewrite_expr(expr.left), rewrite_expr(expr.right)
+            )
+        return expr
+
+    rewritten = QueryBlock(
+        select=tuple(
+            SelectItem(rewrite_expr(item.expr), item.alias)
+            for item in query_n.select
+        ),
+        from_=tuple(new_from),
+        where=tuple(residual),
+        group_by=tuple(
+            # Closure-equal grouping columns can collapse onto one view
+            # output; grouping by it once is equivalent.
+            dict.fromkeys(sigma.get(c, c) for c in query_n.group_by)
+        ),
+        having=tuple(
+            Comparison(rewrite_expr(a.left), a.op, rewrite_expr(a.right))
+            for a in query_n.having
+        ),
+        distinct=query_n.distinct,
+    ).validate()
+
+    notes = [
+        f"replaced tables {[r.name for r in mapping.image_relations()]} "
+        f"by aggregation view {view.name}",
+    ]
+    if needs_count:
+        notes.append(
+            "recovered lost multiplicities from the view's COUNT output"
+        )
+    return Rewriting(
+        query=rewritten,
+        view_names=(view.name,),
+        strategy="aggregate-weighted",
+        mapping_desc=mapping.describe(),
+        notes=tuple(notes),
+    )
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _equal_column_output(
+    column: Column,
+    shape: _ViewShape,
+    mapping: ColumnMapping,
+    closure_q: Closure,
+) -> Optional[Column]:
+    """C2' search: a ColSel(V) output with ``Conds(Q) ⊨ column = φ(B)``."""
+    best = None
+    for view_col, out_col in shape.column_outputs.items():
+        imagecol = mapping.apply(view_col)
+        if closure_q.equal(column, imagecol):
+            if imagecol == column:
+                return out_col
+            if best is None:
+                best = out_col
+    return best
+
+
+def _rewrite_aggregate(
+    agg: Aggregate,
+    shape: _ViewShape,
+    mapping: ColumnMapping,
+    closure_q: Closure,
+    closure_v: Closure,
+    image: frozenset[Column],
+    sigma: dict[Column, Column],
+) -> tuple[Optional[Expr], bool]:
+    """The C4' case analysis; returns ``(replacement, uses_count)``.
+
+    The replacement is a group-level expression over Q' columns; ``None``
+    means condition C4' fails for this aggregate.
+    """
+    arg: Column = agg.arg  # type: ignore[assignment]
+    func = agg.func
+    n_col = shape.count_output
+
+    if arg not in image:
+        # C4' part 2: the aggregated column comes from a non-image table.
+        if func in (AggFunc.MIN, AggFunc.MAX):
+            return Aggregate(func, arg), False
+        if func is AggFunc.SUM:
+            if n_col is None:
+                return None, True
+            return Aggregate(AggFunc.SUM, mul(n_col, arg)), True
+        if func is AggFunc.COUNT:
+            if n_col is None:
+                return None, True
+            return Aggregate(AggFunc.SUM, n_col), True
+        # AVG = weighted sum / total multiplicity.
+        if n_col is None:
+            return None, True
+        return (
+            div(
+                Aggregate(AggFunc.SUM, mul(n_col, arg)),
+                Aggregate(AggFunc.SUM, n_col),
+            ),
+            True,
+        )
+
+    # C4' part 1: the aggregated column is covered by the view.
+    preimages = [
+        v for v, q in mapping.column_map.items()
+        if closure_q.equal(arg, q)
+    ]
+    direct = shape.agg_output_for(func, preimages, closure_v)
+    column_out = None
+    for view_col, out_col in shape.column_outputs.items():
+        if any(closure_v.equal(view_col, p) for p in preimages) or \
+                closure_q.equal(arg, mapping.apply(view_col)):
+            column_out = out_col
+            break
+
+    if func in (AggFunc.MIN, AggFunc.MAX):
+        if direct is not None:
+            # S4' 1(a): min-of-mins / max-of-maxes over coalesced groups.
+            return Aggregate(func, direct), False
+        if column_out is not None:
+            # S4' 1(b) for MIN/MAX: the column survives; aggregate it.
+            return Aggregate(func, column_out), False
+        return None, False
+
+    if func is AggFunc.COUNT:
+        # S4' part 2: COUNT becomes the sum of subgroup counts.
+        if n_col is None:
+            return None, True
+        return Aggregate(AggFunc.SUM, n_col), True
+
+    if func is AggFunc.SUM:
+        sum_expr, uses = _sum_expression(
+            shape, preimages, closure_v, column_out, n_col
+        )
+        return sum_expr, uses
+
+    # AVG (Section 4.4): SUM-form / COUNT-form, both exact.
+    if n_col is None:
+        return None, True
+    sum_expr, _uses = _sum_expression(
+        shape, preimages, closure_v, column_out, n_col
+    )
+    if sum_expr is None:
+        return None, True
+    return div(sum_expr, Aggregate(AggFunc.SUM, n_col)), True
+
+
+def _sum_expression(
+    shape: _ViewShape,
+    preimages,
+    closure_v: Closure,
+    column_out: Optional[Column],
+    n_col: Optional[Column],
+) -> tuple[Optional[Expr], bool]:
+    """SUM of an image column: direct SUM output, N-weighted grouping
+    column, or AVG * COUNT (all per Section 4.4's SUM/COUNT/AVG triangle).
+    """
+    direct = shape.agg_output_for(AggFunc.SUM, preimages, closure_v)
+    if direct is not None:
+        return Aggregate(AggFunc.SUM, direct), False
+    if column_out is not None and n_col is not None:
+        return Aggregate(AggFunc.SUM, mul(n_col, column_out)), True
+    avg_out = shape.agg_output_for(AggFunc.AVG, preimages, closure_v)
+    if avg_out is not None and n_col is not None:
+        return Aggregate(AggFunc.SUM, mul(avg_out, n_col)), True
+    return None, n_col is None
+
+
+def _check_view_having(
+    query_n: QueryBlock,
+    view_n: QueryBlock,
+    mapping: ColumnMapping,
+    closure_q: Closure,
+    image: frozenset[Column],
+) -> bool:
+    """Section 4.3 soundness regime for a view with a HAVING clause.
+
+    Requires (i) the view covers every query table, (ii) every view
+    grouping column is fixed within each query group (no coalescing of
+    view groups, so no eliminated group is ever needed), and (iii)
+    GConds(Q) entails φ(GConds(V)) with aggregates treated as opaque
+    terms after canonicalizing their arguments.
+    """
+    if len(mapping.image_table_indexes) != len(query_n.from_):
+        return False
+
+    group_cols = set(query_n.group_by)
+    for view_col in view_n.group_by:
+        q_col = mapping.apply(view_col)
+        if not any(closure_q.equal(q_col, g) for g in group_cols):
+            return False
+
+    def canonical(expr: Expr) -> Expr:
+        if isinstance(expr, Aggregate) and isinstance(expr.arg, Column):
+            reps = sorted(
+                (
+                    t
+                    for t in closure_q.equality_class(expr.arg)
+                    if isinstance(t, Column)
+                ),
+                key=str,
+            )
+            return Aggregate(expr.func, reps[0] if reps else expr.arg)
+        return expr
+
+    def canonical_atom(atom: Comparison) -> Comparison:
+        return Comparison(canonical(atom.left), atom.op, canonical(atom.right))
+
+    premises = [canonical_atom(a) for a in query_n.having]
+    premises += list(query_n.where)
+    goal = [
+        canonical_atom(mapping.apply_atom(a)) for a in view_n.having
+    ]
+    return Closure(premises).entails_all(goal)

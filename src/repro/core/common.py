@@ -1,0 +1,140 @@
+"""Shared helpers for the rewriting algorithms of Sections 3 and 4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..blocks.exprs import Aggregate, Expr, has_aggregate
+from ..blocks.naming import FreshNames
+from ..blocks.query_block import QueryBlock, Relation, ViewDef
+from ..blocks.terms import Column
+from ..constraints.closure import Closure
+from ..errors import RewriteError
+from ..mappings.column_mapping import ColumnMapping
+
+
+def view_is_rewritable(view: ViewDef, allow_distinct: bool = False) -> bool:
+    """Views usable by the paper's algorithms: SELECT items are columns or
+    ``AGG(column)``. Without ``allow_distinct``, DISTINCT views are
+    rejected — they collapse duplicates a multiset query may need; the
+    Section 5.2 set-semantics path passes ``allow_distinct=True``."""
+    if view.block.distinct and not allow_distinct:
+        return False
+    for item in view.block.select:
+        expr = item.expr
+        if isinstance(expr, Column):
+            continue
+        if isinstance(expr, Aggregate) and isinstance(expr.arg, Column):
+            continue
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class ViewOccurrence:
+    """The paper's ``φ(V)``: one FROM occurrence of a view inside Q'.
+
+    ``relation`` is the FROM item; ``select_columns[i]`` is the Q' column
+    holding the view's i-th SELECT item. Non-aggregation items adopt the
+    query column name ``φ(B)`` (so residual conditions and SELECT items of
+    Q referring to ``φ(B)`` automatically read the view's output);
+    aggregation items receive fresh names.
+    """
+
+    relation: Relation
+    select_columns: tuple[Column, ...]
+
+    def column_for_item(self, position: int) -> Column:
+        return self.select_columns[position]
+
+    def column_for_view_column(self, view: ViewDef, column: Column) -> Column:
+        """Q' column for a view SELECT item that is the plain ``column``."""
+        for i, item in enumerate(view.block.select):
+            if item.expr == column:
+                return self.select_columns[i]
+        raise RewriteError(f"{column} is not a SELECT column of {view.name}")
+
+
+def make_view_occurrence(
+    view: ViewDef,
+    mapping: ColumnMapping,
+    namer: FreshNames,
+) -> ViewOccurrence:
+    """Build ``φ(V)`` for one use of ``view`` under ``mapping``."""
+    columns: list[Column] = []
+    seen: set[Column] = set()
+    for position, item in enumerate(view.block.select):
+        expr = item.expr
+        if isinstance(expr, Column):
+            image = mapping.apply(expr)
+            if image in seen:
+                # Two SELECT items map onto one query column (possible with
+                # many-to-1 mappings); later items get fresh names, with an
+                # equality predicate added by the caller.
+                image = namer.column(view.output_names[position])
+            columns.append(image)
+            seen.add(image)
+        else:
+            columns.append(namer.column(view.output_names[position]))
+    relation = Relation(
+        name=view.name,
+        columns=tuple(columns),
+        base_names=tuple(view.output_names),
+    )
+    return ViewOccurrence(relation, tuple(columns))
+
+
+def query_namer(query: QueryBlock, *more_blocks: QueryBlock) -> FreshNames:
+    """A fresh-name allocator avoiding every column of the given blocks."""
+    taken = [c.name for c in query.cols()]
+    for block in more_blocks:
+        taken += [c.name for c in block.cols()]
+    return FreshNames(taken)
+
+
+def pick_equal_select_column(
+    target: Column,
+    view: ViewDef,
+    mapping: ColumnMapping,
+    closure_q: Closure,
+    column_only: bool = False,
+) -> Optional[Column]:
+    """Find ``B_A``: a view SELECT column with ``Conds(Q) ⊨ A = φ(B_A)``.
+
+    This is the search behind conditions C2/C2' and C4 part 1. When
+    ``column_only`` is set, only non-aggregation SELECT items qualify
+    (``ColSel(V)``, as required by C2').
+    """
+    best: Optional[Column] = None
+    for item in view.block.select:
+        expr = item.expr
+        if not isinstance(expr, Column):
+            continue
+        image = mapping.apply(expr)
+        if closure_q.equal(target, image):
+            if image == target:
+                return expr  # φ(B_A) = A: the canonical choice
+            if best is None:
+                best = expr
+    if column_only or best is not None:
+        return best
+    return None
+
+
+def select_is_plain(query: QueryBlock) -> bool:
+    """True when every SELECT item is a column or a single aggregate.
+
+    The usability conditions are stated for this shape; arithmetic select
+    expressions (which rewritings *produce*) are not accepted as input.
+    """
+    for item in query.select:
+        expr = item.expr
+        if isinstance(expr, Column):
+            continue
+        if isinstance(expr, Aggregate):
+            continue
+        if has_aggregate(expr):
+            return False
+        return False
+    return True

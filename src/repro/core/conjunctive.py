@@ -1,0 +1,173 @@
+"""Section 3: rewriting aggregation queries using *conjunctive* views.
+
+Implements the usability conditions C1–C4 (Section 3.1), the rewriting
+steps S1–S4, and the HAVING-clause extension (Section 3.3). The same code
+path covers conjunctive queries (no grouping/aggregation), for which the
+conditions "are also applicable" per the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..blocks.exprs import (
+    AggFunc,
+    Aggregate,
+    Arith,
+    Expr,
+)
+from ..blocks.query_block import QueryBlock, SelectItem, ViewDef
+from ..blocks.terms import Column, Comparison, Constant
+from ..constraints.closure import Closure
+from ..constraints.having import normalize_having
+from ..constraints.residual import find_residual
+from ..mappings.column_mapping import ColumnMapping
+from .common import (
+    make_view_occurrence,
+    pick_equal_select_column,
+    query_namer,
+    select_is_plain,
+    view_is_rewritable,
+)
+from .result import Rewriting
+
+
+def try_rewrite_conjunctive(
+    query: QueryBlock,
+    view: ViewDef,
+    mapping: ColumnMapping,
+) -> Optional[Rewriting]:
+    """Check conditions C1–C4 for one mapping; apply S1–S4 when they hold.
+
+    Returns the rewriting Q', or ``None`` when the view is not usable under
+    this mapping. ``query`` may have grouping/aggregation and a HAVING
+    clause; ``view`` must be conjunctive.
+    """
+    if not view.block.is_conjunctive:
+        return None
+    if not view_is_rewritable(view) or not select_is_plain(query):
+        return None
+    if not mapping.is_one_to_one:
+        return None  # condition C1
+
+    # Section 3.3 pre-processing: strengthen Conds(Q) from the HAVING
+    # clause before checking C2-C4.
+    query_n = normalize_having(query)
+    closure_q = Closure(query_n.where)
+    if not closure_q.satisfiable:
+        return None
+
+    image = mapping.image_columns
+    namer = query_namer(query_n, view.block)
+    occurrence = make_view_occurrence(view, mapping, namer)
+
+    # ------------------------------------------------------------------
+    # Condition C2: SELECT / GROUP BY columns covered by the view must
+    # survive its projection (up to Conds(Q)-entailed equality).
+    # ------------------------------------------------------------------
+    sigma: dict[Column, Column] = {}
+
+    def require_output(column: Column) -> bool:
+        if column not in image or column in sigma:
+            return column in sigma or column not in image
+        b_col = pick_equal_select_column(column, view, mapping, closure_q)
+        if b_col is None:
+            return False
+        sigma[column] = occurrence.column_for_view_column(view, b_col)
+        return True
+
+    needed = list(query_n.col_sel()) + list(query_n.group_by)
+    for column in needed:
+        if not require_output(column):
+            return None
+
+    # ------------------------------------------------------------------
+    # Condition C4 (extended to HAVING aggregates, Section 3.3): every
+    # aggregated column covered by the view needs a surviving equal copy;
+    # COUNT falls back to counting any view output column (step S4).
+    # ------------------------------------------------------------------
+    agg_replacements: dict[Aggregate, Aggregate] = {}
+    for agg in query_n.all_aggregates():
+        arg = agg.arg
+        if not isinstance(arg, Column):
+            return None  # the conditions are stated for AGG(column)
+        if arg not in image:
+            continue
+        if require_output(arg):
+            continue
+        if agg.func is AggFunc.COUNT:
+            if not occurrence.select_columns:
+                return None  # C4 part 2: Sel(V) must not be empty
+            agg_replacements[agg] = Aggregate(
+                AggFunc.COUNT, occurrence.select_columns[0]
+            )
+        else:
+            return None  # C4 part 1 fails for MIN/MAX/SUM/AVG
+
+    # ------------------------------------------------------------------
+    # Condition C3: Conds(Q) must factor as φ(Conds(V)) AND Conds', with
+    # Conds' over non-image columns plus the view's surviving outputs.
+    # ------------------------------------------------------------------
+    available = frozenset(occurrence.select_columns)
+    allowed = (query_n.cols() - image) | available
+    residual = find_residual(
+        query_n.where, mapping.apply_atoms(view.block.where), allowed
+    )
+    if residual is None:
+        return None
+
+    # ------------------------------------------------------------------
+    # Steps S1-S4: assemble Q'.
+    # ------------------------------------------------------------------
+    new_from = []
+    placed = False
+    for idx, rel in enumerate(query_n.from_):
+        if idx in mapping.image_table_indexes:
+            if not placed:
+                new_from.append(occurrence.relation)
+                placed = True
+            continue
+        new_from.append(rel)
+
+    def rewrite_expr(expr: Expr) -> Expr:
+        if isinstance(expr, Aggregate):
+            if expr in agg_replacements:
+                return agg_replacements[expr]
+            return Aggregate(expr.func, rewrite_expr(expr.arg))
+        if isinstance(expr, Column):
+            return sigma.get(expr, expr)
+        if isinstance(expr, Arith):
+            return Arith(expr.op, rewrite_expr(expr.left), rewrite_expr(expr.right))
+        return expr
+
+    new_select = tuple(
+        SelectItem(rewrite_expr(item.expr), item.alias)
+        for item in query_n.select
+    )
+    new_group_by = tuple(
+        dict.fromkeys(sigma.get(c, c) for c in query_n.group_by)
+    )
+    new_having = tuple(
+        Comparison(rewrite_expr(a.left), a.op, rewrite_expr(a.right))
+        for a in query_n.having
+    )
+
+    rewritten = QueryBlock(
+        select=new_select,
+        from_=tuple(new_from),
+        where=tuple(residual),
+        group_by=new_group_by,
+        having=new_having,
+        distinct=query_n.distinct,
+    ).validate()
+
+    return Rewriting(
+        query=rewritten,
+        view_names=(view.name,),
+        strategy="conjunctive",
+        mapping_desc=mapping.describe(),
+        notes=(
+            f"replaced tables {[r.name for r in mapping.image_relations()]} "
+            f"by view {view.name}",
+        ),
+    )

@@ -1,0 +1,153 @@
+"""Multiple uses of views: the iterative procedure of Section 3.2.
+
+Rewritings with several views (or several uses of one view) are obtained
+by successive single-view rewriting steps; views incorporated earlier are
+treated as database tables in later steps (their FROM names simply do not
+match any candidate view's base tables, so this falls out of mapping
+enumeration). Theorem 3.2: the procedure is sound, Church-Rosser (order
+does not matter), and — for equality-only predicates and conjunctive
+views — complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..blocks.query_block import QueryBlock, ViewDef
+from ..catalog.schema import Catalog
+from ..mappings.enumerate_mappings import enumerate_mappings
+from .aggregate import try_rewrite_aggregation
+from .canonical import canonical_key
+from .conjunctive import try_rewrite_conjunctive
+from .result import Rewriting
+from .setsem import try_rewrite_set_semantics
+
+
+def single_view_rewritings(
+    query: QueryBlock,
+    view: ViewDef,
+    catalog: Optional[Catalog] = None,
+    use_set_semantics: bool = False,
+) -> list[Rewriting]:
+    """Every rewriting of ``query`` using ``view`` once (all mappings).
+
+    Tries the Section 3 path for conjunctive views, the Section 4 path for
+    aggregation views, and — when ``use_set_semantics`` and a catalog with
+    key information are supplied — the Section 5.2 many-to-1 path.
+    """
+    out: list[Rewriting] = []
+    seen: set[str] = set()
+
+    def add(rewriting: Optional[Rewriting]) -> None:
+        if rewriting is None:
+            return
+        key = canonical_key(rewriting.query)
+        if key not in seen:
+            seen.add(key)
+            out.append(rewriting)
+
+    for mapping in enumerate_mappings(view.block, query):
+        if view.block.is_conjunctive:
+            add(try_rewrite_conjunctive(query, view, mapping))
+        else:
+            add(try_rewrite_aggregation(query, view, mapping))
+    if use_set_semantics and catalog is not None:
+        for mapping in enumerate_mappings(view.block, query, many_to_one=True):
+            if not mapping.is_one_to_one:
+                add(try_rewrite_set_semantics(query, view, mapping, catalog))
+    return out
+
+
+def _merge(base: Optional[Rewriting], step: Rewriting) -> Rewriting:
+    """Compose provenance of successive rewriting steps."""
+    if base is None:
+        return step
+    return Rewriting(
+        query=step.query,
+        view_names=base.view_names + step.view_names,
+        strategy=f"{base.strategy}+{step.strategy}",
+        mapping_desc=f"{base.mapping_desc}; {step.mapping_desc}",
+        aux_views=base.aux_views + step.aux_views,
+        notes=base.notes + step.notes,
+    )
+
+
+def rewrite_iteratively(
+    query: QueryBlock,
+    views: Sequence[ViewDef],
+    catalog: Optional[Catalog] = None,
+    use_set_semantics: bool = False,
+) -> Optional[Rewriting]:
+    """Apply the views in the given order, greedily taking the first
+    usable mapping of each; views that are not usable are skipped.
+
+    Used by the Church-Rosser experiments: for conjunctive views with
+    equality predicates, any order yields the same result (Theorem 3.2).
+    """
+    current: Optional[Rewriting] = None
+    block = query
+    for view in views:
+        options = single_view_rewritings(
+            block, view, catalog, use_set_semantics
+        )
+        if not options:
+            continue
+        current = _merge(current, options[0])
+        block = current.query
+    return current
+
+
+@dataclass(frozen=True)
+class _SearchNode:
+    rewriting: Optional[Rewriting]
+    block: QueryBlock
+
+
+def all_rewritings(
+    query: QueryBlock,
+    views: Iterable[ViewDef],
+    catalog: Optional[Catalog] = None,
+    use_set_semantics: bool = False,
+    max_steps: int = 4,
+    include_partial: bool = True,
+) -> list[Rewriting]:
+    """Every rewriting reachable by iterated single-view substitution.
+
+    Breadth-first over substitution sequences, deduplicated by canonical
+    form. ``max_steps`` bounds the number of view incorporations (each
+    step removes at least one base table, so the bound is also naturally
+    limited by the query's FROM size). With ``include_partial`` every
+    intermediate rewriting is returned, not only the maximal ones.
+    """
+    view_list = list(views)
+    results: list[Rewriting] = []
+    seen: set[str] = {canonical_key(query)}
+    frontier: list[_SearchNode] = [_SearchNode(None, query)]
+    for _step in range(max_steps):
+        next_frontier: list[_SearchNode] = []
+        for node in frontier:
+            for view in view_list:
+                for option in single_view_rewritings(
+                    node.block, view, catalog, use_set_semantics
+                ):
+                    merged = _merge(node.rewriting, option)
+                    key = canonical_key(merged.query)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    next_frontier.append(_SearchNode(merged, merged.query))
+                    results.append(merged)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    if include_partial:
+        return results
+    return [
+        r
+        for r in results
+        if not any(
+            single_view_rewritings(r.query, v, catalog, use_set_semantics)
+            for v in view_list
+        )
+    ]

@@ -1,0 +1,269 @@
+"""The paper's literal auxiliary-view construction (steps S4' 1(b), S5').
+
+Steps S4' part 1(b) and S5' recover lost multiplicities by joining an
+auxiliary view ``Va`` that sums the view's COUNT output over
+``QV_Groups`` — the view grouping columns shared with the query — and then
+scaling the query's aggregate by ``Cnt_Va``.
+
+As written in the tech report, the construction keeps ``φ(V)`` in the FROM
+clause, so when several view groups share one ``QV_Groups`` value inside a
+query group, the aggregate is scaled once *per view row* and over-counts
+(DESIGN.md fidelity note 1 works Example 4.2's own data). The construction
+is sound exactly when ``QV_Groups`` covers all of ``φ(Groups(V))`` — every
+view grouping column's image is fixed inside each query group — which this
+module checks before rewriting. ``tests/core/test_paper_va.py``
+demonstrates both the sound regime and the over-counting regime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..blocks.exprs import AggFunc, Aggregate, Arith, Expr, mul
+from ..blocks.naming import FreshNames
+from ..blocks.query_block import (
+    QueryBlock,
+    Relation,
+    SelectItem,
+    ViewDef,
+)
+from ..blocks.terms import Column, Comparison, Op
+from ..constraints.closure import Closure
+from ..constraints.having import normalize_having
+from ..constraints.residual import find_residual
+from ..mappings.column_mapping import ColumnMapping
+from .aggregate import _ViewShape, _equal_column_output
+from .common import make_view_occurrence, query_namer, select_is_plain, view_is_rewritable
+from .result import Rewriting
+
+
+def try_rewrite_paper_va(
+    query: QueryBlock,
+    view: ViewDef,
+    mapping: ColumnMapping,
+    check_alignment: bool = True,
+) -> Optional[Rewriting]:
+    """Rewrite with the literal ``Va`` construction of steps S4'/S5'.
+
+    With ``check_alignment=True`` (default), refuses the regime where the
+    construction over-counts. Setting it to False reproduces the paper's
+    unconditional steps — used by tests to exhibit the Example 4.2
+    discrepancy; never do this in production code.
+    """
+    if not view.block.is_aggregation or query.is_conjunctive:
+        return None
+    if not view_is_rewritable(view) or not select_is_plain(query):
+        return None
+    if not mapping.is_one_to_one:
+        return None
+
+    query_n = normalize_having(query)
+    if not query_n.group_by:
+        # Adding Cnt_Va to an empty GROUP BY would change the
+        # one-row-on-empty-input semantics; the construction assumes
+        # grouped queries (as in the paper's examples).
+        return None
+    view_n = view.block
+    if view_n.having:
+        return None  # keep the literal construction simple: no view HAVING
+    closure_q = Closure(query_n.where)
+    if not closure_q.satisfiable:
+        return None
+
+    image = mapping.image_columns
+    namer = query_namer(query_n, view_n)
+    occurrence = make_view_occurrence(view, mapping, namer)
+    shape = _ViewShape(view, mapping, occurrence)
+
+    # C2' on grouping columns.
+    sigma: dict[Column, Column] = {}
+    for column in list(query_n.group_by) + list(query_n.col_sel()):
+        if column not in image or column in sigma:
+            continue
+        out_col = _equal_column_output(column, shape, mapping, closure_q)
+        if out_col is None:
+            return None
+        sigma[column] = out_col
+
+    # C3'.
+    colsel_outputs = frozenset(shape.column_outputs.values())
+    allowed = (query_n.cols() - image) | colsel_outputs
+    residual = find_residual(
+        query_n.where, mapping.apply_atoms(view_n.where), allowed
+    )
+    if residual is None:
+        return None
+
+    # QV_Groups in Q' column terms: view grouping columns that survive as
+    # outputs and whose image is a (closure-equal) query grouping column.
+    group_cols = set(query_n.group_by)
+    qv_groups: list[Column] = []
+    covered = 0
+    for v_col in view_n.group_by:
+        out = shape.column_outputs.get(v_col)
+        q_image = mapping.apply(v_col)
+        determined = any(closure_q.equal(q_image, g) for g in group_cols)
+        if determined and out is not None:
+            qv_groups.append(out)
+            covered += 1
+
+    alignment = covered == len(view_n.group_by)
+    if check_alignment and not alignment:
+        return None
+
+    n_col = shape.count_output
+    extra_where: list[Comparison] = []
+    extra_group: list[Column] = []
+    aux_views: list[ViewDef] = []
+    new_from_extra: list[Relation] = []
+    va_cnt_col: Optional[Column] = None
+
+    def ensure_va() -> Optional[Column]:
+        """Build Va = SELECT QV_Groups, SUM(N) FROM φ(V) GROUP BY QV_Groups
+        and join it on QV_Groups; returns the Cnt_Va column of Q'."""
+        nonlocal va_cnt_col
+        if va_cnt_col is not None:
+            return va_cnt_col
+        if n_col is None:
+            return None
+        # The Va definition reads the *view*, so its block is over a fresh
+        # occurrence of the view itself.
+        va_namer = FreshNames()
+        va_rel = Relation(
+            name=view.name,
+            columns=va_namer.columns(view.output_names),
+            base_names=tuple(view.output_names),
+        )
+        pos_of = {c: i for i, c in enumerate(occurrence.select_columns)}
+        va_group = tuple(va_rel.columns[pos_of[g]] for g in qv_groups)
+        va_n = va_rel.columns[pos_of[n_col]]
+        va_block = QueryBlock(
+            select=tuple(SelectItem(c) for c in va_group)
+            + (SelectItem(Aggregate(AggFunc.SUM, va_n), "Cnt_Va"),),
+            from_=(va_rel,),
+            group_by=va_group,
+        ).validate()
+        va_name = f"Va_{view.name}"
+        va_def = ViewDef(
+            va_name,
+            va_block,
+            tuple(va_block.output_names()[:-1]) + ("Cnt_Va",),
+        )
+        aux_views.append(va_def)
+        # Occurrence of Va inside Q': fresh G columns plus Cnt_Va.
+        g_cols = tuple(namer.column(f"G_{c.name}") for c in qv_groups)
+        cnt = namer.column("Cnt_Va")
+        va_occ = Relation(va_name, g_cols + (cnt,), va_def.output_names)
+        new_from_extra.append(va_occ)
+        for g, q_col in zip(g_cols, qv_groups):
+            extra_where.append(Comparison(q_col, Op.EQ, g))
+        extra_group.append(cnt)
+        va_cnt_col = cnt
+        return cnt
+
+    agg_replacements: dict[Aggregate, Expr] = {}
+    for agg in query_n.all_aggregates():
+        if agg in agg_replacements:
+            continue
+        if not isinstance(agg.arg, Column):
+            return None
+        arg, func = agg.arg, agg.func
+        if arg in image:
+            preimages = [
+                v for v, q in mapping.column_map.items()
+                if closure_q.equal(arg, q)
+            ]
+            closure_v = Closure(view_n.where)
+            direct = shape.agg_output_for(func, preimages, closure_v)
+            column_out = None
+            for view_col, out_col in shape.column_outputs.items():
+                if closure_q.equal(arg, mapping.apply(view_col)):
+                    column_out = out_col
+                    break
+            if func in (AggFunc.MIN, AggFunc.MAX):
+                if direct is not None:
+                    agg_replacements[agg] = Aggregate(func, direct)
+                elif column_out is not None:
+                    agg_replacements[agg] = Aggregate(func, column_out)
+                else:
+                    return None
+            elif func is AggFunc.SUM:
+                if direct is not None:
+                    agg_replacements[agg] = Aggregate(AggFunc.SUM, direct)
+                elif column_out is not None:
+                    # S4' 1(b): Sum over the column times the recovered
+                    # multiplicity. In the aligned regime Cnt_Va equals the
+                    # view row's own count, so SUM(column * Cnt) is the
+                    # paper's construction with QV_Groups ∋ A.
+                    cnt = ensure_va()
+                    if cnt is None:
+                        return None
+                    agg_replacements[agg] = Aggregate(
+                        AggFunc.SUM, mul(cnt, column_out)
+                    )
+                else:
+                    return None
+            elif func is AggFunc.COUNT:
+                if n_col is None:
+                    return None
+                agg_replacements[agg] = Aggregate(AggFunc.SUM, n_col)
+            else:
+                return None  # AVG: not part of the literal construction
+        else:
+            if func in (AggFunc.MIN, AggFunc.MAX):
+                agg_replacements[agg] = Aggregate(func, arg)
+            elif func in (AggFunc.SUM, AggFunc.COUNT):
+                # S5': join Va, group by Cnt_Va, scale by it.
+                cnt = ensure_va()
+                if cnt is None:
+                    return None
+                agg_replacements[agg] = mul(cnt, Aggregate(func, arg))
+            else:
+                return None
+
+    new_from = []
+    placed = False
+    for idx, rel in enumerate(query_n.from_):
+        if idx in mapping.image_table_indexes:
+            if not placed:
+                new_from.append(occurrence.relation)
+                placed = True
+            continue
+        new_from.append(rel)
+    new_from.extend(new_from_extra)
+
+    def rewrite_expr(expr: Expr) -> Expr:
+        if isinstance(expr, Aggregate):
+            return agg_replacements[expr]
+        if isinstance(expr, Column):
+            return sigma.get(expr, expr)
+        if isinstance(expr, Arith):
+            return Arith(expr.op, rewrite_expr(expr.left), rewrite_expr(expr.right))
+        return expr
+
+    rewritten = QueryBlock(
+        select=tuple(
+            SelectItem(rewrite_expr(i.expr), i.alias) for i in query_n.select
+        ),
+        from_=tuple(new_from),
+        where=tuple(residual) + tuple(extra_where),
+        group_by=tuple(dict.fromkeys(sigma.get(c, c) for c in query_n.group_by))
+        + tuple(extra_group),
+        having=tuple(
+            Comparison(rewrite_expr(a.left), a.op, rewrite_expr(a.right))
+            for a in query_n.having
+        ),
+        distinct=query_n.distinct,
+    ).validate()
+
+    return Rewriting(
+        query=rewritten,
+        view_names=(view.name,),
+        strategy="aggregate-paper-va",
+        mapping_desc=mapping.describe(),
+        aux_views=tuple(aux_views),
+        notes=(
+            "literal S4'/S5' auxiliary-view construction"
+            + ("" if alignment else " (UNSOUND regime: alignment unchecked)"),
+        ),
+    )

@@ -1,0 +1,288 @@
+"""The user-facing facade: register views, rewrite queries, pick winners.
+
+Typical use::
+
+    from repro import Catalog, RewriteEngine, table
+
+    catalog = Catalog([table("Calls", [...], key=["Call_Id"])])
+    engine = RewriteEngine(catalog)
+    engine.add_view("CREATE VIEW V1 (...) AS SELECT ...")
+    result = engine.rewrite("SELECT ... FROM Calls ... GROUP BY ...")
+    print(result.best().sql())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..blocks.normalize import as_block, parse_view
+from ..blocks.query_block import QueryBlock, ViewDef
+from ..catalog.schema import Catalog
+from .cost import estimate_cost
+from .multiview import all_rewritings, single_view_rewritings
+from .result import Rewriting
+
+
+@dataclass(frozen=True)
+class RankedRewriting:
+    """A rewriting with its estimated cost (lower is better)."""
+
+    rewriting: Rewriting
+    cost: float
+
+    def sql(self) -> str:
+        return self.rewriting.sql()
+
+
+class RewriteResult:
+    """All rewritings found for one query, ranked by estimated cost."""
+
+    def __init__(
+        self,
+        query: QueryBlock,
+        ranked: list[RankedRewriting],
+        original_cost: float,
+    ):
+        self.query = query
+        self.ranked = ranked
+        self.original_cost = original_cost
+
+    def __iter__(self):
+        return iter(self.ranked)
+
+    def __len__(self) -> int:
+        return len(self.ranked)
+
+    @property
+    def rewritings(self) -> list[Rewriting]:
+        return [r.rewriting for r in self.ranked]
+
+    def best(self) -> Optional[Rewriting]:
+        """The cheapest rewriting, or None when no view is usable."""
+        return self.ranked[0].rewriting if self.ranked else None
+
+    def best_or_original(self) -> QueryBlock:
+        """The cheapest plan overall: a rewriting or the original query."""
+        best = self.ranked[0] if self.ranked else None
+        if best is not None and best.cost < self.original_cost:
+            return best.rewriting.query
+        return self.query
+
+
+def _rename_relation(block: QueryBlock, old: str, new: str) -> QueryBlock:
+    """A copy of ``block`` with FROM occurrences of ``old`` renamed."""
+    from ..blocks.query_block import Relation
+
+    return block.with_(
+        from_=tuple(
+            Relation(new, rel.columns, rel.base_names)
+            if rel.name == old
+            else rel
+            for rel in block.from_
+        )
+    )
+
+
+@dataclass
+class NestedRewriteResult:
+    """Outcome of rewriting a nested query (Section 7 fragment).
+
+    ``locals`` holds the final derived-table definitions — inner
+    rewritings already applied; ``outer`` ranks rewritings of the
+    flattened outer block.
+    """
+
+    original: "NestedQuery"
+    flattened: "NestedQuery"
+    locals: dict[str, ViewDef]
+    inner_rewrites: dict[str, Rewriting]
+    outer: "RewriteResult"
+
+    @property
+    def used_views(self) -> list[str]:
+        """Catalog views consumed, inner rewrites and outer combined."""
+        names: list[str] = []
+        for rewriting in self.inner_rewrites.values():
+            names.extend(rewriting.view_names)
+        best = self.outer.ranked[0] if self.outer.ranked else None
+        if best is not None and best.cost < self.outer.original_cost:
+            names.extend(best.rewriting.view_names)
+        return list(dict.fromkeys(names))
+
+    def best_plan(self) -> tuple[QueryBlock, dict[str, ViewDef]]:
+        """The cheapest executable plan: (block, extra view definitions)."""
+        extra = dict(self.locals)
+        best = self.outer.ranked[0] if self.outer.ranked else None
+        if best is not None and best.cost < self.outer.original_cost:
+            extra.update(best.rewriting.extra_views())
+            return best.rewriting.query, extra
+        return self.flattened.block, extra
+
+    def execute(self, database) -> "Table":
+        block, extra = self.best_plan()
+        return database.execute(block, extra_views=extra)
+
+
+class RewriteEngine:
+    """Rewrites SQL queries to use the catalog's materialized views."""
+
+    def __init__(self, catalog: Catalog, use_set_semantics: bool = True):
+        self.catalog = catalog
+        self.use_set_semantics = use_set_semantics
+
+    # ------------------------------------------------------------------
+
+    def add_view(
+        self,
+        definition: Union[str, ViewDef],
+        name: Optional[str] = None,
+        row_count: Optional[int] = None,
+    ) -> ViewDef:
+        """Register a materialized view (SQL text or a prepared ViewDef)."""
+        if isinstance(definition, str):
+            view = parse_view(definition, self.catalog, name=name)
+        else:
+            view = definition
+        self.catalog.add_view(view, row_count=row_count)
+        return view
+
+    @property
+    def views(self) -> list[ViewDef]:
+        return list(self.catalog.views.values())
+
+    # ------------------------------------------------------------------
+
+    def rewrite(
+        self,
+        query: Union[str, QueryBlock],
+        views: Optional[Sequence[ViewDef]] = None,
+        max_steps: int = 3,
+        unfold: bool = False,
+        catalog: Optional[Catalog] = None,
+    ) -> RewriteResult:
+        """Find all rewritings of ``query`` using the registered views.
+
+        Returns a :class:`RewriteResult` ranked by estimated cost. Multi-
+        view rewritings are explored up to ``max_steps`` substitutions.
+        With ``unfold=True``, conjunctive views in the query's own FROM
+        clause are first expanded into base tables (paper Section 7), so
+        the rewriter can reassemble the query from *different* views.
+        """
+        catalog = catalog if catalog is not None else self.catalog
+        block = as_block(query, catalog)
+        block.validate()
+        if unfold:
+            from ..blocks.unfold import unfold_views
+
+            block = unfold_views(block, catalog)
+        candidates = all_rewritings(
+            block,
+            views if views is not None else self.views,
+            catalog=catalog,
+            use_set_semantics=self.use_set_semantics,
+            max_steps=max_steps,
+        )
+        ranked = sorted(
+            (
+                RankedRewriting(
+                    rw,
+                    estimate_cost(rw.query, catalog, rw.aux_views),
+                )
+                for rw in candidates
+            ),
+            key=lambda r: (r.cost, r.rewriting.mapping_desc),
+        )
+        return RewriteResult(
+            block, ranked, estimate_cost(block, catalog)
+        )
+
+    def rewrite_with(
+        self, query: Union[str, QueryBlock], view: ViewDef
+    ) -> list[Rewriting]:
+        """All single-use rewritings of ``query`` with one view."""
+        block = as_block(query, self.catalog)
+        return single_view_rewritings(
+            block, view, self.catalog, self.use_set_semantics
+        )
+
+    def rewrite_nested(
+        self,
+        query,
+        max_steps: int = 3,
+    ) -> "NestedRewriteResult":
+        """Rewrite a query with FROM-clause subqueries (Section 7).
+
+        Conjunctive derived tables are first flattened into the outer
+        block; each surviving (aggregation) derived table's body is
+        rewritten independently when a registered view makes it cheaper;
+        finally the outer block itself is rewritten as usual.
+        """
+        from ..blocks.nested import NestedQuery, parse_nested_query
+
+        if isinstance(query, str):
+            nested = parse_nested_query(query, self.catalog)
+        else:
+            nested = query
+        flat = nested.flatten(self.catalog)
+        working = flat.with_locals_registered(self.catalog)
+
+        final_locals: dict[str, ViewDef] = {}
+        inner_rewrites: dict[str, Rewriting] = {}
+        for view in flat.local_views:
+            direct_cost = estimate_cost(view.block, working)
+            best: Optional[Rewriting] = None
+            best_cost = direct_cost
+            for candidate in all_rewritings(
+                view.block,
+                self.views,
+                catalog=working,
+                use_set_semantics=self.use_set_semantics,
+                max_steps=max_steps,
+            ):
+                cost = estimate_cost(
+                    candidate.query, working, candidate.aux_views
+                )
+                if cost < best_cost:
+                    best, best_cost = candidate, cost
+            if best is None:
+                final_locals[view.name] = view
+                continue
+            inner_rewrites[view.name] = best
+            # Namespace the rewriting's auxiliary views per local so two
+            # inner rewrites over the same catalog view cannot collide.
+            body = best.query
+            for aux in best.aux_views:
+                fresh = f"{aux.name}__{view.name}"
+                body = _rename_relation(body, aux.name, fresh)
+                final_locals[fresh] = ViewDef(
+                    fresh, aux.block, aux.output_names
+                )
+            final_locals[view.name] = ViewDef(
+                view.name, body, view.output_names
+            )
+
+        outer = self.rewrite(flat.block, max_steps=max_steps, catalog=working)
+        return NestedRewriteResult(
+            original=nested,
+            flattened=flat,
+            locals=final_locals,
+            inner_rewrites=inner_rewrites,
+            outer=outer,
+        )
+
+    def answer(self, query: Union[str, QueryBlock], database) -> "Table":
+        """Evaluate ``query`` on ``database`` through the cheapest plan.
+
+        Picks between direct evaluation and the best rewriting by
+        estimated cost; either way the same multiset of answers comes
+        back (Theorems 3.1/4.1).
+        """
+        result = self.rewrite(query)
+        best = result.ranked[0] if result.ranked else None
+        if best is not None and best.cost < result.original_cost:
+            return database.execute(
+                best.rewriting.query,
+                extra_views=best.rewriting.extra_views(),
+            )
+        return database.execute(result.query)

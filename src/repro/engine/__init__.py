@@ -1,0 +1,8 @@
+"""In-memory multiset relational engine (the evaluation substrate)."""
+
+from .aggregates import apply_aggregate
+from .database import Database
+from .evaluator import evaluate_block
+from .table import Table
+
+__all__ = ["apply_aggregate", "Database", "evaluate_block", "Table"]

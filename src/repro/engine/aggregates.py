@@ -1,0 +1,59 @@
+"""SQL aggregate function semantics.
+
+Values are Python ints, floats, Fractions or strings. ``None`` models SQL
+NULL only as the result of an aggregate over an empty group (the data model
+itself has no NULLs, matching the paper's setting). AVG over integers is
+exact (a Fraction), so multiset-equivalence checks are never defeated by
+floating-point rounding.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from ..blocks.exprs import AggFunc
+
+
+def agg_min(values: Sequence) -> Optional[object]:
+    return min(values) if values else None
+
+
+def agg_max(values: Sequence) -> Optional[object]:
+    return max(values) if values else None
+
+
+def agg_sum(values: Sequence) -> Optional[object]:
+    if not values:
+        return None  # SQL: SUM over an empty group is NULL, not 0.
+    total = values[0]
+    for value in values[1:]:
+        total = total + value
+    return total
+
+
+def agg_count(values: Sequence) -> int:
+    return sum(1 for v in values if v is not None)
+
+
+def agg_avg(values: Sequence) -> Optional[object]:
+    if not values:
+        return None
+    total = agg_sum(values)
+    if isinstance(total, int):
+        return Fraction(total, len(values))
+    return total / len(values)
+
+
+_DISPATCH = {
+    AggFunc.MIN: agg_min,
+    AggFunc.MAX: agg_max,
+    AggFunc.SUM: agg_sum,
+    AggFunc.COUNT: agg_count,
+    AggFunc.AVG: agg_avg,
+}
+
+
+def apply_aggregate(func: AggFunc, values: Sequence) -> object:
+    """Apply an aggregate function to the multiset of argument values."""
+    return _DISPATCH[func](values)

@@ -1,0 +1,91 @@
+"""CSV persistence for tables and databases.
+
+Lets the CLI (and users) run queries over on-disk data: a database
+directory holds one ``<table>.csv`` per base table, headers matching the
+schema. Values are parsed as int, then float, then kept as strings —
+matching the engine's dynamically typed data model.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Union
+
+from ..catalog.schema import Catalog
+from ..errors import SchemaError
+from .database import Database
+from .table import Table
+
+
+def _parse_value(text: str) -> Union[int, float, str]:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def read_table_csv(path: str, expected_columns=None) -> Table:
+    """Read one CSV file (with header) into a Table."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty file (missing header)") from None
+        header = tuple(h.strip() for h in header)
+        if expected_columns is not None and header != tuple(expected_columns):
+            raise SchemaError(
+                f"{path}: header {header} does not match schema "
+                f"{tuple(expected_columns)}"
+            )
+        rows = [tuple(_parse_value(cell) for cell in row) for row in reader]
+    return Table(header, rows)
+
+
+def write_table_csv(path: str, table: Table) -> None:
+    """Write a Table as CSV with a header row."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.columns)
+        writer.writerows(table.rows)
+
+
+def load_database(catalog: Catalog, directory: str) -> Database:
+    """Build a Database from ``<table>.csv`` files in ``directory``.
+
+    Tables without a file start empty; files without a schema entry are
+    an error (they would silently be ignored otherwise).
+    """
+    db = Database(catalog)
+    known = set(catalog.tables)
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".csv"):
+            continue
+        name = entry[: -len(".csv")]
+        if name not in known:
+            raise SchemaError(
+                f"{entry}: no table named {name!r} in the schema"
+            )
+        schema = catalog.table(name)
+        table = read_table_csv(
+            os.path.join(directory, entry), schema.columns
+        )
+        db.load(name, table)
+        if len(table):
+            # Keep the cost model honest about actual sizes.
+            catalog.set_table_row_count(name, len(table))
+    return db
+
+
+def save_database(db: Database, directory: str) -> None:
+    """Write every base table of ``db`` as CSV into ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    for name in db.catalog.tables:
+        write_table_csv(
+            os.path.join(directory, f"{name}.csv"), db.table(name)
+        )

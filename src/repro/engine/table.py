@@ -1,0 +1,110 @@
+"""In-memory multiset tables.
+
+SQL tables and query results are *multisets* of tuples (paper Section 1);
+:class:`Table` stores rows in a list and compares as a multiset.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..errors import EvaluationError
+
+Row = tuple
+
+
+class Table:
+    """A named header plus a multiset of rows."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Sequence] = ()):
+        self.columns: tuple[str, ...] = tuple(columns)
+        self.rows: list[Row] = [tuple(r) for r in rows]
+        width = len(self.columns)
+        for row in self.rows:
+            if len(row) != width:
+                raise EvaluationError(
+                    f"row {row!r} has {len(row)} values for {width} columns"
+                )
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.columns!r}, {len(self.rows)} rows)"
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise EvaluationError(
+                f"no column {name!r} in {self.columns}"
+            ) from None
+
+    def column_values(self, name: str) -> list:
+        idx = self.column_index(name)
+        return [row[idx] for row in self.rows]
+
+    def as_counter(self) -> Counter:
+        """The multiset of rows as a Counter (hash-based comparison)."""
+        return Counter(self.rows)
+
+    def distinct(self) -> "Table":
+        """A copy with duplicate rows removed (stable order)."""
+        seen: set[Row] = set()
+        rows = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Table(self.columns, rows)
+
+    @property
+    def is_set(self) -> bool:
+        """True when no row occurs more than once."""
+        return len(set(self.rows)) == len(self.rows)
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+
+    def multiset_equal(self, other: "Table") -> bool:
+        """Multiset equality of rows (headers may differ: equivalence of
+        queries is about the multiset of answers, not output names)."""
+        if len(self.rows) != len(other.rows):
+            return False
+        return self.as_counter() == other.as_counter()
+
+    def set_equal(self, other: "Table") -> bool:
+        """Set equality of rows (Section 5 set-semantics comparisons)."""
+        return set(self.rows) == set(other.rows)
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def to_text(self, limit: Optional[int] = 20) -> str:
+        """A fixed-width rendering for examples and docs."""
+        shown = self.rows if limit is None else self.rows[:limit]
+        cells = [[str(v) for v in row] for row in shown]
+        widths = [len(c) for c in self.columns]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            " | ".join(c.ljust(w) for c, w in zip(self.columns, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        hidden = len(self.rows) - len(shown)
+        if hidden > 0:
+            lines.append(f"... ({hidden} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the position of the offending token when available.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class UnsupportedSQLError(ReproError):
+    """The SQL parsed, but uses a feature outside the paper's query class.
+
+    The paper studies single-block SELECT-FROM-WHERE-GROUPBY-HAVING queries
+    with conjunctions of comparison predicates and the aggregate functions
+    MIN, MAX, SUM, COUNT and AVG.
+    """
+
+
+class SchemaError(ReproError):
+    """A table, view or column reference could not be resolved."""
+
+
+class NormalizationError(ReproError):
+    """A parsed query violates SQL validity rules.
+
+    For example, a SELECT column that is neither aggregated nor listed in
+    GROUP BY.
+    """
+
+
+class EvaluationError(ReproError):
+    """The multiset engine could not evaluate a query block."""
+
+
+class RewriteError(ReproError):
+    """A rewriting step failed an internal consistency check.
+
+    This indicates a bug: condition checking should reject any view/mapping
+    pair that the rewriting steps cannot handle.
+    """

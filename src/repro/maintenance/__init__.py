@@ -1,0 +1,15 @@
+"""Incremental view maintenance (the warehouse substrate)."""
+
+from .delta import delta_core_rows, table_minus, table_plus
+from .maintainer import MaintainedView, apply_change
+from .state import AggState, GroupState
+
+__all__ = [
+    "delta_core_rows",
+    "table_minus",
+    "table_plus",
+    "MaintainedView",
+    "apply_change",
+    "AggState",
+    "GroupState",
+]

@@ -1,0 +1,114 @@
+"""Delta evaluation: which core-table rows does a base change add/remove?
+
+For a view whose FROM clause is ``T1, ..., Tn`` and a change ΔR to base
+table R, the multiset of new core rows follows the telescoping product
+rule: writing ``R_new = R_old ⊎ ΔR`` (insertion) and expanding the
+product, the added rows are exactly
+
+    Σ over occurrences i of R:
+        T1^new, ..., T_{i-1}^new, ΔR at i, T_{i+1}^old, ..., Tn^old
+
+which handles self-joins (R appearing several times) without double
+counting. Deletions use the same telescope with ``R_new = R_old ∖ ΔR``.
+The WHERE clause applies to each term as usual.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..blocks.query_block import QueryBlock
+from ..engine.evaluator import _compile_predicate  # noqa: SLF001
+from ..engine.table import Row, Table
+
+
+def _core_rows(block: QueryBlock, resolve: Callable[[int], Table]) -> list[Row]:
+    """Core rows of ``block`` resolving FROM items *by position*."""
+    named = {}
+    for i, rel in enumerate(block.from_):
+        named[i] = resolve(i)
+
+    index = {}
+    rows: list[Row] = [()]
+    offset = 0
+    for i, rel in enumerate(block.from_):
+        data = named[i]
+        for j, col in enumerate(rel.columns):
+            index[col] = offset + j
+        offset += len(rel.columns)
+        if not data.rows:
+            rows = []
+            continue
+        rows = [left + right for left in rows for right in data.rows]
+    for atom in block.where:
+        predicate = _compile_predicate(atom, index)
+        rows = [row for row in rows if predicate(row)]
+    return rows
+
+
+def delta_core_rows(
+    block: QueryBlock,
+    table_name: str,
+    delta: Table,
+    old: dict[str, Table],
+    new: dict[str, Table],
+) -> list[Row]:
+    """Core rows contributed (or removed) by ``delta`` on ``table_name``.
+
+    ``old`` and ``new`` give each base relation's content before and
+    after the change; relations other than ``table_name`` must be
+    identical in both (one table changes at a time).
+    """
+    occurrences = [
+        i for i, rel in enumerate(block.from_) if rel.name == table_name
+    ]
+    out: list[Row] = []
+    for term_pos in occurrences:
+
+        def resolve(i: int, term_pos=term_pos) -> Table:
+            rel = block.from_[i]
+            if i == term_pos:
+                return delta
+            if rel.name != table_name:
+                return new[rel.name]
+            return new[table_name] if i < term_pos else old[table_name]
+
+        out.extend(_core_rows(block, resolve))
+    return out
+
+
+def check_removable(table: Table, rows: Iterable[Sequence]) -> None:
+    """Raise ``ValueError`` unless every row (with multiplicity) exists."""
+    from collections import Counter
+
+    need = Counter(tuple(r) for r in rows)
+    have = Counter(table.rows)
+    missing = {
+        row: count - have[row]
+        for row, count in need.items()
+        if have[row] < count
+    }
+    if missing:
+        raise ValueError(f"rows not present: {missing}")
+
+
+def table_minus(table: Table, rows: Iterable[Sequence]) -> Table:
+    """Multiset difference: remove one copy of each given row."""
+    from collections import Counter
+
+    to_remove = Counter(tuple(r) for r in rows)
+    kept = []
+    for row in table.rows:
+        if to_remove[row] > 0:
+            to_remove[row] -= 1
+        else:
+            kept.append(row)
+    missing = +to_remove
+    if missing:
+        raise ValueError(f"rows not present: {dict(missing)}")
+    return Table(table.columns, kept)
+
+
+def table_plus(table: Table, rows: Iterable[Sequence]) -> Table:
+    """Multiset union: append the given rows."""
+    return Table(table.columns, table.rows + [tuple(r) for r in rows])

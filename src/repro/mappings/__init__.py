@@ -1,0 +1,6 @@
+"""Column mappings from views to queries (Definition 2.1)."""
+
+from .column_mapping import ColumnMapping
+from .enumerate_mappings import count_mappings, enumerate_mappings
+
+__all__ = ["ColumnMapping", "count_mappings", "enumerate_mappings"]

@@ -1,0 +1,103 @@
+"""Column mappings from a view to a query (paper Definition 2.1).
+
+A column mapping φ sends every column of every table occurrence of V to
+the corresponding column of a same-named table occurrence of Q; it is
+*1-1* when distinct view occurrences map to distinct query occurrences
+(the requirement of condition C1), and *many-to-1* otherwise (allowed
+under set semantics, Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..blocks.exprs import Expr, substitute_expr
+from ..blocks.query_block import QueryBlock, Relation
+from ..blocks.terms import Column, Comparison
+
+
+@dataclass(frozen=True)
+class ColumnMapping:
+    """φ from a view block's columns to a query block's columns.
+
+    ``table_pairs[i] = (v, q)`` records that view FROM-occurrence ``v``
+    maps onto query FROM-occurrence ``q``; the column map follows
+    positionally (Definition 2.1 condition 2).
+    """
+
+    view: QueryBlock
+    query: QueryBlock
+    table_pairs: tuple[tuple[int, int], ...]
+
+    @cached_property
+    def column_map(self) -> dict[Column, Column]:
+        out: dict[Column, Column] = {}
+        for v_idx, q_idx in self.table_pairs:
+            v_rel = self.view.from_[v_idx]
+            q_rel = self.query.from_[q_idx]
+            for v_col, q_col in zip(v_rel.columns, q_rel.columns):
+                out[v_col] = q_col
+        return out
+
+    @cached_property
+    def image_columns(self) -> frozenset[Column]:
+        """``φ(Cols(V))``: query columns covered by the view."""
+        return frozenset(self.column_map.values())
+
+    @cached_property
+    def image_table_indexes(self) -> frozenset[int]:
+        """Indexes of the query FROM occurrences in ``φ(Tables(V))``."""
+        return frozenset(q for _v, q in self.table_pairs)
+
+    @property
+    def is_one_to_one(self) -> bool:
+        return len(self.image_table_indexes) == len(self.table_pairs)
+
+    # ------------------------------------------------------------------
+
+    def apply(self, column: Column) -> Column:
+        """``φ(column)`` for a view column."""
+        return self.column_map[column]
+
+    def apply_expr(self, expr: Expr) -> Expr:
+        return substitute_expr(expr, self.column_map)
+
+    def apply_atom(self, atom: Comparison) -> Comparison:
+        return Comparison(
+            self.apply_expr(atom.left), atom.op, self.apply_expr(atom.right)
+        )
+
+    def apply_atoms(self, atoms) -> tuple[Comparison, ...]:
+        return tuple(self.apply_atom(a) for a in atoms)
+
+    @cached_property
+    def inverse_map(self) -> dict[Column, Column]:
+        """φ⁻¹ for 1-1 mappings (first preimage wins otherwise)."""
+        out: dict[Column, Column] = {}
+        for v_col, q_col in self.column_map.items():
+            out.setdefault(q_col, v_col)
+        return out
+
+    def preimages(self, query_column: Column) -> tuple[Column, ...]:
+        """All view columns mapping onto ``query_column``."""
+        return tuple(
+            v for v, q in self.column_map.items() if q == query_column
+        )
+
+    def image_relations(self) -> tuple[Relation, ...]:
+        """The query FROM occurrences replaced by the view (in order)."""
+        return tuple(
+            self.query.from_[q] for q in sorted(self.image_table_indexes)
+        )
+
+    def describe(self) -> str:
+        pairs = ", ".join(
+            f"{v} -> {q}" for v, q in sorted(
+                self.column_map.items(), key=lambda kv: kv[0].name
+            )
+        )
+        return "{" + pairs + "}"
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,38 @@
+"""SQL front end: lexer, parser and printer for the paper's query class."""
+
+from .ast import (
+    BinOp,
+    ColumnRef,
+    CreateViewStmt,
+    FuncCall,
+    Literal,
+    SelectItemSyntax,
+    SelectStmt,
+    SqlComparison,
+    SqlExpr,
+    Star,
+    TableRef,
+)
+from .lexer import tokenize
+from .parser import parse_select, parse_statement
+from .printer import print_create_view, print_expr, print_select
+
+__all__ = [
+    "BinOp",
+    "ColumnRef",
+    "CreateViewStmt",
+    "FuncCall",
+    "Literal",
+    "SelectItemSyntax",
+    "SelectStmt",
+    "SqlComparison",
+    "SqlExpr",
+    "Star",
+    "TableRef",
+    "tokenize",
+    "parse_select",
+    "parse_statement",
+    "print_create_view",
+    "print_expr",
+    "print_select",
+]

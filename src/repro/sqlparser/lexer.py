@@ -1,0 +1,126 @@
+"""Hand-written lexer for the single-block SQL dialect."""
+
+from __future__ import annotations
+
+from ..errors import SQLSyntaxError
+from .tokens import KEYWORDS, Token, TokenType
+
+_OPERATOR_STARTS = "<>=!+-/"
+_ASCII_DIGITS = "0123456789"
+
+
+def _is_ascii_digit(ch: str) -> bool:
+    # str.isdigit() accepts Unicode digits like '¹' that int() rejects.
+    return ch in _ASCII_DIGITS
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def location() -> tuple[int, int]:
+        return line, pos - line_start + 1
+
+    while pos < n:
+        ch = text[pos]
+
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch == "-" and text.startswith("--", pos):
+            while pos < n and text[pos] != "\n":
+                pos += 1
+            continue
+
+        lin, col = location()
+
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < n and (text[pos].isalnum() or text[pos] in "_$"):
+                pos += 1
+            word = text[start:pos]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, lin, col))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, lin, col))
+            continue
+
+        if _is_ascii_digit(ch) or (
+            ch == "." and pos + 1 < n and _is_ascii_digit(text[pos + 1])
+        ):
+            start = pos
+            seen_dot = False
+            while pos < n and (_is_ascii_digit(text[pos]) or text[pos] == "."):
+                if text[pos] == ".":
+                    if seen_dot:
+                        break
+                    # Only a decimal point when followed by a digit;
+                    # otherwise it is a qualifier dot.
+                    if pos + 1 >= n or not _is_ascii_digit(text[pos + 1]):
+                        break
+                    seen_dot = True
+                pos += 1
+            raw = text[start:pos]
+            value = float(raw) if "." in raw else int(raw)
+            tokens.append(Token(TokenType.NUMBER, value, lin, col))
+            continue
+
+        if ch == "'":
+            pos += 1
+            chunks: list[str] = []
+            while True:
+                if pos >= n:
+                    raise SQLSyntaxError("unterminated string literal", lin, col)
+                if text[pos] == "'":
+                    if pos + 1 < n and text[pos + 1] == "'":
+                        chunks.append("'")
+                        pos += 2
+                        continue
+                    pos += 1
+                    break
+                chunks.append(text[pos])
+                pos += 1
+            tokens.append(Token(TokenType.STRING, "".join(chunks), lin, col))
+            continue
+
+        if ch in _OPERATOR_STARTS:
+            two = text[pos : pos + 2]
+            if two in ("<=", ">=", "<>", "!="):
+                op = "<>" if two == "!=" else two
+                tokens.append(Token(TokenType.OP, op, lin, col))
+                pos += 2
+                continue
+            if ch == "!":
+                raise SQLSyntaxError(f"unexpected character {ch!r}", lin, col)
+            tokens.append(Token(TokenType.OP, ch, lin, col))
+            pos += 1
+            continue
+
+        simple = {
+            ",": TokenType.COMMA,
+            ".": TokenType.DOT,
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            "*": TokenType.STAR,
+            ";": TokenType.SEMI,
+        }
+        if ch in simple:
+            tokens.append(Token(simple[ch], ch, lin, col))
+            pos += 1
+            continue
+
+        raise SQLSyntaxError(f"unexpected character {ch!r}", lin, col)
+
+    lin, col = location()
+    tokens.append(Token(TokenType.EOF, "", lin, col))
+    return tokens

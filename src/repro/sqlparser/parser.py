@@ -1,0 +1,399 @@
+"""Recursive-descent parser for the single-block SQL dialect.
+
+Grammar (conjunctive conditions only, per the paper's Section 2):
+
+.. code-block:: text
+
+    statement   := select | create_view
+    create_view := CREATE VIEW ident [ '(' ident (',' ident)* ')' ] AS select
+    select      := SELECT [DISTINCT] item (',' item)*
+                   FROM table_ref (',' table_ref)*
+                   [WHERE comparison (AND comparison)*]
+                   [GROUP BY column_ref (',' column_ref)*]
+                   [HAVING comparison (AND comparison)*] [';']
+    item        := expr [[AS] ident]
+    table_ref   := ident [[AS] ident]
+    comparison  := expr ('<'|'<='|'='|'>='|'>'|'<>') expr
+    expr        := term (('+'|'-') term)*
+    term        := factor (('*'|'/') factor)*
+    factor      := NUMBER | STRING | '-' factor | '(' expr ')'
+                 | agg '(' (expr | '*') ')' | column_ref
+    column_ref  := ident ['.' ident]
+
+OR, NOT, subqueries, joins and set operators raise
+:class:`~repro.errors.UnsupportedSQLError` with a pointer to the paper's
+restriction rather than a generic syntax error.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import SQLSyntaxError, UnsupportedSQLError
+from .ast import (
+    BinOp,
+    ColumnRef,
+    CreateTableStmt,
+    CreateViewStmt,
+    DerivedTable,
+    FuncCall,
+    Literal,
+    SelectItemSyntax,
+    SelectStmt,
+    SqlComparison,
+    SqlExpr,
+    Star,
+    TableRef,
+)
+from .lexer import tokenize
+from .tokens import AGG_NAMES, Token, TokenType
+
+Statement = Union["SelectStmt", "CreateViewStmt", "CreateTableStmt"]
+
+_COMPARISON_OPS = frozenset({"<", "<=", "=", ">=", ">", "<>"})
+_UNSUPPORTED = {
+    "OR": "disjunction (the paper studies conjunctions of predicates)",
+    "NOT": "negation (the paper studies conjunctions of predicates)",
+    "IN": "subqueries (single-block queries only)",
+    "EXISTS": "subqueries (single-block queries only)",
+    "UNION": "set operators (single-block queries only)",
+    "JOIN": "explicit JOIN syntax (use comma-separated FROM with WHERE)",
+    "ORDER": "ORDER BY (multiset results are unordered)",
+    "LIMIT": "LIMIT",
+}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def check(self, type_: TokenType, value: Optional[str] = None) -> bool:
+        token = self.current
+        if token.type is not type_:
+            return False
+        return value is None or token.value == value
+
+    def accept(self, type_: TokenType, value: Optional[str] = None) -> Optional[Token]:
+        if self.check(type_, value):
+            return self.advance()
+        return None
+
+    def expect(self, type_: TokenType, value: Optional[str] = None) -> Token:
+        if self.check(type_, value):
+            return self.advance()
+        token = self.current
+        wanted = value or type_.name
+        raise SQLSyntaxError(
+            f"expected {wanted}, found {token.value!r}", token.line, token.column
+        )
+
+    def keyword(self, word: str) -> bool:
+        return bool(self.accept(TokenType.KEYWORD, word))
+
+    def reject_unsupported(self):
+        token = self.current
+        if token.type is TokenType.KEYWORD and token.value in _UNSUPPORTED:
+            raise UnsupportedSQLError(
+                f"{token.value} is not supported: {_UNSUPPORTED[token.value]}"
+            )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        stmt = self.parse_statement_only()
+        self.accept(TokenType.SEMI)
+        self.expect(TokenType.EOF)
+        return stmt
+
+    def parse_statement_only(self) -> Statement:
+        """One statement, leaving any trailing tokens unconsumed."""
+        if self.check(TokenType.KEYWORD, "CREATE"):
+            self.advance()
+            if self.check(TokenType.KEYWORD, "TABLE"):
+                return self.parse_create_table()
+            return self.parse_create_view()
+        return self.parse_select()
+
+    def parse_create_table(self) -> CreateTableStmt:
+        self.expect(TokenType.KEYWORD, "TABLE")
+        name = str(self.expect(TokenType.IDENT).value)
+        self.expect(TokenType.LPAREN)
+        columns: list[str] = []
+        types: list[str] = []
+        primary_key: tuple[str, ...] = ()
+        uniques: list[tuple[str, ...]] = []
+
+        def parse_column_list() -> tuple[str, ...]:
+            self.expect(TokenType.LPAREN)
+            cols = [str(self.expect(TokenType.IDENT).value)]
+            while self.accept(TokenType.COMMA):
+                cols.append(str(self.expect(TokenType.IDENT).value))
+            self.expect(TokenType.RPAREN)
+            return tuple(cols)
+
+        while True:
+            if self.check(TokenType.KEYWORD, "PRIMARY"):
+                self.advance()
+                self.expect(TokenType.KEYWORD, "KEY")
+                if primary_key:
+                    raise SQLSyntaxError(
+                        f"table {name}: duplicate PRIMARY KEY clause"
+                    )
+                primary_key = parse_column_list()
+            elif self.check(TokenType.KEYWORD, "UNIQUE"):
+                self.advance()
+                uniques.append(parse_column_list())
+            else:
+                column = str(self.expect(TokenType.IDENT).value)
+                type_words: list[str] = []
+                # Tolerant type parsing: identifiers plus an optional
+                # parenthesized length, e.g. VARCHAR(30) or DOUBLE PRECISION.
+                while self.check(TokenType.IDENT):
+                    type_words.append(str(self.advance().value))
+                    if self.accept(TokenType.LPAREN):
+                        length = self.expect(TokenType.NUMBER).value
+                        self.expect(TokenType.RPAREN)
+                        type_words[-1] += f"({length})"
+                columns.append(column)
+                types.append(" ".join(type_words))
+                if self.check(TokenType.KEYWORD, "PRIMARY"):
+                    self.advance()
+                    self.expect(TokenType.KEYWORD, "KEY")
+                    if primary_key:
+                        raise SQLSyntaxError(
+                            f"table {name}: duplicate PRIMARY KEY clause"
+                        )
+                    primary_key = (column,)
+                elif self.check(TokenType.KEYWORD, "UNIQUE"):
+                    self.advance()
+                    uniques.append((column,))
+            if not self.accept(TokenType.COMMA):
+                break
+        self.expect(TokenType.RPAREN)
+        return CreateTableStmt(
+            name=name,
+            columns=tuple(columns),
+            column_types=tuple(types),
+            primary_key=primary_key,
+            uniques=tuple(uniques),
+        )
+
+    def parse_create_view(self) -> CreateViewStmt:
+        self.expect(TokenType.KEYWORD, "VIEW")
+        name = self.expect(TokenType.IDENT).value
+        columns: list[str] = []
+        if self.accept(TokenType.LPAREN):
+            columns.append(self.expect(TokenType.IDENT).value)
+            while self.accept(TokenType.COMMA):
+                columns.append(self.expect(TokenType.IDENT).value)
+            self.expect(TokenType.RPAREN)
+        self.expect(TokenType.KEYWORD, "AS")
+        select = self.parse_select()
+        return CreateViewStmt(str(name), tuple(map(str, columns)), select)
+
+    def parse_select(self) -> SelectStmt:
+        self.expect(TokenType.KEYWORD, "SELECT")
+        distinct = self.keyword("DISTINCT")
+        items = [self.parse_select_item()]
+        while self.accept(TokenType.COMMA):
+            items.append(self.parse_select_item())
+
+        self.expect(TokenType.KEYWORD, "FROM")
+        tables = [self.parse_table_ref()]
+        while self.accept(TokenType.COMMA):
+            tables.append(self.parse_table_ref())
+        self.reject_unsupported()
+
+        where: list[SqlComparison] = []
+        if self.keyword("WHERE"):
+            where = self.parse_conjunction()
+
+        group_by: list[ColumnRef] = []
+        if self.keyword("GROUPBY") or (
+            self.keyword("GROUP") and (self.expect(TokenType.KEYWORD, "BY") or True)
+        ):
+            group_by.append(self.parse_column_ref())
+            while self.accept(TokenType.COMMA):
+                group_by.append(self.parse_column_ref())
+
+        having: list[SqlComparison] = []
+        if self.keyword("HAVING"):
+            having = self.parse_conjunction()
+
+        self.reject_unsupported()
+        return SelectStmt(
+            items=tuple(items),
+            from_tables=tuple(tables),
+            where=tuple(where),
+            group_by=tuple(group_by),
+            having=tuple(having),
+            distinct=distinct,
+        )
+
+    # ------------------------------------------------------------------
+    # Clauses
+    # ------------------------------------------------------------------
+
+    def parse_column_ref(self) -> ColumnRef:
+        name = str(self.expect(TokenType.IDENT).value)
+        if self.accept(TokenType.DOT):
+            column = str(self.expect(TokenType.IDENT).value)
+            return ColumnRef(column, qualifier=name)
+        return ColumnRef(name)
+
+    def parse_select_item(self) -> SelectItemSyntax:
+        expr = self.parse_expr()
+        alias: Optional[str] = None
+        if self.keyword("AS"):
+            alias = str(self.expect(TokenType.IDENT).value)
+        elif self.check(TokenType.IDENT):
+            alias = str(self.advance().value)
+        return SelectItemSyntax(expr, alias)
+
+    def parse_table_ref(self) -> Union[TableRef, DerivedTable]:
+        if self.accept(TokenType.LPAREN):
+            # A derived table: (SELECT ...) [AS] alias.
+            select = self.parse_select()
+            self.expect(TokenType.RPAREN)
+            self.keyword("AS")
+            token = self.current
+            if not self.check(TokenType.IDENT):
+                raise SQLSyntaxError(
+                    "a derived table needs an alias", token.line, token.column
+                )
+            alias = str(self.advance().value)
+            return DerivedTable(select, alias)
+        name = str(self.expect(TokenType.IDENT).value)
+        alias: Optional[str] = None
+        if self.keyword("AS"):
+            alias = str(self.expect(TokenType.IDENT).value)
+        elif self.check(TokenType.IDENT):
+            alias = str(self.advance().value)
+        return TableRef(name, alias)
+
+    def parse_conjunction(self) -> list[SqlComparison]:
+        atoms = [self.parse_comparison()]
+        while True:
+            self.reject_unsupported()
+            if not self.keyword("AND"):
+                break
+            atoms.append(self.parse_comparison())
+        return atoms
+
+    def parse_comparison(self) -> SqlComparison:
+        self.reject_unsupported()
+        left = self.parse_expr()
+        self.reject_unsupported()
+        token = self.current
+        if token.type is TokenType.OP and token.value in _COMPARISON_OPS:
+            self.advance()
+            right = self.parse_expr()
+            return SqlComparison(left, str(token.value), right)
+        raise SQLSyntaxError(
+            f"expected comparison operator, found {token.value!r}",
+            token.line,
+            token.column,
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def parse_expr(self) -> SqlExpr:
+        expr = self.parse_term()
+        while self.check(TokenType.OP, "+") or self.check(TokenType.OP, "-"):
+            op = str(self.advance().value)
+            expr = BinOp(op, expr, self.parse_term())
+        return expr
+
+    def parse_term(self) -> SqlExpr:
+        expr = self.parse_factor()
+        while self.check(TokenType.STAR) or self.check(TokenType.OP, "/"):
+            op = "*" if self.current.type is TokenType.STAR else "/"
+            self.advance()
+            expr = BinOp(op, expr, self.parse_factor())
+        return expr
+
+    def parse_factor(self) -> SqlExpr:
+        self.reject_unsupported()
+        token = self.current
+
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(str(token.value))
+        if self.accept(TokenType.OP, "-"):
+            inner = self.parse_factor()
+            if isinstance(inner, Literal) and isinstance(inner.value, (int, float)):
+                return Literal(-inner.value)
+            return BinOp("-", Literal(0), inner)
+        if self.accept(TokenType.LPAREN):
+            expr = self.parse_expr()
+            self.expect(TokenType.RPAREN)
+            return expr
+        if token.type is TokenType.IDENT:
+            name = str(self.advance().value)
+            if name.upper() in AGG_NAMES and self.check(TokenType.LPAREN):
+                self.advance()
+                arg: SqlExpr
+                if self.accept(TokenType.STAR):
+                    arg = Star()
+                else:
+                    arg = self.parse_expr()
+                self.expect(TokenType.RPAREN)
+                return FuncCall(name.upper(), arg)
+            if self.check(TokenType.LPAREN):
+                raise UnsupportedSQLError(
+                    f"function {name} is not supported (aggregates only: "
+                    f"MIN, MAX, SUM, COUNT, AVG)"
+                )
+            if self.accept(TokenType.DOT):
+                column = str(self.expect(TokenType.IDENT).value)
+                return ColumnRef(column, qualifier=name)
+            return ColumnRef(name)
+        raise SQLSyntaxError(
+            f"unexpected token {token.value!r}", token.line, token.column
+        )
+
+
+def parse_select(text: str) -> SelectStmt:
+    """Parse a single SELECT statement."""
+    stmt = _Parser(text).parse_statement()
+    if not isinstance(stmt, SelectStmt):
+        raise SQLSyntaxError("expected a SELECT statement")
+    return stmt
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse one statement: SELECT, CREATE VIEW or CREATE TABLE."""
+    return _Parser(text).parse_statement()
+
+
+def parse_script(text: str) -> list[Statement]:
+    """Parse a ';'-separated script of statements."""
+    parser = _Parser(text)
+    out: list[Statement] = []
+    while not parser.check(TokenType.EOF):
+        out.append(parser.parse_statement_only())
+        if not parser.accept(TokenType.SEMI):
+            break
+    parser.expect(TokenType.EOF)
+    return out

@@ -1,0 +1,75 @@
+"""Render the SQL syntax tree back to text.
+
+``parse(print(ast)) == ast`` round-trips for every tree the parser can
+produce (property-tested in ``tests/sqlparser``).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    BinOp,
+    ColumnRef,
+    CreateViewStmt,
+    DerivedTable,
+    FuncCall,
+    Literal,
+    SelectStmt,
+    SqlComparison,
+    SqlExpr,
+    Star,
+)
+
+
+def print_expr(expr: SqlExpr) -> str:
+    if isinstance(expr, (ColumnRef, Literal, Star)):
+        return str(expr)
+    if isinstance(expr, FuncCall):
+        return f"{expr.name}({print_expr(expr.arg)})"
+    if isinstance(expr, BinOp):
+        return f"({print_expr(expr.left)} {expr.op} {print_expr(expr.right)})"
+    raise TypeError(f"not a SQL expression: {expr!r}")
+
+
+def print_comparison(atom: SqlComparison) -> str:
+    return f"{print_expr(atom.left)} {atom.op} {print_expr(atom.right)}"
+
+
+def print_select(stmt: SelectStmt, indent: str = "") -> str:
+    lines: list[str] = []
+    head = "SELECT DISTINCT " if stmt.distinct else "SELECT "
+    items = []
+    for item in stmt.items:
+        rendered = print_expr(item.expr)
+        if item.alias:
+            rendered += f" AS {item.alias}"
+        items.append(rendered)
+    lines.append(head + ", ".join(items))
+
+    tables = []
+    for ref in stmt.from_tables:
+        if isinstance(ref, DerivedTable):
+            inner = print_select(ref.select, indent=indent + "      ")
+            tables.append(f"({inner}) AS {ref.alias}")
+            continue
+        rendered = ref.name
+        if ref.alias:
+            rendered += f" AS {ref.alias}"
+        tables.append(rendered)
+    lines.append("FROM " + ", ".join(tables))
+
+    if stmt.where:
+        lines.append("WHERE " + " AND ".join(map(print_comparison, stmt.where)))
+    if stmt.group_by:
+        lines.append("GROUP BY " + ", ".join(map(str, stmt.group_by)))
+    if stmt.having:
+        lines.append(
+            "HAVING " + " AND ".join(map(print_comparison, stmt.having))
+        )
+    return ("\n" + indent).join(lines)
+
+
+def print_create_view(stmt: CreateViewStmt) -> str:
+    header = f"CREATE VIEW {stmt.name}"
+    if stmt.columns:
+        header += " (" + ", ".join(stmt.columns) + ")"
+    return header + " AS\n" + print_select(stmt.select)

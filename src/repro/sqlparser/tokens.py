@@ -1,0 +1,69 @@
+"""Token definitions for the single-block SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class TokenType(enum.Enum):
+    IDENT = "IDENT"          # bare identifier (table, column, alias)
+    KEYWORD = "KEYWORD"      # reserved word, upper-cased
+    NUMBER = "NUMBER"        # integer or float literal
+    STRING = "STRING"        # single-quoted string literal
+    OP = "OP"                # comparison or arithmetic operator
+    COMMA = "COMMA"
+    DOT = "DOT"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    STAR = "STAR"            # '*' (either multiplication or COUNT(*))
+    SEMI = "SEMI"
+    EOF = "EOF"
+
+
+#: Reserved words recognized by the lexer (always upper-cased).
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "GROUPBY",
+        "HAVING",
+        "AND",
+        "AS",
+        "CREATE",
+        "VIEW",
+        "TABLE",
+        "PRIMARY",
+        "KEY",
+        "UNIQUE",
+        "OR",
+        "NOT",
+        "IN",
+        "EXISTS",
+        "UNION",
+        "JOIN",
+        "ON",
+        "ORDER",
+        "LIMIT",
+    }
+)
+
+#: Aggregate function names (treated as identifiers by the lexer; the
+#: parser recognizes them by name).
+AGG_NAMES = frozenset({"MIN", "MAX", "SUM", "COUNT", "AVG"})
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Union[str, int, float]
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.type.name}({self.value!r})"

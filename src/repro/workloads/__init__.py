@@ -1,0 +1,6 @@
+"""Synthetic workload generators (telephony warehouse, star schema,
+random query/view pairs for property testing)."""
+
+from . import random_queries, star, telephony
+
+__all__ = ["random_queries", "star", "telephony"]

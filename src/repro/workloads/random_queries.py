@@ -1,0 +1,239 @@
+"""Random queries, views and schemas for property-based testing.
+
+The integration test suite draws seeded random (query, view) pairs; every
+time the rewriter claims usability, the resulting rewriting is checked for
+multiset-equivalence on random databases. Small column counts and tiny
+value domains maximize collisions, which is where multiset semantics,
+grouping and residual conditions can go wrong.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..blocks.exprs import AggFunc, Aggregate
+from ..blocks.naming import FreshNames
+from ..blocks.query_block import QueryBlock, Relation, SelectItem, ViewDef
+from ..blocks.terms import Column, Comparison, Constant, Op
+from ..catalog.schema import Catalog, table
+from ..errors import NormalizationError
+
+_OPS = [Op.EQ, Op.EQ, Op.EQ, Op.LT, Op.LE, Op.GE, Op.GT, Op.NE]
+_AGGS = [AggFunc.SUM, AggFunc.COUNT, AggFunc.MIN, AggFunc.MAX, AggFunc.AVG]
+
+
+def random_catalog(rng: random.Random, with_keys: bool = False) -> Catalog:
+    """Two or three tables with 2-4 columns each (optionally keyed)."""
+    tables = []
+    for t in range(rng.randint(2, 3)):
+        n_cols = rng.randint(2, 4)
+        columns = [f"c{j}" for j in range(n_cols)]
+        key = ["c0"] if with_keys and rng.random() < 0.7 else None
+        tables.append(table(f"T{t}", columns, key=key, row_count=100))
+    return Catalog(tables)
+
+
+def _random_relations(
+    catalog: Catalog, rng: random.Random, max_tables: int
+) -> tuple[Relation, ...]:
+    names = list(catalog.tables)
+    chosen = [
+        rng.choice(names) for _ in range(rng.randint(1, max_tables))
+    ]
+    namer = FreshNames()
+    out = []
+    for name in chosen:
+        base = catalog.columns_of(name)
+        out.append(Relation(name, namer.columns(base), tuple(base)))
+    return tuple(out)
+
+
+def _random_atoms(
+    columns: list[Column], rng: random.Random, max_atoms: int
+) -> tuple[Comparison, ...]:
+    atoms = []
+    for _ in range(rng.randint(0, max_atoms)):
+        left = rng.choice(columns)
+        if rng.random() < 0.35:
+            right: object = Constant(rng.randint(0, 3))
+        else:
+            right = rng.choice(columns)
+            if right == left:
+                right = Constant(rng.randint(0, 3))
+        atoms.append(Comparison(left, rng.choice(_OPS), right))
+    return tuple(atoms)
+
+
+def random_block(
+    catalog: Catalog,
+    rng: random.Random,
+    aggregation: Optional[bool] = None,
+    max_tables: int = 3,
+    max_atoms: int = 3,
+    allow_having: bool = True,
+) -> QueryBlock:
+    """A random valid query block over the catalog.
+
+    ``aggregation`` forces (True) or forbids (False) grouping/aggregation;
+    ``None`` flips a coin. Retries internally until validation passes.
+    """
+    for _attempt in range(100):
+        relations = _random_relations(catalog, rng, max_tables)
+        columns = [c for rel in relations for c in rel.columns]
+        where = _random_atoms(columns, rng, max_atoms)
+        wants_agg = (
+            aggregation if aggregation is not None else rng.random() < 0.5
+        )
+        if wants_agg:
+            block = _random_aggregation(
+                relations, columns, where, rng, allow_having
+            )
+        else:
+            n_sel = rng.randint(1, min(3, len(columns)))
+            block = QueryBlock(
+                select=tuple(
+                    SelectItem(c) for c in rng.sample(columns, n_sel)
+                ),
+                from_=relations,
+                where=where,
+            )
+        try:
+            return block.validate()
+        except NormalizationError:
+            continue
+    raise RuntimeError("could not generate a valid random block")
+
+
+def _random_aggregation(
+    relations: tuple[Relation, ...],
+    columns: list[Column],
+    where: tuple[Comparison, ...],
+    rng: random.Random,
+    allow_having: bool,
+) -> QueryBlock:
+    n_group = rng.randint(0, min(2, len(columns)))
+    group_by = tuple(rng.sample(columns, n_group))
+    select: list[SelectItem] = [SelectItem(c) for c in group_by]
+    aggregates = []
+    for i in range(rng.randint(1, 2)):
+        agg = Aggregate(rng.choice(_AGGS), rng.choice(columns))
+        aggregates.append(agg)
+        select.append(SelectItem(agg, alias=f"agg{i}"))
+    having: tuple[Comparison, ...] = ()
+    if allow_having and group_by and rng.random() < 0.4:
+        subject: object = rng.choice(aggregates + list(group_by))
+        having = (
+            Comparison(subject, rng.choice(_OPS), Constant(rng.randint(0, 6))),
+        )
+    return QueryBlock(
+        select=tuple(select),
+        from_=relations,
+        where=where,
+        group_by=group_by,
+        having=having,
+    )
+
+
+def random_view(
+    catalog: Catalog,
+    rng: random.Random,
+    name: str,
+    aggregation: Optional[bool] = None,
+    max_tables: int = 2,
+) -> ViewDef:
+    """A random view with generated distinct output names."""
+    block = random_block(
+        catalog,
+        rng,
+        aggregation=aggregation,
+        max_tables=max_tables,
+        allow_having=False,
+    )
+    names = tuple(f"o{i}" for i in range(len(block.select)))
+    return ViewDef(name, block, names)
+
+
+def related_pair(
+    catalog: Catalog, rng: random.Random, view_name: str = "V"
+) -> tuple[QueryBlock, ViewDef]:
+    """A (query, view) pair built to be *plausibly* compatible.
+
+    The view is generated first; the query is derived from the same FROM
+    shape with extra predicates over the view's surviving columns, coarser
+    grouping and aggregates the view can often answer. Roughly half of
+    the generated pairs admit a rewriting, which makes soundness sweeps
+    non-vacuous; the rest exercise near-miss rejections.
+    """
+    for _attempt in range(100):
+        relations = _random_relations(catalog, rng, max_tables=2)
+        columns = [c for rel in relations for c in rel.columns]
+        shared_where = _random_atoms(columns, rng, max_atoms=1)
+
+        group_pool = rng.sample(columns, min(len(columns), rng.randint(1, 3)))
+        agg_col = rng.choice(columns)
+        view_select: list[SelectItem] = [SelectItem(c) for c in group_pool]
+        view_select.append(
+            SelectItem(
+                Aggregate(rng.choice([AggFunc.SUM, AggFunc.MIN, AggFunc.MAX]), agg_col),
+                alias="agg",
+            )
+        )
+        view_select.append(
+            SelectItem(Aggregate(AggFunc.COUNT, agg_col), alias="cnt")
+        )
+        try:
+            view_block = QueryBlock(
+                select=tuple(view_select),
+                from_=relations,
+                where=shared_where,
+                group_by=tuple(group_pool),
+            ).validate()
+        except NormalizationError:
+            continue
+
+        # Query: same FROM, same (or weaker/stronger) conditions, coarser
+        # grouping, compatible aggregates.
+        q_groups = tuple(
+            c for c in group_pool if rng.random() < 0.6
+        )
+        q_where = list(shared_where)
+        if q_groups and rng.random() < 0.5:
+            q_where.append(
+                Comparison(
+                    rng.choice(q_groups),
+                    rng.choice([Op.EQ, Op.LE, Op.GT]),
+                    Constant(rng.randint(0, 2)),
+                )
+            )
+        if rng.random() < 0.25 and columns:
+            # A near-miss: constrain a column the view may have dropped.
+            q_where.append(
+                Comparison(rng.choice(columns), Op.EQ, Constant(rng.randint(0, 2)))
+            )
+        agg_target = agg_col if rng.random() < 0.7 else rng.choice(columns)
+        q_func = rng.choice(list(_AGGS))
+        q_select = [SelectItem(c) for c in q_groups]
+        q_select.append(SelectItem(Aggregate(q_func, agg_target), alias="out"))
+        having: tuple[Comparison, ...] = ()
+        if q_groups and rng.random() < 0.3:
+            having = (
+                Comparison(
+                    Aggregate(q_func, agg_target),
+                    rng.choice([Op.GT, Op.LE]),
+                    Constant(rng.randint(0, 5)),
+                ),
+            )
+        try:
+            query = QueryBlock(
+                select=tuple(q_select),
+                from_=relations,
+                where=tuple(q_where),
+                group_by=q_groups,
+                having=having,
+            ).validate()
+        except NormalizationError:
+            continue
+        names = tuple(f"o{i}" for i in range(len(view_block.select)))
+        return query, ViewDef(view_name, view_block, names)
+    raise RuntimeError("could not generate a related pair")

@@ -1,0 +1,173 @@
+"""A retail star schema used by the multi-view and scaling benchmarks.
+
+One fact table (``Sales``) joined to three dimensions, a family of
+summary views at different granularities, and a batch of analyst queries
+— the "data warehousing / summary table" setting of the paper's
+introduction and of [JMS95]'s chronicle systems.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..blocks.normalize import parse_query, parse_view
+from ..blocks.query_block import QueryBlock, ViewDef
+from ..catalog.schema import Catalog, table
+from ..engine.database import Database
+
+VIEW_DEFINITIONS = {
+    # revenue + volume per (product, month): fine-grained summary
+    "Sales_By_Product_Month": """
+        CREATE VIEW Sales_By_Product_Month
+            (Prod_Id, Month, Revenue, Units, N) AS
+        SELECT Prod_Id, Month, SUM(Amount), SUM(Qty), COUNT(Sale_Id)
+        FROM Sales
+        GROUP BY Prod_Id, Month
+    """,
+    # revenue per (store, month)
+    "Sales_By_Store_Month": """
+        CREATE VIEW Sales_By_Store_Month (Store_Id, Month, Revenue, N) AS
+        SELECT Store_Id, Month, SUM(Amount), COUNT(Sale_Id)
+        FROM Sales
+        GROUP BY Store_Id, Month
+    """,
+    # joined summary: revenue per (category, month)
+    "Sales_By_Category_Month": """
+        CREATE VIEW Sales_By_Category_Month (Category, Month, Revenue, N) AS
+        SELECT Category, Month, SUM(Amount), COUNT(Sale_Id)
+        FROM Sales, Product
+        WHERE Sales.Prod_Id = Product.Prod_Id
+        GROUP BY Category, Month
+    """,
+}
+
+QUERIES = {
+    # answerable from Sales_By_Product_Month by coalescing months
+    "yearly_product_revenue": """
+        SELECT Prod_Id, SUM(Amount)
+        FROM Sales
+        GROUP BY Prod_Id
+    """,
+    # answerable from Sales_By_Product_Month joined to Product
+    "category_revenue": """
+        SELECT Category, SUM(Amount)
+        FROM Sales, Product
+        WHERE Sales.Prod_Id = Product.Prod_Id
+        GROUP BY Category
+    """,
+    # answerable from Sales_By_Store_Month with a residual predicate
+    "store_december": """
+        SELECT Store_Id, SUM(Amount)
+        FROM Sales
+        WHERE Month = 12
+        GROUP BY Store_Id
+    """,
+    # call volume: COUNT recovered from the view's N column
+    "monthly_volume": """
+        SELECT Month, COUNT(Sale_Id)
+        FROM Sales
+        GROUP BY Month
+    """,
+    # not answerable from the summaries (needs per-day detail)
+    "daily_detail": """
+        SELECT Day, SUM(Amount)
+        FROM Sales
+        GROUP BY Day
+    """,
+}
+
+
+def star_catalog(n_sales: int = 10_000) -> Catalog:
+    return Catalog(
+        [
+            table(
+                "Sales",
+                [
+                    "Sale_Id",
+                    "Prod_Id",
+                    "Store_Id",
+                    "Day",
+                    "Month",
+                    "Qty",
+                    "Amount",
+                ],
+                key=["Sale_Id"],
+                row_count=n_sales,
+                distinct={
+                    "Prod_Id": 50,
+                    "Store_Id": 20,
+                    "Day": 28,
+                    "Month": 12,
+                    "Qty": 10,
+                    "Amount": 1000,
+                },
+            ),
+            table(
+                "Product",
+                ["Prod_Id", "Category"],
+                key=["Prod_Id"],
+                row_count=50,
+            ),
+            table(
+                "Store",
+                ["Store_Id", "Region"],
+                key=["Store_Id"],
+                row_count=20,
+            ),
+        ]
+    )
+
+
+@dataclass
+class StarWorkload:
+    catalog: Catalog
+    tables: dict[str, list[tuple]]
+    views: dict[str, ViewDef]
+    queries: dict[str, QueryBlock]
+
+    def database(self) -> Database:
+        return Database(self.catalog, self.tables)
+
+
+def generate(
+    n_sales: int = 10_000,
+    n_products: int = 50,
+    n_stores: int = 20,
+    n_categories: int = 8,
+    seed: int = 7,
+    view_names: tuple[str, ...] = tuple(VIEW_DEFINITIONS),
+) -> StarWorkload:
+    """Generate the star warehouse with the requested summary views."""
+    rng = random.Random(seed)
+    catalog = star_catalog(n_sales)
+
+    products = [(p, f"cat_{p % n_categories}") for p in range(n_products)]
+    stores = [(s, f"region_{s % 4}") for s in range(n_stores)]
+    sales = [
+        (
+            i,
+            rng.randrange(n_products),
+            rng.randrange(n_stores),
+            rng.randint(1, 28),
+            rng.randint(1, 12),
+            rng.randint(1, 10),
+            rng.randint(1, 1000),
+        )
+        for i in range(n_sales)
+    ]
+
+    views = {}
+    for name in view_names:
+        view = parse_view(VIEW_DEFINITIONS[name], catalog)
+        catalog.add_view(view)
+        views[name] = view
+    queries = {
+        name: parse_query(sql, catalog) for name, sql in QUERIES.items()
+    }
+    return StarWorkload(
+        catalog=catalog,
+        tables={"Sales": sales, "Product": products, "Store": stores},
+        views=views,
+        queries=queries,
+    )

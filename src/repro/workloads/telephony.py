@@ -1,0 +1,157 @@
+"""The telephony data warehouse of Example 1.1, as a synthetic workload.
+
+The paper motivates view-based rewriting with a telephone company's
+warehouse: a huge ``Calls`` fact table, small ``Customer`` and
+``Calling_Plans`` dimensions, and a materialized monthly-earnings summary
+``V1`` that is "orders of magnitude smaller than the Calls table". This
+module generates that schema and seeded data at any scale, plus the
+paper's query Q and view V1 verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..blocks.normalize import parse_query, parse_view
+from ..blocks.query_block import QueryBlock, ViewDef
+from ..catalog.schema import Catalog, table
+from ..engine.database import Database
+
+#: Example 1.1's query Q: plans that earned less than a threshold in 1995.
+QUERY_SQL = """
+SELECT Calling_Plans.Plan_Id, Plan_Name, SUM(Charge)
+FROM Calls, Calling_Plans
+WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1995
+GROUP BY Calling_Plans.Plan_Id, Plan_Name
+HAVING SUM(Charge) < {threshold}
+"""
+
+#: Example 1.1's materialized view V1: monthly earnings per plan.
+VIEW_SQL = """
+CREATE VIEW V1 (Plan_Id, Plan_Name, Month, Year, Monthly_Earnings) AS
+SELECT Calls.Plan_Id, Plan_Name, Month, Year, SUM(Charge)
+FROM Calls, Calling_Plans
+WHERE Calls.Plan_Id = Calling_Plans.Plan_Id
+GROUP BY Calls.Plan_Id, Plan_Name, Month, Year
+"""
+
+
+def telephony_catalog(
+    n_customers: int = 100,
+    n_plans: int = 8,
+    n_calls: int = 10_000,
+) -> Catalog:
+    """The Example 1.1 schema, with keys and cardinality estimates."""
+    return Catalog(
+        [
+            table(
+                "Customer",
+                ["Cust_Id", "Cust_Name", "Area_Code", "Phone_Number"],
+                key=["Cust_Id"],
+                row_count=n_customers,
+            ),
+            table(
+                "Calling_Plans",
+                ["Plan_Id", "Plan_Name"],
+                key=["Plan_Id"],
+                row_count=n_plans,
+            ),
+            table(
+                "Calls",
+                [
+                    "Call_Id",
+                    "Cust_Id",
+                    "Plan_Id",
+                    "Day",
+                    "Month",
+                    "Year",
+                    "Charge",
+                ],
+                key=["Call_Id"],
+                row_count=n_calls,
+                distinct={
+                    "Cust_Id": n_customers,
+                    "Plan_Id": n_plans,
+                    "Day": 28,
+                    "Month": 12,
+                    "Year": 2,
+                    "Charge": 500,
+                },
+            ),
+        ]
+    )
+
+
+@dataclass
+class TelephonyWorkload:
+    """Generated warehouse: catalog, data, the paper's Q and V1."""
+
+    catalog: Catalog
+    tables: dict[str, list[tuple]]
+    query: QueryBlock
+    view: ViewDef
+    threshold: int = 1_000_000
+    years: tuple[int, ...] = field(default=(1994, 1995))
+
+    def database(self) -> Database:
+        return Database(self.catalog, self.tables)
+
+    @property
+    def calls_rows(self) -> int:
+        return len(self.tables["Calls"])
+
+
+def generate(
+    n_calls: int = 10_000,
+    n_plans: int = 8,
+    n_customers: int = 100,
+    years: tuple[int, ...] = (1994, 1995),
+    threshold: int = 1_000_000,
+    seed: int = 42,
+) -> TelephonyWorkload:
+    """Build the warehouse with a Zipf-ish skew across calling plans.
+
+    Popular plans receive most calls (plan ``p`` gets weight ``1/(p+1)``),
+    so monthly summaries vary in size the way real summary tables do.
+    """
+    rng = random.Random(seed)
+    catalog = telephony_catalog(n_customers, n_plans, n_calls)
+
+    customers = [
+        (c, f"customer_{c}", 200 + rng.randrange(800), rng.randrange(10**7))
+        for c in range(n_customers)
+    ]
+    plans = [(p, f"plan_{p}") for p in range(n_plans)]
+    weights = [1.0 / (p + 1) for p in range(n_plans)]
+    calls = []
+    for call_id in range(n_calls):
+        plan = rng.choices(range(n_plans), weights=weights)[0]
+        calls.append(
+            (
+                call_id,
+                rng.randrange(n_customers),
+                plan,
+                rng.randint(1, 28),
+                rng.randint(1, 12),
+                rng.choice(years),
+                rng.randint(1, 500),
+            )
+        )
+
+    tables = {
+        "Customer": customers,
+        "Calling_Plans": plans,
+        "Calls": calls,
+    }
+    query = parse_query(QUERY_SQL.format(threshold=threshold), catalog)
+    view = parse_view(VIEW_SQL, catalog)
+    catalog.add_view(view)
+    return TelephonyWorkload(
+        catalog=catalog,
+        tables=tables,
+        query=query,
+        view=view,
+        threshold=threshold,
+        years=years,
+    )

@@ -1,0 +1,183 @@
+"""View-selection advisor: candidates, greedy choice, budget handling."""
+
+import pytest
+
+from repro import Catalog, parse_query, table
+from repro.advisor import (
+    candidate_for,
+    generate_candidates,
+    merge_candidates,
+    recommend_views,
+)
+from repro.core.multiview import single_view_rewritings
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        [
+            table(
+                "Fact",
+                ["K", "G", "H", "V"],
+                key=["K"],
+                row_count=100_000,
+                distinct={"G": 10, "H": 50, "V": 1000},
+            ),
+            table("Dim", ["G", "Name"], key=["G"], row_count=10),
+        ]
+    )
+
+
+class TestCandidateGeneration:
+    def test_candidate_answers_its_query(self, catalog):
+        query = parse_query(
+            "SELECT G, SUM(V) FROM Fact WHERE H = 3 GROUP BY G", catalog
+        )
+        candidate = candidate_for(query)
+        assert candidate is not None
+        from repro.blocks.query_block import ViewDef
+
+        view = ViewDef("C", candidate, tuple(f"c{i}" for i in range(len(candidate.select))))
+        trial = catalog.copy()
+        trial.add_view(view)
+        assert single_view_rewritings(query, view, trial)
+
+    def test_constant_columns_become_grouping(self, catalog):
+        query = parse_query(
+            "SELECT G, SUM(V) FROM Fact WHERE H = 3 GROUP BY G", catalog
+        )
+        candidate = candidate_for(query)
+        group_bases = {
+            candidate.relation_of(c).base_name_of(c)
+            for c in candidate.group_by
+        }
+        assert group_bases == {"G", "H"}
+        # ... but the constant itself must not be baked into the view
+        assert not candidate.where
+
+    def test_join_conditions_kept(self, catalog):
+        query = parse_query(
+            "SELECT Name, SUM(V) FROM Fact, Dim "
+            "WHERE Fact.G = Dim.G GROUP BY Name",
+            catalog,
+        )
+        candidate = candidate_for(query)
+        assert len(candidate.where) == 1
+
+    def test_count_output_always_present(self, catalog):
+        query = parse_query(
+            "SELECT G, MIN(V) FROM Fact GROUP BY G", catalog
+        )
+        candidate = candidate_for(query)
+        assert any("COUNT" in str(i.expr) for i in candidate.select)
+
+    def test_avg_carried_as_sum(self, catalog):
+        query = parse_query(
+            "SELECT G, AVG(V) FROM Fact GROUP BY G", catalog
+        )
+        candidate = candidate_for(query)
+        assert any("SUM" in str(i.expr) for i in candidate.select)
+
+    def test_conjunctive_query_no_candidate(self, catalog):
+        query = parse_query("SELECT K, V FROM Fact", catalog)
+        assert candidate_for(query) is None
+
+    def test_dedup_and_merge(self, catalog):
+        q1 = parse_query("SELECT G, SUM(V) FROM Fact GROUP BY G", catalog)
+        q2 = parse_query("SELECT G, SUM(V) FROM Fact GROUP BY G", catalog)
+        q3 = parse_query("SELECT H, COUNT(V) FROM Fact GROUP BY H", catalog)
+        candidates = generate_candidates([q1, q2, q3])
+        names = len(candidates)
+        # q1/q2 collapse; q3 is separate; plus one merged (G,H) candidate.
+        assert names == 3
+
+    def test_merge_unions_groups_and_aggregates(self, catalog):
+        left = candidate_for(
+            parse_query("SELECT G, SUM(V) FROM Fact GROUP BY G", catalog)
+        )
+        right = candidate_for(
+            parse_query("SELECT H, MIN(V) FROM Fact GROUP BY H", catalog)
+        )
+        merged = merge_candidates(left, right)
+        assert merged is not None
+        assert len(merged.group_by) == 2
+        rendered = str(merged)
+        assert "SUM" in rendered and "MIN" in rendered
+
+
+class TestRecommendation:
+    WORKLOAD = [
+        "SELECT G, SUM(V) FROM Fact GROUP BY G",
+        "SELECT G, H, COUNT(V) FROM Fact GROUP BY G, H",
+        "SELECT H, AVG(V) FROM Fact GROUP BY H",
+    ]
+
+    def test_improves_workload(self, catalog):
+        rec = recommend_views(catalog, self.WORKLOAD)
+        assert rec.views
+        assert rec.workload_cost_after < rec.workload_cost_before
+        assert rec.workload_speedup > 10
+
+    def test_reports_per_query(self, catalog):
+        rec = recommend_views(catalog, self.WORKLOAD)
+        assert len(rec.per_query) == len(self.WORKLOAD)
+        assert all(r.view_used for r in rec.per_query)
+
+    def test_budget_respected(self, catalog):
+        generous = recommend_views(catalog, self.WORKLOAD)
+        tight = recommend_views(
+            catalog, self.WORKLOAD, space_budget_rows=60
+        )
+        assert tight.total_size_rows <= 60
+        assert len(tight.views) <= len(generous.views)
+
+    def test_zero_budget_chooses_nothing(self, catalog):
+        rec = recommend_views(catalog, self.WORKLOAD, space_budget_rows=0)
+        assert rec.views == []
+        assert rec.workload_speedup == pytest.approx(1.0)
+
+    def test_max_views_cap(self, catalog):
+        rec = recommend_views(catalog, self.WORKLOAD, max_views=1)
+        assert len(rec.views) == 1
+
+    def test_unanswerable_queries_unharmed(self, catalog):
+        workload = self.WORKLOAD + ["SELECT K, V FROM Fact"]
+        rec = recommend_views(catalog, workload)
+        detail = rec.per_query[-1]
+        assert detail.view_used is None
+        assert detail.speedup == pytest.approx(1.0)
+
+    def test_chosen_views_actually_answer_on_data(self, catalog):
+        """End to end: materialize the recommendation, run the workload
+        through the rewriter, compare answers against direct evaluation."""
+        import random
+
+        from repro import Database, RewriteEngine
+
+        rec = recommend_views(catalog, self.WORKLOAD)
+        trial = catalog.copy()
+        engine = RewriteEngine(trial)
+        for view in rec.views:
+            engine.add_view(view)
+        rng = random.Random(0)
+        db = Database(
+            trial,
+            {
+                "Fact": [
+                    (i, rng.randint(0, 3), rng.randint(0, 3), rng.randint(0, 9))
+                    for i in range(50)
+                ],
+                "Dim": [(g, f"g{g}") for g in range(4)],
+            },
+        )
+        for sql in self.WORKLOAD:
+            best = engine.rewrite(sql).best()
+            assert best is not None
+            left = db.execute(sql)
+            right = db.execute(best.query, extra_views=best.extra_views())
+            assert left.multiset_equal(right), sql
+
+    def test_summary_text(self, catalog):
+        rec = recommend_views(catalog, self.WORKLOAD)
+        text = rec.summary()
+        assert "chosen views" in text and "workload cost" in text

@@ -1,0 +1,86 @@
+"""Unit tests for the expression algebra."""
+
+from repro.blocks.exprs import (
+    AggFunc,
+    Aggregate,
+    Arith,
+    ArithOp,
+    aggregates_in,
+    columns_in,
+    div,
+    has_aggregate,
+    is_row_expr,
+    mul,
+    substitute_expr,
+)
+from repro.blocks.terms import Column, Constant
+
+A, B, N = Column("A"), Column("B"), Column("N")
+
+
+class TestTraversal:
+    def test_columns_in_nested(self):
+        expr = div(Aggregate(AggFunc.SUM, mul(N, A)), Aggregate(AggFunc.SUM, N))
+        assert sorted(c.name for c in columns_in(expr)) == ["A", "N", "N"]
+
+    def test_columns_in_constant(self):
+        assert list(columns_in(Constant(3))) == []
+
+    def test_aggregates_in(self):
+        expr = mul(Aggregate(AggFunc.COUNT, A), Aggregate(AggFunc.MAX, B))
+        found = list(aggregates_in(expr))
+        assert len(found) == 2
+        assert {agg.func for agg in found} == {AggFunc.COUNT, AggFunc.MAX}
+
+    def test_has_aggregate(self):
+        assert has_aggregate(Aggregate(AggFunc.MIN, A))
+        assert has_aggregate(mul(Constant(2), Aggregate(AggFunc.MIN, A)))
+        assert not has_aggregate(mul(A, B))
+
+
+class TestRowExpr:
+    def test_plain_and_arith_are_row_exprs(self):
+        assert is_row_expr(A)
+        assert is_row_expr(Constant(1))
+        assert is_row_expr(mul(A, Constant(2)))
+
+    def test_aggregates_are_not(self):
+        assert not is_row_expr(Aggregate(AggFunc.SUM, A))
+        assert not is_row_expr(mul(A, Aggregate(AggFunc.SUM, B)))
+
+
+class TestSubstitute:
+    def test_substitute_deep(self):
+        expr = div(Aggregate(AggFunc.SUM, mul(N, A)), Aggregate(AggFunc.SUM, N))
+        out = substitute_expr(expr, {A: B, N: Column("M")})
+        names = sorted(c.name for c in columns_in(out))
+        assert names == ["B", "M", "M"]
+
+    def test_substitute_identity(self):
+        expr = mul(A, B)
+        assert substitute_expr(expr, {}) == expr
+
+
+class TestArithOp:
+    def test_apply(self):
+        assert ArithOp.ADD.apply(2, 3) == 5
+        assert ArithOp.SUB.apply(2, 3) == -1
+        assert ArithOp.MUL.apply(2, 3) == 6
+        assert ArithOp.DIV.apply(6, 3) == 2
+
+
+class TestDuplicateSensitivity:
+    def test_paper_classification(self):
+        # Section 4: SUM/COUNT/AVG need multiplicities, MIN/MAX do not.
+        assert AggFunc.SUM.is_duplicate_sensitive
+        assert AggFunc.COUNT.is_duplicate_sensitive
+        assert AggFunc.AVG.is_duplicate_sensitive
+        assert not AggFunc.MIN.is_duplicate_sensitive
+        assert not AggFunc.MAX.is_duplicate_sensitive
+
+
+class TestRendering:
+    def test_str_forms(self):
+        assert str(Aggregate(AggFunc.SUM, A)) == "SUM(A)"
+        assert str(mul(N, A)) == "(N * A)"
+        assert str(Arith(ArithOp.ADD, A, Constant(1))) == "(A + 1)"

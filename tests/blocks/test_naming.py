@@ -1,0 +1,42 @@
+"""FreshNames allocation and base-name recovery."""
+
+from repro.blocks.naming import FreshNames, base_of
+from repro.blocks.terms import Column
+
+
+class TestFreshNames:
+    def test_sequential_per_base(self):
+        namer = FreshNames()
+        assert namer.column("A").name == "A$1"
+        assert namer.column("A").name == "A$2"
+        assert namer.column("B").name == "B$1"
+
+    def test_avoids_taken(self):
+        namer = FreshNames(["A$1", "A$2"])
+        assert namer.column("A").name == "A$3"
+
+    def test_reserve(self):
+        namer = FreshNames()
+        namer.reserve(["C$1"])
+        assert namer.column("C").name == "C$2"
+
+    def test_columns_batch(self):
+        namer = FreshNames()
+        cols = namer.columns(["x", "y"])
+        assert [c.name for c in cols] == ["x$1", "y$1"]
+
+    def test_no_collisions_ever(self):
+        namer = FreshNames()
+        names = {namer.column("A").name for _ in range(100)}
+        assert len(names) == 100
+
+
+class TestBaseOf:
+    def test_strips_suffix(self):
+        assert base_of(Column("Charge$3")) == "Charge"
+
+    def test_plain_name_unchanged(self):
+        assert base_of(Column("Charge")) == "Charge"
+
+    def test_dollar_without_digits(self):
+        assert base_of(Column("a$b")) == "a$b"

@@ -1,0 +1,238 @@
+"""Nested queries: derived tables in FROM (Section 7 fragment)."""
+
+import random
+import sqlite3
+
+import pytest
+
+from repro import Catalog, Database, RewriteEngine, table
+from repro.blocks.nested import (
+    NestedQuery,
+    nested_to_sql,
+    parse_nested_query,
+)
+from repro.errors import NormalizationError, UnsupportedSQLError
+
+
+@pytest.fixture
+def catalog():
+    return Catalog([table("R", ["A", "B", "C"]), table("S", ["D", "E"])])
+
+
+def run_sqlite(sql, r_rows, s_rows):
+    conn = sqlite3.connect(":memory:")
+    conn.execute("CREATE TABLE R (A INTEGER, B INTEGER, C INTEGER)")
+    conn.execute("CREATE TABLE S (D INTEGER, E INTEGER)")
+    conn.executemany("INSERT INTO R VALUES (?, ?, ?)", r_rows)
+    conn.executemany("INSERT INTO S VALUES (?, ?)", s_rows)
+    rows = conn.execute(sql).fetchall()
+    conn.close()
+    return sorted(tuple(row) for row in rows)
+
+
+NESTED_QUERIES = [
+    # aggregation subquery, grouped again outside
+    "SELECT t.A, SUM(t.s) FROM "
+    "(SELECT A, B, SUM(C) AS s FROM R GROUP BY A, B) t GROUP BY t.A",
+    # conjunctive subquery with an outer join to a base table
+    "SELECT t.A, E FROM (SELECT A, B FROM R WHERE C = 1) t, S "
+    "WHERE t.B = D",
+    # nested nesting
+    "SELECT u.A, COUNT(u.s) FROM "
+    "(SELECT t.A AS A, t.s AS s FROM "
+    "(SELECT A, B, SUM(C) AS s FROM R GROUP BY A, B) t WHERE t.s > 2) u "
+    "GROUP BY u.A",
+    # subquery plus residual filter outside
+    "SELECT t.B FROM (SELECT A, B FROM R) t WHERE t.A = 2",
+    # two subqueries joined
+    "SELECT x.A, y.m FROM (SELECT A, B FROM R WHERE C = 0) x, "
+    "(SELECT A AS A2, MAX(C) AS m FROM R GROUP BY A) y "
+    "WHERE x.A = y.A2",
+]
+
+
+class TestParsing:
+    def test_locals_collected(self, catalog):
+        nested = parse_nested_query(NESTED_QUERIES[0], catalog)
+        assert len(nested.local_views) == 1
+        assert nested.block.from_[0].name == nested.local_views[0].name
+
+    def test_nested_nesting_ordered(self, catalog):
+        nested = parse_nested_query(NESTED_QUERIES[2], catalog)
+        assert len(nested.local_views) == 2
+        # Inner definition precedes the one that references it.
+        first, second = nested.local_views
+        assert any(rel.name == first.name for rel in second.block.from_)
+
+    def test_alias_required(self, catalog):
+        from repro.errors import SQLSyntaxError
+
+        with pytest.raises(SQLSyntaxError):
+            parse_nested_query("SELECT A FROM (SELECT A FROM R)", catalog)
+
+    def test_parse_query_rejects_derived_tables(self, catalog):
+        from repro.blocks.normalize import parse_query
+
+        with pytest.raises(UnsupportedSQLError):
+            parse_query("SELECT t.A FROM (SELECT A FROM R) t", catalog)
+
+    def test_duplicate_output_names_need_aliases(self, catalog):
+        with pytest.raises(NormalizationError):
+            parse_nested_query(
+                "SELECT t.A FROM (SELECT R.A, S.D AS A FROM R, S) t",
+                catalog,
+            )
+
+
+class TestEvaluationAgainstSqlite:
+    @pytest.mark.parametrize("sql", NESTED_QUERIES)
+    def test_matches_sqlite(self, catalog, sql):
+        rng = random.Random(hash(sql) & 0xFFFF)
+        for _trial in range(8):
+            r_rows = [
+                (rng.randint(0, 2), rng.randint(0, 2), rng.randint(0, 3))
+                for _ in range(rng.randint(0, 8))
+            ]
+            s_rows = [
+                (rng.randint(0, 2), rng.randint(0, 3))
+                for _ in range(rng.randint(0, 5))
+            ]
+            db = Database(catalog, {"R": r_rows, "S": s_rows})
+            ours = sorted(db.execute(sql).rows)
+            theirs = run_sqlite(sql, r_rows, s_rows)
+            assert ours == theirs, (sql, r_rows, s_rows)
+
+    @pytest.mark.parametrize("sql", NESTED_QUERIES)
+    def test_printed_form_matches_too(self, catalog, sql):
+        """nested_to_sql output is valid SQL with identical semantics."""
+        nested = parse_nested_query(sql, catalog)
+        rendered = nested_to_sql(nested)
+        rng = random.Random(1)
+        r_rows = [
+            (rng.randint(0, 2), rng.randint(0, 2), rng.randint(0, 3))
+            for _ in range(8)
+        ]
+        s_rows = [(rng.randint(0, 2), rng.randint(0, 3)) for _ in range(4)]
+        assert run_sqlite(rendered, r_rows, s_rows) == run_sqlite(
+            sql, r_rows, s_rows
+        ), rendered
+
+
+class TestFlatten:
+    def test_conjunctive_local_disappears(self, catalog):
+        nested = parse_nested_query(NESTED_QUERIES[1], catalog)
+        flat = nested.flatten(catalog)
+        assert flat.local_views == ()
+        assert {rel.name for rel in flat.block.from_} == {"R", "S"}
+
+    def test_aggregation_local_survives(self, catalog):
+        nested = parse_nested_query(NESTED_QUERIES[0], catalog)
+        flat = nested.flatten(catalog)
+        assert len(flat.local_views) == 1
+
+    def test_flatten_preserves_semantics(self, catalog):
+        rng = random.Random(5)
+        for sql in NESTED_QUERIES:
+            nested = parse_nested_query(sql, catalog)
+            flat = nested.flatten(catalog)
+            for _trial in range(6):
+                db = Database(
+                    catalog,
+                    {
+                        "R": [
+                            (rng.randint(0, 2), rng.randint(0, 2), rng.randint(0, 3))
+                            for _ in range(6)
+                        ],
+                        "S": [
+                            (rng.randint(0, 2), rng.randint(0, 3))
+                            for _ in range(4)
+                        ],
+                    },
+                )
+                assert db.execute(nested).multiset_equal(db.execute(flat)), sql
+
+
+class TestNestedRewriting:
+    @pytest.fixture
+    def engine(self):
+        catalog = Catalog(
+            [
+                table(
+                    "Calls",
+                    ["Call_Id", "Plan_Id", "Month", "Year", "Charge"],
+                    key=["Call_Id"],
+                    row_count=100_000,
+                    distinct={"Plan_Id": 8, "Month": 12, "Year": 2},
+                ),
+            ]
+        )
+        engine = RewriteEngine(catalog)
+        engine.add_view(
+            "CREATE VIEW Monthly (Plan_Id, Month, Year, Rev, N) AS "
+            "SELECT Plan_Id, Month, Year, SUM(Charge), COUNT(Charge) "
+            "FROM Calls GROUP BY Plan_Id, Month, Year",
+            row_count=200,
+        )
+        return engine
+
+    @pytest.fixture
+    def db(self, engine):
+        rng = random.Random(0)
+        rows = [
+            (
+                i,
+                rng.randrange(4),
+                rng.randint(1, 12),
+                rng.choice([1994, 1995]),
+                rng.randint(1, 100),
+            )
+            for i in range(300)
+        ]
+        return Database(engine.catalog, {"Calls": rows})
+
+    INNER_SQL = (
+        "SELECT t.Plan_Id, SUM(t.Rev) FROM "
+        "(SELECT Plan_Id, Month, SUM(Charge) AS Rev FROM Calls "
+        "WHERE Year = 1995 GROUP BY Plan_Id, Month) t "
+        "GROUP BY t.Plan_Id"
+    )
+
+    def test_inner_block_rewritten(self, engine, db):
+        result = engine.rewrite_nested(self.INNER_SQL)
+        assert result.inner_rewrites
+        assert "Monthly" in result.used_views
+        assert db.execute(self.INNER_SQL).multiset_equal(result.execute(db))
+
+    def test_flattened_outer_rewritten(self, engine, db):
+        sql = (
+            "SELECT s.Plan_Id, SUM(s.Charge) FROM "
+            "(SELECT Plan_Id, Charge, Year FROM Calls WHERE Year = 1995) s "
+            "GROUP BY s.Plan_Id"
+        )
+        result = engine.rewrite_nested(sql)
+        assert result.flattened.local_views == ()
+        assert result.outer.best() is not None
+        assert db.execute(sql).multiset_equal(result.execute(db))
+
+    def test_no_views_falls_back(self, db):
+        engine = RewriteEngine(db.catalog.copy().__class__([
+            table("Calls", ["Call_Id", "Plan_Id", "Month", "Year", "Charge"]),
+        ]))
+        # a fresh engine with no registered views over an identical schema
+        db2 = Database(engine.catalog, {"Calls": db.table("Calls").rows})
+        result = engine.rewrite_nested(self.INNER_SQL)
+        assert not result.inner_rewrites and result.outer.best() is None
+        assert db2.execute(self.INNER_SQL).multiset_equal(result.execute(db2))
+
+    def test_same_view_for_two_subqueries(self, engine, db):
+        sql = (
+            "SELECT a.Plan_Id, a.r, b.r FROM "
+            "(SELECT Plan_Id, SUM(Charge) AS r FROM Calls WHERE Year = 1995 "
+            "GROUP BY Plan_Id) a, "
+            "(SELECT Plan_Id AS p2, SUM(Charge) AS r FROM Calls "
+            "WHERE Year = 1994 GROUP BY Plan_Id) b "
+            "WHERE a.Plan_Id = b.p2"
+        )
+        result = engine.rewrite_nested(sql)
+        assert len(result.inner_rewrites) == 2
+        assert db.execute(sql).multiset_equal(result.execute(db))

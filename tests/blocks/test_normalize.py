@@ -1,0 +1,140 @@
+"""Normalization: SQL text to uniquely named QueryBlocks (Section 2)."""
+
+import pytest
+
+from repro.blocks.exprs import AggFunc, Aggregate
+from repro.blocks.normalize import as_block, parse_query, parse_view
+from repro.blocks.terms import Column, Constant, Op
+from repro.errors import (
+    NormalizationError,
+    SchemaError,
+    UnsupportedSQLError,
+)
+
+
+class TestUniqueNaming:
+    def test_every_occurrence_gets_fresh_columns(self, rs_catalog):
+        q = parse_query(
+            "SELECT x.A FROM R1 x, R1 y WHERE x.A = y.B", rs_catalog
+        )
+        assert len(q.cols()) == 4  # two occurrences x two columns
+        assert q.from_[0].columns != q.from_[1].columns
+
+    def test_same_base_name_distinct_tables(self, rs_catalog):
+        q = parse_query("SELECT A, C FROM R1, R2", rs_catalog)
+        names = {c.name for c in q.cols()}
+        assert len(names) == 4
+
+    def test_base_names_recorded(self, rs_catalog):
+        q = parse_query("SELECT A FROM R1", rs_catalog)
+        assert q.from_[0].base_names == ("A", "B")
+
+
+class TestResolution:
+    def test_unqualified_unique(self, rs_catalog):
+        q = parse_query("SELECT B FROM R1, R2", rs_catalog)
+        assert q.select[0].expr == q.from_[0].columns[1]
+
+    def test_qualified_by_table(self, rs_catalog):
+        q = parse_query("SELECT R2.D FROM R1, R2", rs_catalog)
+        assert q.select[0].expr == q.from_[1].columns[1]
+
+    def test_qualified_by_alias(self, rs_catalog):
+        q = parse_query("SELECT y.A FROM R1 x, R1 y", rs_catalog)
+        assert q.select[0].expr == q.from_[1].columns[0]
+
+    def test_unknown_column(self, rs_catalog):
+        with pytest.raises(SchemaError):
+            parse_query("SELECT Z FROM R1", rs_catalog)
+
+    def test_unknown_table(self, rs_catalog):
+        with pytest.raises(SchemaError):
+            parse_query("SELECT A FROM Nope", rs_catalog)
+
+    def test_unknown_qualifier(self, rs_catalog):
+        with pytest.raises(SchemaError):
+            parse_query("SELECT z.A FROM R1", rs_catalog)
+
+    def test_ambiguous_column(self, rs_catalog):
+        with pytest.raises(NormalizationError):
+            parse_query("SELECT A FROM R1 x, R1 y", rs_catalog)
+
+    def test_duplicate_table_without_alias(self, rs_catalog):
+        with pytest.raises(NormalizationError):
+            parse_query("SELECT A FROM R1, R1", rs_catalog)
+
+    def test_qualifier_wrong_column(self, rs_catalog):
+        with pytest.raises(SchemaError):
+            parse_query("SELECT R1.D FROM R1, R2", rs_catalog)
+
+
+class TestExpressions:
+    def test_count_star_normalizes_to_first_column(self, rs_catalog):
+        q = parse_query("SELECT COUNT(*) FROM R1", rs_catalog)
+        agg = q.select[0].expr
+        assert isinstance(agg, Aggregate) and agg.func is AggFunc.COUNT
+        assert agg.arg == q.from_[0].columns[0]
+
+    def test_constants(self, rs_catalog):
+        q = parse_query("SELECT A FROM R1 WHERE B = 'txt' AND A < 3", rs_catalog)
+        assert q.where[0].right == Constant("txt")
+        assert q.where[1].op is Op.LT
+
+    def test_where_arithmetic_rejected(self, rs_catalog):
+        with pytest.raises(UnsupportedSQLError):
+            parse_query("SELECT A FROM R1 WHERE A + 1 = B", rs_catalog)
+
+    def test_having_aggregate(self, rs_catalog):
+        q = parse_query(
+            "SELECT A FROM R1 GROUP BY A HAVING MIN(B) <= 2", rs_catalog
+        )
+        agg = q.having[0].left
+        assert isinstance(agg, Aggregate) and agg.func is AggFunc.MIN
+
+    def test_validation_applied(self, rs_catalog):
+        with pytest.raises(NormalizationError):
+            parse_query("SELECT B FROM R1 GROUP BY A", rs_catalog)
+
+
+class TestParseView:
+    def test_create_view_with_columns(self, rs_catalog):
+        v = parse_view(
+            "CREATE VIEW V (x, y) AS SELECT A, B FROM R1", rs_catalog
+        )
+        assert v.name == "V" and v.output_names == ("x", "y")
+
+    def test_bare_select_needs_name(self, rs_catalog):
+        with pytest.raises(NormalizationError):
+            parse_view("SELECT A FROM R1", rs_catalog)
+
+    def test_bare_select_with_name(self, rs_catalog):
+        v = parse_view("SELECT A, B FROM R1", rs_catalog, name="W")
+        assert v.name == "W" and v.output_names == ("A", "B")
+
+    def test_name_overrides_create(self, rs_catalog):
+        v = parse_view(
+            "CREATE VIEW V AS SELECT A FROM R1", rs_catalog, name="Other"
+        )
+        assert v.name == "Other"
+
+
+class TestAsBlock:
+    def test_accepts_all_forms(self, rs_catalog):
+        from repro.sqlparser.parser import parse_select
+
+        text = "SELECT A FROM R1"
+        block = parse_query(text, rs_catalog)
+        assert as_block(text, rs_catalog) == block
+        assert as_block(parse_select(text), rs_catalog) == block
+        assert as_block(block, rs_catalog) is block
+
+
+class TestViewColumnsInFrom:
+    def test_query_over_view(self, rs_catalog):
+        v = parse_view(
+            "CREATE VIEW V (x, y) AS SELECT A, B FROM R1", rs_catalog
+        )
+        rs_catalog.add_view(v)
+        q = parse_query("SELECT x FROM V WHERE y > 1", rs_catalog)
+        assert q.from_[0].name == "V"
+        assert q.from_[0].base_names == ("x", "y")

@@ -1,0 +1,199 @@
+"""QueryBlock accessors and validation rules."""
+
+import pytest
+
+from repro.blocks.exprs import AggFunc, Aggregate, mul
+from repro.blocks.query_block import QueryBlock, Relation, SelectItem, ViewDef
+from repro.blocks.terms import Column, Comparison, Constant, Op
+from repro.errors import NormalizationError
+
+A, B, C, D = Column("A"), Column("B"), Column("C"), Column("D")
+
+
+def rel(name, *cols, bases=None):
+    return Relation(
+        name,
+        tuple(cols),
+        tuple(bases) if bases else tuple(c.name for c in cols),
+    )
+
+
+def simple_aggregation():
+    return QueryBlock(
+        select=(
+            SelectItem(A),
+            SelectItem(Aggregate(AggFunc.SUM, B), "total"),
+        ),
+        from_=(rel("R", A, B), rel("S", C, D)),
+        where=(Comparison(A, Op.EQ, C),),
+        group_by=(A,),
+        having=(Comparison(Aggregate(AggFunc.SUM, B), Op.GT, Constant(5)),),
+    )
+
+
+class TestAccessors:
+    def test_paper_notation(self):
+        q = simple_aggregation()
+        assert q.cols() == frozenset({A, B, C, D})
+        assert q.col_sel() == (A,)
+        assert q.agg_sel() == frozenset({B})
+        assert q.group_by == (A,)
+        assert len(q.select_aggregates()) == 1
+        assert len(q.having_aggregates()) == 1
+        assert len(q.all_aggregates()) == 2
+
+    def test_conjunctive_flag(self):
+        q = QueryBlock(select=(SelectItem(A),), from_=(rel("R", A, B),))
+        assert q.is_conjunctive and not q.is_aggregation
+        assert simple_aggregation().is_aggregation
+
+    def test_output_names(self):
+        q = simple_aggregation()
+        assert q.output_names() == ("A", "total")
+
+    def test_relation_of(self):
+        q = simple_aggregation()
+        assert q.relation_of(C).name == "S"
+        with pytest.raises(NormalizationError):
+            q.relation_of(Column("nope"))
+
+    def test_where_columns(self):
+        assert simple_aggregation().where_columns() == frozenset({A, C})
+
+
+class TestSubstitute:
+    def test_substitution_touches_every_clause(self):
+        q = simple_aggregation()
+        X = Column("X")
+        out = q.substitute({A: X})
+        assert out.col_sel() == (X,)
+        assert out.group_by == (X,)
+        assert out.from_[0].columns == (X, B)
+        assert out.where[0].left == X
+
+    def test_substitute_preserves_distinct(self):
+        q = QueryBlock(
+            select=(SelectItem(A),), from_=(rel("R", A, B),), distinct=True
+        )
+        assert q.substitute({A: Column("X")}).distinct
+
+
+class TestValidation:
+    def test_valid_passes(self):
+        simple_aggregation().validate()
+
+    def test_empty_select_rejected(self):
+        with pytest.raises(NormalizationError):
+            QueryBlock(select=(), from_=(rel("R", A),)).validate()
+
+    def test_empty_from_rejected(self):
+        with pytest.raises(NormalizationError):
+            QueryBlock(select=(SelectItem(A),), from_=()).validate()
+
+    def test_duplicate_columns_across_tables_rejected(self):
+        with pytest.raises(NormalizationError):
+            QueryBlock(
+                select=(SelectItem(A),),
+                from_=(rel("R", A, B), rel("S", A)),
+            ).validate()
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(NormalizationError):
+            QueryBlock(
+                select=(SelectItem(Column("ghost")),),
+                from_=(rel("R", A),),
+            ).validate()
+
+    def test_ungrouped_select_column_rejected(self):
+        with pytest.raises(NormalizationError):
+            QueryBlock(
+                select=(SelectItem(B), SelectItem(Aggregate(AggFunc.SUM, A))),
+                from_=(rel("R", A, B),),
+                group_by=(A,),
+            ).validate()
+
+    def test_having_without_grouping_rejected(self):
+        with pytest.raises(NormalizationError):
+            QueryBlock(
+                select=(SelectItem(A),),
+                from_=(rel("R", A, B),),
+                having=(Comparison(A, Op.GT, Constant(1)),),
+            ).validate()
+
+    def test_bare_column_with_aggregate_no_groupby_rejected(self):
+        with pytest.raises(NormalizationError):
+            QueryBlock(
+                select=(SelectItem(A), SelectItem(Aggregate(AggFunc.SUM, B))),
+                from_=(rel("R", A, B),),
+            ).validate()
+
+    def test_nested_aggregate_rejected(self):
+        with pytest.raises(NormalizationError):
+            QueryBlock(
+                select=(
+                    SelectItem(
+                        Aggregate(AggFunc.SUM, Aggregate(AggFunc.MIN, A))
+                    ),
+                ),
+                from_=(rel("R", A, B),),
+            ).validate()
+
+    def test_aggregate_of_product_is_valid(self):
+        QueryBlock(
+            select=(SelectItem(Aggregate(AggFunc.SUM, mul(A, B)), "s"),),
+            from_=(rel("R", A, B),),
+        ).validate()
+
+    def test_where_side_must_be_term(self):
+        with pytest.raises(NormalizationError):
+            QueryBlock(
+                select=(SelectItem(A),),
+                from_=(rel("R", A, B),),
+                where=(Comparison(mul(A, B), Op.EQ, Constant(1)),),
+            ).validate()
+
+    def test_duplicate_group_by_rejected(self):
+        with pytest.raises(NormalizationError):
+            QueryBlock(
+                select=(SelectItem(A),),
+                from_=(rel("R", A, B),),
+                group_by=(A, A),
+            ).validate()
+
+
+class TestRelation:
+    def test_base_name_mapping(self):
+        r = rel("R", A, B, bases=["x", "y"])
+        assert r.base_name_of(A) == "x"
+        assert r.column_for("y") == B
+
+    def test_mismatched_arity_rejected(self):
+        with pytest.raises(NormalizationError):
+            Relation("R", (A, B), ("x",))
+
+    def test_duplicate_base_names_rejected(self):
+        with pytest.raises(NormalizationError):
+            Relation("R", (A, B), ("x", "x"))
+
+
+class TestViewDef:
+    def test_output_names_default_from_block(self):
+        block = QueryBlock(
+            select=(SelectItem(A), SelectItem(B, "bee")),
+            from_=(rel("R", A, B),),
+        )
+        view = ViewDef("V", block)
+        assert view.output_names == ("A", "bee")
+
+    def test_duplicate_output_names_rejected(self):
+        block = QueryBlock(
+            select=(SelectItem(A), SelectItem(A)),
+            from_=(rel("R", A, B),),
+        )
+        with pytest.raises(NormalizationError):
+            ViewDef("V", block)
+
+    def test_wrong_arity_rejected(self):
+        block = QueryBlock(select=(SelectItem(A),), from_=(rel("R", A, B),))
+        with pytest.raises(NormalizationError):
+            ViewDef("V", block, ("x", "y"))

@@ -1,0 +1,103 @@
+"""Unit tests for terms, operators and comparisons."""
+
+import pytest
+
+from repro.blocks.terms import Column, Comparison, Constant, Op
+
+
+class TestOp:
+    @pytest.mark.parametrize(
+        "op,flipped",
+        [
+            (Op.LT, Op.GT),
+            (Op.LE, Op.GE),
+            (Op.EQ, Op.EQ),
+            (Op.GE, Op.LE),
+            (Op.GT, Op.LT),
+            (Op.NE, Op.NE),
+        ],
+    )
+    def test_flip(self, op, flipped):
+        assert op.flipped is flipped
+        assert op.flipped.flipped is op
+
+    @pytest.mark.parametrize(
+        "op,negated",
+        [
+            (Op.LT, Op.GE),
+            (Op.LE, Op.GT),
+            (Op.EQ, Op.NE),
+            (Op.GE, Op.LT),
+            (Op.GT, Op.LE),
+            (Op.NE, Op.EQ),
+        ],
+    )
+    def test_negate(self, op, negated):
+        assert op.negated is negated
+        assert op.negated.negated is op
+
+    def test_holds_exhaustive(self):
+        cases = {
+            Op.LT: (1, 2, True),
+            Op.LE: (2, 2, True),
+            Op.EQ: (2, 2, True),
+            Op.GE: (3, 2, True),
+            Op.GT: (3, 2, True),
+            Op.NE: (1, 2, True),
+        }
+        for op, (a, b, expected) in cases.items():
+            assert op.holds(a, b) is expected
+            # flipping arguments and operator preserves truth
+            assert op.flipped.holds(b, a) is expected
+            # negation inverts truth
+            assert op.negated.holds(a, b) is (not expected)
+
+    def test_is_order(self):
+        assert Op.LT.is_order and Op.GT.is_order
+        assert not Op.EQ.is_order and not Op.NE.is_order
+
+
+class TestComparison:
+    def test_flipped_preserves_meaning(self):
+        atom = Comparison(Column("A"), Op.LT, Column("B"))
+        assert atom.flipped == Comparison(Column("B"), Op.GT, Column("A"))
+
+    def test_normalized_orientation(self):
+        gt = Comparison(Column("A"), Op.GT, Column("B"))
+        assert gt.normalized().op is Op.LT
+        assert gt.normalized().left == Column("B")
+
+    def test_normalized_symmetric_ops_sorted(self):
+        ba = Comparison(Column("B"), Op.EQ, Column("A"))
+        ab = Comparison(Column("A"), Op.EQ, Column("B"))
+        assert ba.normalized() == ab.normalized()
+
+    def test_normalized_constant_ordering(self):
+        atom = Comparison(Constant(5), Op.EQ, Column("A"))
+        norm = atom.normalized()
+        assert norm.left == Column("A")
+
+    def test_substitute(self):
+        atom = Comparison(Column("A"), Op.LE, Column("B"))
+        out = atom.substitute({Column("A"): Column("X")})
+        assert out == Comparison(Column("X"), Op.LE, Column("B"))
+
+    def test_substitute_leaves_constants(self):
+        atom = Comparison(Column("A"), Op.EQ, Constant(3))
+        out = atom.substitute({Column("A"): Column("X")})
+        assert out.right == Constant(3)
+
+
+class TestConstant:
+    def test_str_quotes_strings(self):
+        assert str(Constant("o'neil")) == "'o''neil'"
+        assert str(Constant(42)) == "42"
+
+    def test_is_numeric(self):
+        assert Constant(1).is_numeric and Constant(1.5).is_numeric
+        assert not Constant("x").is_numeric
+
+    def test_equal_int_float_constants_unify(self):
+        # 2 == 2.0 in Python; the closure relies on this for node identity.
+        assert Constant(2) == Constant(2.0)
+        assert hash(Constant(2)) == hash(Constant(2.0))

@@ -1,0 +1,64 @@
+"""Functional-dependency machinery."""
+
+from repro.catalog.fds import (
+    attribute_closure,
+    fd,
+    implies_fd,
+    is_superkey,
+    minimize_key,
+)
+
+
+class TestClosure:
+    def test_direct(self):
+        fds = [fd({"A"}, {"B"})]
+        assert attribute_closure({"A"}, fds) == {"A", "B"}
+
+    def test_transitive(self):
+        fds = [fd({"A"}, {"B"}), fd({"B"}, {"C"})]
+        assert attribute_closure({"A"}, fds) == {"A", "B", "C"}
+
+    def test_composite_lhs(self):
+        fds = [fd({"A", "B"}, {"C"})]
+        assert "C" not in attribute_closure({"A"}, fds)
+        assert "C" in attribute_closure({"A", "B"}, fds)
+
+    def test_empty_lhs_always_fires(self):
+        # Constant columns: {} -> A.
+        fds = [fd((), {"A"})]
+        assert attribute_closure(set(), fds) == {"A"}
+
+    def test_no_fds(self):
+        assert attribute_closure({"A"}, []) == {"A"}
+
+
+class TestImpliesFd:
+    def test_armstrong_transitivity(self):
+        fds = [fd({"A"}, {"B"}), fd({"B"}, {"C"})]
+        assert implies_fd(fds, fd({"A"}, {"C"}))
+        assert not implies_fd(fds, fd({"C"}, {"A"}))
+
+
+class TestKeys:
+    def test_superkey(self):
+        all_attrs = {"A", "B", "C"}
+        fds = [fd({"A"}, {"B", "C"})]
+        assert is_superkey({"A"}, all_attrs, fds)
+        assert not is_superkey({"B"}, all_attrs, fds)
+
+    def test_minimize_key(self):
+        all_attrs = {"A", "B", "C"}
+        fds = [fd({"A"}, {"B", "C"})]
+        assert minimize_key({"A", "B"}, all_attrs, fds) == {"A"}
+
+    def test_minimize_key_foreign_key_join(self):
+        # R1(k1, fk), R2(k2, x) joined on fk = k2: k1 alone is a key of
+        # the join (the paper's foreign-key-join rule).
+        all_attrs = {"k1", "fk", "k2", "x"}
+        fds = [
+            fd({"k1"}, {"fk"}),
+            fd({"k2"}, {"x"}),
+            fd({"fk"}, {"k2"}),
+            fd({"k2"}, {"fk"}),
+        ]
+        assert minimize_key({"k1", "k2"}, all_attrs, fds) == {"k1"}

@@ -1,0 +1,138 @@
+"""Key inference for query results (Propositions 5.1 and 5.2)."""
+
+import pytest
+
+from repro.blocks.normalize import parse_query, parse_view
+from repro.catalog.keys import (
+    core_is_set,
+    core_key,
+    occurrence_key,
+    result_is_set,
+)
+from repro.catalog.schema import Catalog, table
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        [
+            table("K", ["id", "ref", "val"], key=["id"]),
+            table("L", ["lid", "w"], key=["lid"]),
+            table("M", ["x", "y"]),  # no key: a multiset table
+        ]
+    )
+
+
+class TestCoreIsSet:
+    def test_all_keyed_tables(self, catalog):
+        q = parse_query("SELECT id, lid FROM K, L", catalog)
+        assert core_is_set(q, catalog)  # Proposition 5.2
+
+    def test_any_multiset_table_breaks_it(self, catalog):
+        q = parse_query("SELECT id, x FROM K, M", catalog)
+        assert not core_is_set(q, catalog)
+
+
+class TestCoreKey:
+    def test_cartesian_product_concatenates_keys(self, catalog):
+        q = parse_query("SELECT id, lid FROM K, L", catalog)
+        key = core_key(q, catalog)
+        assert key is not None and len(key) == 2
+
+    def test_foreign_key_join_shrinks_key(self, catalog):
+        # K.ref = L.lid is a foreign-key join: K's key suffices.
+        q = parse_query(
+            "SELECT id, w FROM K, L WHERE ref = lid", catalog
+        )
+        key = core_key(q, catalog)
+        assert key is not None and len(key) == 1
+        q_block = q
+        id_col = q_block.from_[0].column_for("id")
+        assert key == {id_col}
+
+    def test_no_key_without_set_core(self, catalog):
+        q = parse_query("SELECT x FROM M", catalog)
+        assert core_key(q, catalog) is None
+
+
+class TestResultIsSet:
+    def test_key_retained(self, catalog):
+        assert result_is_set(
+            parse_query("SELECT id, val FROM K", catalog), catalog
+        )
+
+    def test_key_projected_out(self, catalog):
+        assert not result_is_set(
+            parse_query("SELECT val FROM K", catalog), catalog
+        )
+
+    def test_distinct_always_set(self, catalog):
+        assert result_is_set(
+            parse_query("SELECT DISTINCT x FROM M", catalog), catalog
+        )
+
+    def test_fk_join_result(self, catalog):
+        assert result_is_set(
+            parse_query("SELECT id, w FROM K, L WHERE ref = lid", catalog),
+            catalog,
+        )
+
+    def test_constant_pin_helps(self, catalog):
+        # id = 3 pins the key: at most one row survives; selecting val
+        # alone is still a set because {} -> id via the constant.
+        q = parse_query("SELECT val FROM K WHERE id = 3", catalog)
+        assert result_is_set(q, catalog)
+
+    def test_grouped_query_keyed_by_groups(self, catalog):
+        q = parse_query(
+            "SELECT x, COUNT(y) FROM M GROUP BY x", catalog
+        )
+        assert result_is_set(q, catalog)
+
+    def test_grouped_query_dropping_group_column(self, catalog):
+        q = parse_query("SELECT COUNT(y) FROM M GROUP BY x", catalog)
+        assert not result_is_set(q, catalog)
+
+    def test_global_aggregate_single_row(self, catalog):
+        assert result_is_set(
+            parse_query("SELECT COUNT(y) FROM M", catalog), catalog
+        )
+
+
+class TestOccurrenceKey:
+    def test_base_table(self, catalog):
+        q = parse_query("SELECT id FROM K", catalog)
+        key = occurrence_key(q.from_[0], catalog)
+        assert key == {q.from_[0].column_for("id")}
+
+    def test_keyless_table(self, catalog):
+        q = parse_query("SELECT x FROM M", catalog)
+        assert occurrence_key(q.from_[0], catalog) is None
+
+    def test_grouped_view_keyed_by_group_outputs(self, catalog):
+        view = parse_view(
+            "CREATE VIEW V (g, n) AS SELECT x, COUNT(y) FROM M GROUP BY x",
+            catalog,
+        )
+        catalog.add_view(view)
+        q = parse_query("SELECT g FROM V", catalog)
+        key = occurrence_key(q.from_[0], catalog)
+        assert key == {q.from_[0].column_for("g")}
+
+    def test_grouped_view_missing_group_output(self, catalog):
+        view = parse_view(
+            "CREATE VIEW W (n) AS SELECT COUNT(y) FROM M GROUP BY x",
+            catalog,
+        )
+        catalog.add_view(view)
+        q = parse_query("SELECT n FROM W", catalog)
+        assert occurrence_key(q.from_[0], catalog) is None
+
+    def test_set_conjunctive_view_all_columns(self, catalog):
+        view = parse_view(
+            "CREATE VIEW U (i, v) AS SELECT id, val FROM K", catalog
+        )
+        catalog.add_view(view)
+        q = parse_query("SELECT i FROM U", catalog)
+        key = occurrence_key(q.from_[0], catalog)
+        assert key == frozenset(q.from_[0].columns)

@@ -1,0 +1,43 @@
+"""Schema-script loading."""
+
+import pytest
+
+from repro.catalog.load import load_schema
+from repro.errors import SchemaError
+
+SCRIPT = """
+CREATE TABLE R (a INT PRIMARY KEY, b INT);
+CREATE TABLE S (c INT, d INT, UNIQUE (c));
+CREATE VIEW V (x, n) AS SELECT a, COUNT(b) FROM R GROUP BY a;
+SELECT x FROM V WHERE n > 1;
+"""
+
+
+class TestLoadSchema:
+    def test_tables_views_queries(self):
+        catalog, queries = load_schema(SCRIPT)
+        assert catalog.is_table("R") and catalog.is_table("S")
+        assert catalog.is_view("V")
+        assert len(queries) == 1
+        assert queries[0].from_[0].name == "V"
+
+    def test_keys_carried_over(self):
+        catalog, _ = load_schema(SCRIPT)
+        assert catalog.table("R").keys == (frozenset({"a"}),)
+        assert catalog.table("S").keys == (frozenset({"c"}),)
+
+    def test_views_see_earlier_tables_only(self):
+        with pytest.raises(SchemaError):
+            load_schema("CREATE VIEW V (x) AS SELECT a FROM R")
+
+    def test_incremental_load_into_existing_catalog(self):
+        catalog, _ = load_schema("CREATE TABLE R (a INT);")
+        catalog2, _ = load_schema(
+            "CREATE TABLE T (z INT); SELECT a FROM R;", catalog
+        )
+        assert catalog2 is catalog
+        assert catalog.is_table("T")
+
+    def test_duplicate_table_rejected(self):
+        with pytest.raises(SchemaError):
+            load_schema("CREATE TABLE R (a INT); CREATE TABLE R (b INT);")

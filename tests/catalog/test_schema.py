@@ -1,0 +1,97 @@
+"""Catalog and TableSchema metadata."""
+
+import pytest
+
+from repro.blocks.normalize import parse_view
+from repro.catalog.fds import fd
+from repro.catalog.schema import Catalog, TableSchema, table
+from repro.errors import SchemaError
+
+
+class TestTableSchema:
+    def test_constructor_helpers(self):
+        t = table("R", ["a", "b"], key=["a"], row_count=5)
+        assert t.keys == (frozenset({"a"}),)
+        assert t.has_key and t.row_count == 5
+
+    def test_multiple_candidate_keys(self):
+        t = table("R", ["a", "b"], key=["a"], keys=[["b"]])
+        assert len(t.keys) == 2
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("R", ("a", "a"))
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(SchemaError):
+            table("R", ["a"], key=["zzz"])
+
+    def test_bad_fd_rejected(self):
+        with pytest.raises(SchemaError):
+            table("R", ["a"], fds=[fd({"a"}, {"zzz"})])
+
+    def test_all_fds_includes_key_fd(self):
+        t = table("R", ["a", "b"], key=["a"])
+        deps = t.all_fds()
+        assert any(dep.lhs == {"a"} and "b" in dep.rhs for dep in deps)
+
+
+class TestCatalog:
+    def test_resolution(self):
+        cat = Catalog([table("R", ["a", "b"])])
+        assert cat.is_table("R") and not cat.is_view("R")
+        assert cat.columns_of("R") == ("a", "b")
+
+    def test_duplicate_name_rejected(self):
+        cat = Catalog([table("R", ["a"])])
+        with pytest.raises(SchemaError):
+            cat.add_table(table("R", ["x"]))
+
+    def test_view_name_clash_rejected(self):
+        cat = Catalog([table("R", ["a", "b"])])
+        view = parse_view("CREATE VIEW R AS SELECT a FROM R", cat)
+        with pytest.raises(SchemaError):
+            cat.add_view(view)
+
+    def test_unknown_names(self):
+        cat = Catalog()
+        with pytest.raises(SchemaError):
+            cat.table("X")
+        with pytest.raises(SchemaError):
+            cat.view("X")
+        with pytest.raises(SchemaError):
+            cat.columns_of("X")
+        with pytest.raises(SchemaError):
+            cat.row_count("X")
+
+    def test_view_columns(self):
+        cat = Catalog([table("R", ["a", "b"])])
+        view = parse_view(
+            "CREATE VIEW V (x, n) AS SELECT a, COUNT(b) FROM R GROUP BY a",
+            cat,
+        )
+        cat.add_view(view, row_count=10)
+        assert cat.columns_of("V") == ("x", "n")
+        assert cat.row_count("V") == 10
+
+    def test_view_row_count_estimated_when_unset(self):
+        cat = Catalog([table("R", ["a", "b"], row_count=1000)])
+        view = parse_view(
+            "CREATE VIEW V (x, n) AS SELECT a, COUNT(b) FROM R GROUP BY a",
+            cat,
+        )
+        cat.add_view(view)
+        assert 1 <= cat.row_count("V") <= 1000
+
+    def test_set_row_count(self):
+        cat = Catalog([table("R", ["a", "b"])])
+        view = parse_view("CREATE VIEW V (x) AS SELECT a FROM R", cat)
+        cat.add_view(view)
+        cat.set_row_count("V", 77)
+        assert cat.row_count("V") == 77
+
+    def test_copy_is_independent(self):
+        cat = Catalog([table("R", ["a", "b"])])
+        clone = cat.copy()
+        clone.add_table(table("S", ["c"]))
+        assert not cat.is_table("S")

@@ -1,0 +1,43 @@
+"""Shared fixtures: catalogs and helpers used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, table
+
+
+@pytest.fixture
+def rs_catalog() -> Catalog:
+    """The R1(A,B), R2(C,D) schema of the paper's Example 3.1."""
+    return Catalog(
+        [
+            table("R1", ["A", "B"]),
+            table("R2", ["C", "D"]),
+        ]
+    )
+
+
+@pytest.fixture
+def wide_catalog() -> Catalog:
+    """The R1(A,B,C,D), R2(E,F) schema of Examples 4.1-4.4."""
+    return Catalog(
+        [
+            table("R1", ["A", "B", "C", "D"]),
+            table("R2", ["E", "F"]),
+        ]
+    )
+
+
+@pytest.fixture
+def keyed_catalog() -> Catalog:
+    """R1(A,B,C) with key A — the schema of Example 5.1."""
+    return Catalog([table("R1", ["A", "B", "C"], key=["A"])])
+
+
+@pytest.fixture
+def telephony_catalog() -> Catalog:
+    """The Example 1.1 warehouse schema."""
+    from repro.workloads.telephony import telephony_catalog as make
+
+    return make()

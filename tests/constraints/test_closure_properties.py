@@ -1,0 +1,138 @@
+"""Property tests: the closure against a brute-force model checker.
+
+For conjunctions over a handful of columns and small integer constants,
+we can enumerate *all* assignments over a sufficient domain and decide
+satisfiability and entailment exactly. The closure must agree:
+
+* soundness — every atom the closure claims entailed holds in every model;
+* refutation-completeness — the closure reports unsatisfiable exactly
+  when no model exists (for this language, the classic closure
+  construction is complete for satisfiability over a dense domain; using
+  a domain with enough room between constants approximates this).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks.terms import Column, Comparison, Constant, Op
+from repro.constraints.closure import Closure
+
+COLUMNS = [Column(c) for c in "WXYZ"]
+# Constants spaced by 2 leave dense room between them in the model domain.
+CONSTANTS = [Constant(v) for v in (0, 2, 4)]
+# The closure decides over a dense order (SQL values include
+# non-integers), so the brute-force model domain must approximate
+# density: integers alone call `0 < W < Z < 2` unsatisfiable. The
+# entailment-soundness sweeps use integers (any integer model is a real
+# model); the satisfiability-agreement sweep uses quarter steps over
+# fewer columns to keep enumeration tractable while leaving room for
+# every strict chain the atom budget can build.
+DOMAIN = list(range(-5, 10))
+SAT_COLUMNS = COLUMNS[:3]
+DENSE_DOMAIN = [Fraction(i, 4) for i in range(-12, 29)]
+
+terms_strategy = st.sampled_from(COLUMNS + CONSTANTS)
+ops_strategy = st.sampled_from(list(Op))
+
+
+@st.composite
+def conjunctions(draw, max_atoms=5):
+    n = draw(st.integers(min_value=0, max_value=max_atoms))
+    out = []
+    for _ in range(n):
+        left = draw(terms_strategy)
+        right = draw(terms_strategy)
+        out.append(Comparison(left, draw(ops_strategy), right))
+    return out
+
+
+def models(atoms, columns=COLUMNS, domain=DOMAIN):
+    """Yield every satisfying assignment of ``columns`` over ``domain``."""
+    for values in product(domain, repeat=len(columns)):
+        assignment = dict(zip(columns, values))
+
+        def value(term):
+            return (
+                assignment[term] if isinstance(term, Column) else term.value
+            )
+
+        if all(a.op.holds(value(a.left), value(a.right)) for a in atoms):
+            yield assignment
+
+
+def brute_force_satisfiable(atoms, columns=COLUMNS, domain=DOMAIN) -> bool:
+    return next(models(atoms, columns, domain), None) is not None
+
+
+sat_terms = st.sampled_from(SAT_COLUMNS + CONSTANTS)
+
+
+@st.composite
+def sat_conjunctions(draw, max_atoms=4):
+    n = draw(st.integers(min_value=0, max_value=max_atoms))
+    return [
+        Comparison(draw(sat_terms), draw(ops_strategy), draw(sat_terms))
+        for _ in range(n)
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(sat_conjunctions())
+def test_satisfiability_agrees_with_brute_force(atoms):
+    assert Closure(atoms).satisfiable == brute_force_satisfiable(
+        atoms, SAT_COLUMNS, DENSE_DOMAIN
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(conjunctions(max_atoms=4), terms_strategy, ops_strategy, terms_strategy)
+def test_entailment_is_sound(atoms, left, op, right):
+    """If the closure entails an atom, every model satisfies it."""
+    goal = Comparison(left, op, right)
+    closure = Closure(atoms)
+    if not closure.satisfiable:
+        return  # vacuous entailment
+    if not closure.entails(goal):
+        return
+
+    def value(assignment, term):
+        return assignment[term] if isinstance(term, Column) else term.value
+
+    for assignment in models(atoms):
+        assert goal.op.holds(
+            value(assignment, goal.left), value(assignment, goal.right)
+        ), f"{atoms} claimed to entail {goal}, refuted by {assignment}"
+
+
+@settings(max_examples=100, deadline=None)
+@given(conjunctions(max_atoms=4))
+def test_entailed_atoms_over_are_sound(atoms):
+    """Every atom of the restricted closure holds in every model."""
+    closure = Closure(atoms)
+    if not closure.satisfiable:
+        return
+    entailed = closure.entailed_atoms_over(COLUMNS + CONSTANTS)
+
+    def value(assignment, term):
+        return assignment[term] if isinstance(term, Column) else term.value
+
+    for assignment in models(atoms):
+        for atom in entailed:
+            assert atom.op.holds(
+                value(assignment, atom.left), value(assignment, atom.right)
+            )
+
+
+@settings(max_examples=100, deadline=None)
+@given(conjunctions(max_atoms=4))
+def test_own_atoms_always_entailed(atoms):
+    """A conjunction entails each of its own atoms."""
+    closure = Closure(atoms)
+    for atom in atoms:
+        assert closure.entails(atom)
+        assert closure.entails(atom.flipped)

@@ -1,0 +1,166 @@
+"""Difference-constraint reasoning (the paper's '+' extension)."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks.terms import Column, Op
+from repro.constraints.difference import (
+    DiffAtom,
+    DifferenceClosure,
+    atom,
+    implies_difference,
+)
+
+
+class TestEntailment:
+    def test_chain_of_offsets(self):
+        premises = [atom("x", "<=", "y", 2), atom("y", "<=", "z", 3)]
+        assert implies_difference(premises, [atom("x", "<=", "z", 5)])
+        assert implies_difference(premises, [atom("x", "<=", "z", 7)])
+        assert not implies_difference(premises, [atom("x", "<=", "z", 4)])
+
+    def test_strictness_propagates(self):
+        premises = [atom("x", "<", "y"), atom("y", "<=", "z")]
+        assert implies_difference(premises, [atom("x", "<", "z")])
+        assert not implies_difference(
+            [atom("x", "<=", "y"), atom("y", "<=", "z")],
+            [atom("x", "<", "z")],
+        )
+
+    def test_equality_with_offset(self):
+        premises = [atom("x", "=", "y", 5)]
+        assert implies_difference(premises, [atom("x", ">=", "y", 5)])
+        assert implies_difference(premises, [atom("x", "<=", "y", 5)])
+        assert implies_difference(premises, [atom("x", ">", "y", 4)])
+
+    def test_ge_gt_orientation(self):
+        premises = [atom("x", ">=", "y", 1), atom("y", ">", "z", 2)]
+        assert implies_difference(premises, [atom("x", ">", "z", 3)])
+
+    def test_constant_bounds(self):
+        closure = DifferenceClosure(
+            [atom("x", "<=", None, 10), atom("x", ">=", None, 3)]
+        )
+        assert closure.upper_bound(Column("x")) == (10, False)
+        assert closure.lower_bound(Column("x")) == (3, False)
+        assert closure.entails(atom("x", "<=", None, 12))
+        assert not closure.entails(atom("x", "<=", None, 9))
+
+    def test_constants_combine_with_differences(self):
+        premises = [atom("x", "<=", None, 4), atom("y", ">=", "x", 0)]
+        # y >= x says nothing about y's upper bound...
+        assert not implies_difference(premises, [atom("y", "<=", None, 99)])
+        # ...but x <= 4 and y <= x + 1 bounds y.
+        premises = [atom("x", "<=", None, 4), atom("y", "<=", "x", 1)]
+        assert implies_difference(premises, [atom("y", "<=", None, 5)])
+
+    def test_reflexive(self):
+        closure = DifferenceClosure([])
+        assert closure.entails(atom("x", "<=", "x"))
+        assert closure.entails(atom("x", "=", "x"))
+        assert not closure.entails(atom("x", "<", "x"))
+
+
+class TestSatisfiability:
+    def test_negative_cycle_unsat(self):
+        closure = DifferenceClosure(
+            [atom("x", "<=", "y", -1), atom("y", "<=", "x", 0)]
+        )
+        assert not closure.satisfiable
+
+    def test_zero_cycle_with_strict_unsat(self):
+        closure = DifferenceClosure(
+            [atom("x", "<", "y"), atom("y", "<=", "x")]
+        )
+        assert not closure.satisfiable
+
+    def test_zero_cycle_nonstrict_sat(self):
+        closure = DifferenceClosure(
+            [atom("x", "<=", "y"), atom("y", "<=", "x")]
+        )
+        assert closure.satisfiable
+        assert closure.entails(atom("x", "=", "y"))
+
+    def test_window_contradiction(self):
+        closure = DifferenceClosure(
+            [atom("x", ">=", None, 5), atom("x", "<", None, 5)]
+        )
+        assert not closure.satisfiable
+
+    def test_unsat_entails_everything(self):
+        closure = DifferenceClosure(
+            [atom("x", "<", "x")]
+        )
+        assert closure.entails(atom("a", "=", "b", 99))
+
+    def test_ne_rejected(self):
+        with pytest.raises(ValueError):
+            DiffAtom(Column("x"), Op.NE, Column("y"), 0)
+
+
+COLUMNS = ["p", "q", "r"]
+# Wide enough that chains of 4 atoms with offsets in [-3, 3] never push a
+# satisfying assignment out of range.
+DOMAIN = range(-16, 17)
+
+
+@st.composite
+def diff_conjunctions(draw, max_atoms=4, ops=("<", "<=", "=", ">=", ">")):
+    n = draw(st.integers(min_value=0, max_value=max_atoms))
+    out = []
+    for _ in range(n):
+        left = draw(st.sampled_from(COLUMNS))
+        use_right = draw(st.booleans())
+        right = draw(st.sampled_from(COLUMNS)) if use_right else None
+        op = draw(st.sampled_from(list(ops)))
+        offset = draw(st.integers(min_value=-3, max_value=3))
+        out.append(atom(left, op, right, offset))
+    return out
+
+
+def models(atoms):
+    for values in product(DOMAIN, repeat=len(COLUMNS)):
+        env = dict(zip(COLUMNS, values))
+
+        def val(col):
+            return env[col.name]
+
+        ok = True
+        for a in atoms:
+            rhs = (val(a.right) if a.right is not None else 0) + a.offset
+            if not a.op.holds(val(a.left), rhs):
+                ok = False
+                break
+        if ok:
+            yield env
+
+
+@settings(max_examples=120, deadline=None)
+@given(diff_conjunctions(ops=("<=", "=", ">=")))
+def test_satisfiability_vs_brute_force(atoms):
+    """Non-strict difference systems with integral offsets are exactly
+    integer-feasible, so brute force over a wide enough integer domain
+    must agree with the DBM closure. (Strict atoms are excluded: the
+    closure's dense-order semantics differs from integer semantics —
+    ``x < y AND y < x + 1`` is real-satisfiable but integer-infeasible.)
+    """
+    closure = DifferenceClosure(atoms)
+    brute = next(models(atoms), None) is not None
+    assert closure.satisfiable == brute
+
+
+@settings(max_examples=120, deadline=None)
+@given(diff_conjunctions(max_atoms=3), diff_conjunctions(max_atoms=1))
+def test_entailment_sound(premises, goals):
+    closure = DifferenceClosure(premises)
+    if not closure.satisfiable or not goals:
+        return
+    goal = goals[0]
+    if not closure.entails(goal):
+        return
+    for env in models(premises):
+        rhs = (env[goal.right.name] if goal.right is not None else 0) + goal.offset
+        assert goal.op.holds(env[goal.left.name], rhs), (premises, goal, env)

@@ -1,0 +1,150 @@
+"""HAVING -> WHERE predicate motion (Section 3.3 normal form).
+
+Every motion rule is additionally checked *semantically*: the normalized
+block must be multiset-equivalent to the original on random databases.
+"""
+
+import random
+
+import pytest
+
+from repro.blocks.normalize import parse_query
+from repro.catalog.schema import Catalog, table
+from repro.constraints.having import normalize_having
+from repro.engine.database import Database
+
+
+@pytest.fixture
+def catalog():
+    return Catalog([table("R", ["G", "H", "V"])])
+
+
+def assert_same_semantics(catalog, before, after, seed=0, trials=40):
+    rng = random.Random(seed)
+    for _ in range(trials):
+        rows = [
+            (rng.randint(0, 2), rng.randint(0, 2), rng.randint(0, 8))
+            for _ in range(rng.randint(0, 9))
+        ]
+        db = Database(catalog, {"R": rows})
+        left, right = db.execute(before), db.execute(after)
+        assert left.multiset_equal(right), (rows, left.rows, right.rows)
+
+
+class TestRuleA:
+    def test_grouping_column_atom_moves(self, catalog):
+        q = parse_query(
+            "SELECT G, SUM(V) FROM R GROUP BY G HAVING G > 1", catalog
+        )
+        n = normalize_having(q)
+        assert not n.having
+        assert len(n.where) == 1
+        assert_same_semantics(catalog, q, n)
+
+    def test_two_grouping_columns(self, catalog):
+        q = parse_query(
+            "SELECT G, H, SUM(V) FROM R GROUP BY G, H HAVING G = H",
+            catalog,
+        )
+        n = normalize_having(q)
+        assert not n.having and len(n.where) == 1
+        assert_same_semantics(catalog, q, n)
+
+    def test_aggregate_atom_stays(self, catalog):
+        q = parse_query(
+            "SELECT G, SUM(V) FROM R GROUP BY G HAVING SUM(V) > 5", catalog
+        )
+        n = normalize_having(q)
+        assert len(n.having) == 1 and not n.where
+        assert_same_semantics(catalog, q, n)
+
+    def test_mixed_clause(self, catalog):
+        q = parse_query(
+            "SELECT G, SUM(V) FROM R GROUP BY G "
+            "HAVING G > 0 AND SUM(V) > 5",
+            catalog,
+        )
+        n = normalize_having(q)
+        assert len(n.having) == 1 and len(n.where) == 1
+        assert_same_semantics(catalog, q, n)
+
+
+class TestRuleB:
+    def test_max_gt_moves(self, catalog):
+        q = parse_query(
+            "SELECT G, MAX(V) FROM R GROUP BY G HAVING MAX(V) > 3", catalog
+        )
+        n = normalize_having(q)
+        assert not n.having
+        assert "V" in str(n.where[0])
+        assert_same_semantics(catalog, q, n)
+
+    def test_min_lt_moves(self, catalog):
+        q = parse_query(
+            "SELECT G, MIN(V) FROM R GROUP BY G HAVING MIN(V) <= 3", catalog
+        )
+        n = normalize_having(q)
+        assert not n.having
+        assert_same_semantics(catalog, q, n)
+
+    def test_flipped_orientation_moves(self, catalog):
+        q = parse_query(
+            "SELECT G, MAX(V) FROM R GROUP BY G HAVING 3 < MAX(V)", catalog
+        )
+        n = normalize_having(q)
+        assert not n.having
+        assert_same_semantics(catalog, q, n)
+
+    def test_min_gt_does_not_move(self, catalog):
+        # Filtering V > 3 would change MIN over surviving groups.
+        q = parse_query(
+            "SELECT G, MIN(V) FROM R GROUP BY G HAVING MIN(V) > 3", catalog
+        )
+        n = normalize_having(q)
+        assert len(n.having) == 1 and not n.where
+        assert_same_semantics(catalog, q, n)
+
+    def test_blocked_by_other_aggregate(self, catalog):
+        # A COUNT elsewhere would see its groups shrink: not movable.
+        q = parse_query(
+            "SELECT G, MAX(V), COUNT(H) FROM R GROUP BY G "
+            "HAVING MAX(V) > 3",
+            catalog,
+        )
+        n = normalize_having(q)
+        assert len(n.having) == 1 and not n.where
+        assert_same_semantics(catalog, q, n)
+
+    def test_same_aggregate_in_select_ok(self, catalog):
+        q = parse_query(
+            "SELECT G, MAX(V) FROM R GROUP BY G HAVING MAX(V) >= 4", catalog
+        )
+        n = normalize_having(q)
+        assert not n.having
+        assert_same_semantics(catalog, q, n)
+
+    def test_cascading_motion(self, catalog):
+        # After the G-atom moves (rule A), MAX(V) is the only aggregate
+        # and its atom moves too (rule B) on the second pass.
+        q = parse_query(
+            "SELECT G, MAX(V) FROM R GROUP BY G "
+            "HAVING MAX(V) > 3 AND G > 0",
+            catalog,
+        )
+        n = normalize_having(q)
+        assert not n.having and len(n.where) == 2
+        assert_same_semantics(catalog, q, n)
+
+
+class TestGuards:
+    def test_no_group_by_never_moves(self, catalog):
+        # Without GROUP BY, an empty core still yields one output row, so
+        # motion would change semantics.
+        q = parse_query("SELECT MAX(V) FROM R HAVING MAX(V) > 3", catalog)
+        n = normalize_having(q)
+        assert n == q
+        assert_same_semantics(catalog, q, n)
+
+    def test_no_having_is_identity(self, catalog):
+        q = parse_query("SELECT G, SUM(V) FROM R GROUP BY G", catalog)
+        assert normalize_having(q) is q

@@ -1,0 +1,91 @@
+"""implies / equivalent / minimize over predicate conjunctions."""
+
+from repro.blocks.terms import Column, Comparison, Constant, Op
+from repro.constraints.implication import (
+    equivalent,
+    implies,
+    minimize,
+    satisfiable,
+)
+
+A, B, C = Column("A"), Column("B"), Column("C")
+
+
+def eq(left, right):
+    return Comparison(left, Op.EQ, right)
+
+
+def lt(left, right):
+    return Comparison(left, Op.LT, right)
+
+
+class TestImplies:
+    def test_subset_implied(self):
+        premises = [eq(A, B), lt(B, C)]
+        assert implies(premises, [eq(A, B)])
+        assert implies(premises, [lt(A, C)])
+
+    def test_conjunction_goal(self):
+        assert implies([eq(A, B), eq(B, C)], [eq(A, C), eq(B, A)])
+
+    def test_not_implied(self):
+        assert not implies([eq(A, B)], [lt(A, C)])
+
+    def test_empty_goal_trivially_implied(self):
+        assert implies([lt(A, B)], [])
+
+    def test_unsat_premises_imply_anything(self):
+        assert implies([lt(A, A)], [eq(B, C)])
+
+
+class TestEquivalent:
+    def test_paper_example_3_1(self):
+        # (A1=C1 & B1=6 & D1=6)  ==  ((A1=C1 & B1=D1) & D1=6)
+        a1, b1, c1, d1 = (Column(n) for n in ("A1", "B1", "C1", "D1"))
+        left = [eq(a1, c1), eq(b1, Constant(6)), eq(d1, Constant(6))]
+        right = [eq(a1, c1), eq(b1, d1), eq(d1, Constant(6))]
+        assert equivalent(left, right)
+
+    def test_orientation_irrelevant(self):
+        assert equivalent([lt(A, B)], [Comparison(B, Op.GT, A)])
+
+    def test_strictly_stronger_not_equivalent(self):
+        assert not equivalent([lt(A, B)], [Comparison(A, Op.LE, B)])
+
+    def test_both_unsat_equivalent(self):
+        assert equivalent([lt(A, A)], [lt(B, B)])
+
+    def test_unsat_vs_sat_not_equivalent(self):
+        assert not equivalent([lt(A, A)], [lt(A, B)])
+
+
+class TestSatisfiable:
+    def test_basic(self):
+        assert satisfiable([lt(A, B)])
+        assert not satisfiable([lt(A, B), lt(B, A)])
+
+
+class TestMinimize:
+    def test_drops_implied_atom(self):
+        kept = minimize([eq(A, B), eq(B, C), eq(A, C)])
+        assert len(kept) == 2
+        assert equivalent(kept, [eq(A, B), eq(B, C), eq(A, C)])
+
+    def test_respects_context(self):
+        kept = minimize([eq(A, B), lt(B, C)], context=[eq(A, B)])
+        assert kept == [lt(B, C)]
+
+    def test_nothing_to_drop(self):
+        original = [eq(A, B), lt(B, C)]
+        kept = minimize(original)
+        assert sorted(map(str, kept)) == sorted(map(str, original))
+
+    def test_deduplicates(self):
+        kept = minimize([eq(A, B), eq(A, B)])
+        assert len(kept) == 1
+
+    def test_result_equivalent_under_context(self):
+        context = [eq(A, B)]
+        original = [eq(B, A), lt(A, C), lt(B, C)]
+        kept = minimize(original, context=context)
+        assert equivalent(context + kept, context + original)

@@ -1,0 +1,103 @@
+"""Condition C3/C3' residual computation."""
+
+from repro.blocks.terms import Column, Comparison, Constant, Op
+from repro.constraints.closure import Closure
+from repro.constraints.implication import equivalent
+from repro.constraints.residual import (
+    atoms_constants,
+    express_over,
+    find_residual,
+    rewrite_conjunction,
+)
+
+A1, B1, C1, D1 = (Column(n) for n in ("A1", "B1", "C1", "D1"))
+
+
+def eq(left, right):
+    return Comparison(left, Op.EQ, right)
+
+
+class TestFindResidual:
+    def test_paper_example_3_1(self):
+        conds_q = [eq(A1, C1), eq(B1, Constant(6)), eq(D1, Constant(6))]
+        view_conds = [eq(A1, C1), eq(B1, D1)]  # already mapped by φ
+        residual = find_residual(conds_q, view_conds, [C1, D1])
+        assert residual is not None
+        assert equivalent(view_conds + residual, conds_q)
+        assert [str(a) for a in residual] == ["D1 = 6"]
+
+    def test_view_conditions_not_entailed(self):
+        # The view filters B1 = D1, the query does not: view discards
+        # tuples the query needs.
+        conds_q = [eq(A1, C1)]
+        view_conds = [eq(A1, C1), eq(B1, D1)]
+        assert find_residual(conds_q, view_conds, [A1, B1, C1, D1]) is None
+
+    def test_inexpressible_over_allowed(self):
+        # Query constrains B1, but B1 is projected out of the view and has
+        # no equal surviving column.
+        conds_q = [eq(B1, Constant(6))]
+        view_conds = []
+        assert find_residual(conds_q, view_conds, [A1]) is None
+
+    def test_expressible_via_equality(self):
+        # B1 is not allowed, but B1 = C1 lets the residual use C1.
+        conds_q = [eq(B1, C1), eq(B1, Constant(6))]
+        view_conds = [eq(B1, C1)]
+        residual = find_residual(conds_q, view_conds, [C1])
+        assert residual is not None
+        assert equivalent(view_conds + residual, conds_q)
+
+    def test_empty_residual(self):
+        conds_q = [eq(A1, C1)]
+        residual = find_residual(conds_q, [eq(A1, C1)], [A1, C1])
+        assert residual == []
+
+    def test_unsatisfiable_query_returns_none(self):
+        conds_q = [
+            Comparison(A1, Op.LT, B1),
+            Comparison(B1, Op.LT, A1),
+        ]
+        assert find_residual(conds_q, [], [A1, B1]) is None
+
+    def test_inequality_residual(self):
+        conds_q = [eq(A1, C1), Comparison(D1, Op.LT, Constant(9))]
+        residual = find_residual(conds_q, [eq(A1, C1)], [C1, D1])
+        assert residual is not None
+        assert equivalent([eq(A1, C1)] + residual, conds_q)
+
+    def test_residual_minimal(self):
+        conds_q = [eq(A1, C1), eq(C1, D1), eq(A1, D1)]
+        residual = find_residual(conds_q, [eq(A1, C1)], [A1, C1, D1])
+        assert residual is not None
+        assert len(residual) == 1  # one equality completes the class
+
+
+class TestExpressOver:
+    def test_substitutes_equal_allowed_column(self):
+        closure = Closure([eq(A1, C1), eq(B1, Constant(6))])
+        atom = eq(A1, B1)
+        out = express_over(atom, closure, frozenset([C1]))
+        assert out is not None
+        assert out.left == C1 and out.right == Constant(6)
+
+    def test_fails_without_equal_substitute(self):
+        closure = Closure([])
+        assert express_over(eq(A1, B1), closure, frozenset([C1])) is None
+
+    def test_rewrite_conjunction_all_or_nothing(self):
+        closure = Closure([eq(A1, C1)])
+        ok = rewrite_conjunction([eq(A1, C1)], closure, frozenset([C1]))
+        assert ok is not None
+        bad = rewrite_conjunction(
+            [eq(A1, C1), eq(B1, D1)], closure, frozenset([C1])
+        )
+        assert bad is None
+
+
+class TestAtomsConstants:
+    def test_collects_in_order(self):
+        got = atoms_constants(
+            [eq(A1, Constant(1)), eq(B1, Constant(2)), eq(C1, Constant(1))]
+        )
+        assert got == [Constant(1), Constant(2)]

@@ -1,0 +1,310 @@
+"""Section 4 conditions C2'-C4' and steps S1'-S5', case by case."""
+
+import pytest
+
+from repro import (
+    assert_equivalent,
+    enumerate_mappings,
+    parse_query,
+    parse_view,
+    try_rewrite_aggregation,
+)
+
+
+def rewritings(query, view, **kwargs):
+    out = []
+    for mapping in enumerate_mappings(view.block, query):
+        rewriting = try_rewrite_aggregation(query, view, mapping, **kwargs)
+        if rewriting is not None:
+            out.append(rewriting)
+    return out
+
+
+def check(catalog, query, view, expect_usable, **oracle):
+    found = rewritings(query, view)
+    if expect_usable:
+        assert found, "expected a rewriting"
+        oracle.setdefault("trials", 30)
+        oracle.setdefault("domain", 3)
+        assert_equivalent(catalog, query, found[0], **oracle)
+        return found[0]
+    assert found == [], found and found[0].sql()
+    return None
+
+
+class TestConditionC2Prime:
+    def test_grouping_column_must_be_colsel(self, wide_catalog):
+        # B is a grouping column of Q, covered by the view, but only
+        # aggregated there.
+        query = parse_query(
+            "SELECT B, COUNT(A) FROM R1 GROUP BY B", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S, N) AS "
+            "SELECT A, SUM(B), COUNT(B) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        check(wide_catalog, query, view, expect_usable=False)
+
+    def test_grouping_column_via_equality(self, wide_catalog):
+        # Q groups on D; Conds(Q) implies D = A and the view outputs A.
+        query = parse_query(
+            "SELECT D, COUNT(B) FROM R1 WHERE A = D GROUP BY D",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, N) AS "
+            "SELECT A, COUNT(B) FROM R1 WHERE A = D GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        check(wide_catalog, query, view, expect_usable=True)
+
+
+class TestConditionC3Prime:
+    def test_constraint_on_aggregated_column(self, wide_catalog):
+        # Example 4.4's principle with a constant: B is aggregated in V,
+        # and Q constrains B.
+        query = parse_query(
+            "SELECT A, SUM(B) FROM R1 WHERE B = 2 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S, N) AS "
+            "SELECT A, SUM(B), COUNT(B) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        check(wide_catalog, query, view, expect_usable=False)
+
+    def test_constraint_already_in_view(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, SUM(B) FROM R1 WHERE B = 2 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S, N) AS "
+            "SELECT A, SUM(B), COUNT(B) FROM R1 WHERE B = 2 GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        check(wide_catalog, query, view, expect_usable=True)
+
+    def test_residual_on_grouping_output(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, SUM(B) FROM R1 WHERE C <= 1 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, C, S) AS "
+            "SELECT A, C, SUM(B) FROM R1 GROUP BY A, C",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        rewriting = check(wide_catalog, query, view, expect_usable=True)
+        assert any("1" in str(a) for a in rewriting.query.where)
+
+
+class TestConditionC4Prime:
+    @pytest.fixture
+    def full_view(self, wide_catalog):
+        view = parse_view(
+            "CREATE VIEW V (A, B, S, Mn, Mx, N) AS "
+            "SELECT A, B, SUM(C), MIN(C), MAX(C), COUNT(C) "
+            "FROM R1 GROUP BY A, B",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        return view
+
+    def test_sum_from_sum_output(self, wide_catalog, full_view):
+        query = parse_query(
+            "SELECT A, SUM(C) FROM R1 GROUP BY A", wide_catalog
+        )
+        rewriting = check(wide_catalog, query, full_view, expect_usable=True)
+        assert "SUM" in str(rewriting.query.select[1].expr)
+
+    def test_min_from_min_output(self, wide_catalog, full_view):
+        query = parse_query(
+            "SELECT A, MIN(C) FROM R1 GROUP BY A", wide_catalog
+        )
+        check(wide_catalog, query, full_view, expect_usable=True)
+
+    def test_max_from_max_output(self, wide_catalog, full_view):
+        query = parse_query(
+            "SELECT A, MAX(C) FROM R1 GROUP BY A", wide_catalog
+        )
+        check(wide_catalog, query, full_view, expect_usable=True)
+
+    def test_count_from_count_output(self, wide_catalog, full_view):
+        query = parse_query(
+            "SELECT A, COUNT(D) FROM R1 GROUP BY A", wide_catalog
+        )
+        check(wide_catalog, query, full_view, expect_usable=True)
+
+    def test_min_of_grouping_column(self, wide_catalog, full_view):
+        # MIN(B) where B is a grouping output of the view.
+        query = parse_query(
+            "SELECT A, MIN(B) FROM R1 GROUP BY A", wide_catalog
+        )
+        check(wide_catalog, query, full_view, expect_usable=True)
+
+    def test_sum_of_grouping_column_weighted(self, wide_catalog, full_view):
+        # SUM(B): B is constant per view group, so SUM = sum of N * B.
+        query = parse_query(
+            "SELECT A, SUM(B) FROM R1 GROUP BY A", wide_catalog
+        )
+        rewriting = check(wide_catalog, query, full_view, expect_usable=True)
+        assert "*" in rewriting.sql()
+
+    def test_min_of_unavailable_column(self, wide_catalog, full_view):
+        # D is neither an output nor equal to one.
+        query = parse_query(
+            "SELECT A, MIN(D) FROM R1 GROUP BY A", wide_catalog
+        )
+        check(wide_catalog, query, full_view, expect_usable=False)
+
+    def test_wrong_aggregate_kind(self, wide_catalog):
+        # View has MIN(C); query wants MAX(C): unusable.
+        view = parse_view(
+            "CREATE VIEW V (A, Mn) AS SELECT A, MIN(C) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        query = parse_query(
+            "SELECT A, MAX(C) FROM R1 GROUP BY A", wide_catalog
+        )
+        check(wide_catalog, query, view, expect_usable=False)
+
+    def test_count_requires_count_output(self, wide_catalog):
+        view = parse_view(
+            "CREATE VIEW V (A, S) AS SELECT A, SUM(C) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        query = parse_query(
+            "SELECT A, COUNT(C) FROM R1 GROUP BY A", wide_catalog
+        )
+        check(wide_catalog, query, view, expect_usable=False)
+
+
+class TestExternalColumns:
+    """C4' part 2: aggregates over non-image tables."""
+
+    @pytest.fixture
+    def grouped_view(self, wide_catalog):
+        view = parse_view(
+            "CREATE VIEW V (A, N) AS SELECT A, COUNT(B) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        return view
+
+    def test_sum_weighted_by_count(self, wide_catalog, grouped_view):
+        query = parse_query(
+            "SELECT A, SUM(E) FROM R1, R2 GROUP BY A", wide_catalog
+        )
+        rewriting = check(
+            wide_catalog, query, grouped_view, expect_usable=True
+        )
+        assert "*" in rewriting.sql()
+
+    def test_count_becomes_sum_n(self, wide_catalog, grouped_view):
+        query = parse_query(
+            "SELECT A, COUNT(E) FROM R1, R2 GROUP BY A", wide_catalog
+        )
+        check(wide_catalog, query, grouped_view, expect_usable=True)
+
+    def test_min_max_untouched(self, wide_catalog, grouped_view):
+        for agg in ("MIN", "MAX"):
+            query = parse_query(
+                f"SELECT A, {agg}(E) FROM R1, R2 GROUP BY A", wide_catalog
+            )
+            check(wide_catalog, query, grouped_view, expect_usable=True)
+
+    def test_join_with_external_table(self, wide_catalog):
+        view = parse_view(
+            "CREATE VIEW V (A, C, N) AS "
+            "SELECT A, C, COUNT(B) FROM R1 GROUP BY A, C",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        query = parse_query(
+            "SELECT A, SUM(E) FROM R1, R2 WHERE C = F GROUP BY A",
+            wide_catalog,
+        )
+        check(wide_catalog, query, view, expect_usable=True, domain=2)
+
+    def test_no_count_blocks_external_sum(self, wide_catalog):
+        view = parse_view(
+            "CREATE VIEW V (A, S) AS SELECT A, SUM(B) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        query = parse_query(
+            "SELECT A, SUM(E) FROM R1, R2 GROUP BY A", wide_catalog
+        )
+        check(wide_catalog, query, view, expect_usable=False)
+
+
+class TestGroupAlignment:
+    def test_coalescing_many_to_fewer_groups(self, wide_catalog):
+        view = parse_view(
+            "CREATE VIEW V (A, B, C, S, N) AS "
+            "SELECT A, B, C, SUM(D), COUNT(D) FROM R1 GROUP BY A, B, C",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        query = parse_query(
+            "SELECT A, SUM(D), COUNT(D) FROM R1 GROUP BY A", wide_catalog
+        )
+        check(wide_catalog, query, view, expect_usable=True)
+
+    def test_finer_query_groups_blocked(self, wide_catalog):
+        # Q groups by (A, B); V only by A: the detail is gone.
+        view = parse_view(
+            "CREATE VIEW V (A, S, N) AS "
+            "SELECT A, SUM(D), COUNT(D) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        query = parse_query(
+            "SELECT A, B, SUM(D) FROM R1 GROUP BY A, B", wide_catalog
+        )
+        check(wide_catalog, query, view, expect_usable=False)
+
+    def test_identical_groups(self, wide_catalog):
+        view = parse_view(
+            "CREATE VIEW V (A, S) AS SELECT A, SUM(D) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        query = parse_query(
+            "SELECT A, SUM(D) FROM R1 GROUP BY A", wide_catalog
+        )
+        check(wide_catalog, query, view, expect_usable=True)
+
+    def test_global_aggregate_from_grouped_view(self, wide_catalog):
+        # Q has no GROUP BY at all: coalesce everything.
+        view = parse_view(
+            "CREATE VIEW V (A, S, N) AS "
+            "SELECT A, SUM(D), COUNT(D) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        query = parse_query("SELECT SUM(D) FROM R1", wide_catalog)
+        check(wide_catalog, query, view, expect_usable=True)
+
+
+class TestEmptyGroupEdgeCases:
+    def test_global_aggregate_empty_table(self, wide_catalog):
+        """No GROUP BY: both Q and Q' must emit their single row even on
+        an empty database (the view is then empty too)."""
+        view = parse_view(
+            "CREATE VIEW V (A, N) AS SELECT A, COUNT(D) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        query = parse_query("SELECT COUNT(D) FROM R1", wide_catalog)
+        found = rewritings(query, view)
+        if found:
+            from repro.engine.database import Database
+
+            db = Database(wide_catalog, {"R1": [], "R2": []})
+            left = db.execute(query)
+            right = db.execute(
+                found[0].query, extra_views=found[0].extra_views()
+            )
+            assert left.multiset_equal(right), (left.rows, right.rows)

@@ -1,0 +1,145 @@
+"""AVG support (Section 4.4): the SUM/COUNT/AVG triangle."""
+
+import pytest
+
+from repro import (
+    assert_equivalent,
+    enumerate_mappings,
+    parse_query,
+    parse_view,
+    try_rewrite_aggregation,
+    try_rewrite_conjunctive,
+)
+
+
+def rewritings(query, view, fn=try_rewrite_aggregation):
+    out = []
+    for mapping in enumerate_mappings(view.block, query):
+        rewriting = fn(query, view, mapping)
+        if rewriting is not None:
+            out.append(rewriting)
+    return out
+
+
+class TestAvgInQuery:
+    def test_avg_from_sum_and_count(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, AVG(C) FROM R1 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B, S, N) AS "
+            "SELECT A, B, SUM(C), COUNT(C) FROM R1 GROUP BY A, B",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view)
+        assert found
+        assert "/" in found[0].sql()
+        assert_equivalent(wide_catalog, query, found[0], trials=40, domain=3)
+
+    def test_avg_from_avg_and_count(self, wide_catalog):
+        """AVG over coalesced groups from per-group AVG x COUNT."""
+        query = parse_query(
+            "SELECT A, AVG(C) FROM R1 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B, Av, N) AS "
+            "SELECT A, B, AVG(C), COUNT(C) FROM R1 GROUP BY A, B",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view)
+        assert found
+        assert_equivalent(wide_catalog, query, found[0], trials=40, domain=3)
+
+    def test_avg_of_grouping_column(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, AVG(B) FROM R1 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B, N) AS "
+            "SELECT A, B, COUNT(C) FROM R1 GROUP BY A, B",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view)
+        assert found
+        assert_equivalent(wide_catalog, query, found[0], trials=40, domain=3)
+
+    def test_avg_of_external_column(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, AVG(E) FROM R1, R2 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, N) AS SELECT A, COUNT(C) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view)
+        assert found
+        assert_equivalent(wide_catalog, query, found[0], trials=40, domain=3)
+
+    def test_avg_needs_count(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, AVG(C) FROM R1 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S) AS SELECT A, SUM(C) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        assert rewritings(query, view) == []
+
+    def test_avg_conjunctive_view(self, rs_catalog):
+        query = parse_query(
+            "SELECT A, AVG(B) FROM R1 GROUP BY A", rs_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B) AS SELECT A, B FROM R1", rs_catalog
+        )
+        rs_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_conjunctive)
+        assert found
+        assert_equivalent(rs_catalog, query, found[0], trials=30, domain=4)
+
+
+class TestSumFromAvg:
+    def test_sum_recovered_from_avg_times_count(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, SUM(C) FROM R1 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, Av, N) AS "
+            "SELECT A, AVG(C), COUNT(C) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view)
+        assert found
+        assert_equivalent(wide_catalog, query, found[0], trials=40, domain=3)
+
+    def test_sum_from_avg_without_count_fails(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, SUM(C) FROM R1 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, Av) AS SELECT A, AVG(C) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        assert rewritings(query, view) == []
+
+
+class TestAvgInHaving:
+    def test_having_avg(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, SUM(C) FROM R1 GROUP BY A HAVING AVG(C) > 2",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S, N) AS "
+            "SELECT A, SUM(C), COUNT(C) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view)
+        assert found
+        assert_equivalent(wide_catalog, query, found[0], trials=40, domain=4)

@@ -1,0 +1,266 @@
+"""Edge cases of the rewriting algorithms, all oracle-verified."""
+
+import pytest
+
+from repro import (
+    Catalog,
+    assert_equivalent,
+    enumerate_mappings,
+    parse_query,
+    parse_view,
+    table,
+    try_rewrite_aggregation,
+    try_rewrite_conjunctive,
+)
+
+
+def rewritings(query, view, fn):
+    out = []
+    for mapping in enumerate_mappings(view.block, query):
+        rewriting = fn(query, view, mapping)
+        if rewriting is not None:
+            out.append(rewriting)
+    return out
+
+
+def check(catalog, query, view, fn, expect=True, **oracle):
+    found = rewritings(query, view, fn)
+    if expect:
+        assert found
+        oracle.setdefault("trials", 30)
+        oracle.setdefault("domain", 3)
+        assert_equivalent(catalog, query, found[0], **oracle)
+        return found[0]
+    assert found == []
+    return None
+
+
+class TestMultipleAggregates:
+    def test_all_five_aggregates_at_once(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, SUM(C), COUNT(C), MIN(C), MAX(C), AVG(C) "
+            "FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B, S, Mn, Mx, N) AS "
+            "SELECT A, B, SUM(C), MIN(C), MAX(C), COUNT(C) "
+            "FROM R1 GROUP BY A, B",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        check(wide_catalog, query, view, try_rewrite_aggregation)
+
+    def test_same_aggregate_repeated_in_select(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, SUM(C) AS s1, SUM(C) AS s2 FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S) AS SELECT A, SUM(C) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        check(wide_catalog, query, view, try_rewrite_aggregation)
+
+    def test_multiple_count_columns_in_view(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, COUNT(B) FROM R1 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, N1, N2) AS "
+            "SELECT A, COUNT(B), COUNT(C) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        check(wide_catalog, query, view, try_rewrite_aggregation)
+
+
+class TestConstantsAndOperators:
+    def test_string_constant_residual(self):
+        catalog = Catalog([table("T", ["name", "city", "amount"])])
+        query = parse_query(
+            "SELECT name, SUM(amount) FROM T WHERE city = 'NYC' "
+            "GROUP BY name",
+            catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (name, city, total, n) AS "
+            "SELECT name, city, SUM(amount), COUNT(amount) "
+            "FROM T GROUP BY name, city",
+            catalog,
+        )
+        catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_aggregation)
+        assert found
+        assert "'NYC'" in found[0].sql()
+
+    def test_ne_predicate_residual(self, rs_catalog):
+        query = parse_query(
+            "SELECT A, SUM(B) FROM R1 WHERE A <> 2 GROUP BY A", rs_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B) AS SELECT A, B FROM R1", rs_catalog
+        )
+        rs_catalog.add_view(view)
+        check(rs_catalog, query, view, try_rewrite_conjunctive, domain=4)
+
+    def test_range_predicates_split_across_view_and_residual(self, rs_catalog):
+        query = parse_query(
+            "SELECT A FROM R1 WHERE B >= 1 AND B <= 3 AND A < B",
+            rs_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B) AS SELECT A, B FROM R1 WHERE A < B",
+            rs_catalog,
+        )
+        rs_catalog.add_view(view)
+        check(rs_catalog, query, view, try_rewrite_conjunctive, domain=5)
+
+    def test_strictly_weaker_view_range_ok(self, rs_catalog):
+        # View keeps B > 0; query wants B > 2 (implies the view's filter).
+        query = parse_query(
+            "SELECT A FROM R1 WHERE B > 2", rs_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B) AS SELECT A, B FROM R1 WHERE B > 0",
+            rs_catalog,
+        )
+        rs_catalog.add_view(view)
+        check(rs_catalog, query, view, try_rewrite_conjunctive, domain=5)
+
+    def test_strictly_stronger_view_range_rejected(self, rs_catalog):
+        query = parse_query("SELECT A FROM R1 WHERE B > 0", rs_catalog)
+        view = parse_view(
+            "CREATE VIEW V (A, B) AS SELECT A, B FROM R1 WHERE B > 2",
+            rs_catalog,
+        )
+        check(
+            rs_catalog, query, view, try_rewrite_conjunctive, expect=False
+        )
+
+
+class TestSelfJoins:
+    def test_aggregation_view_on_one_occurrence(self, rs_catalog):
+        query = parse_query(
+            "SELECT x.A, COUNT(y.B) FROM R1 x, R1 y GROUP BY x.A",
+            rs_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, N) AS SELECT A, COUNT(B) FROM R1 GROUP BY A",
+            rs_catalog,
+        )
+        rs_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_aggregation)
+        # Two mappings (x or y); each must be sound.
+        assert len(found) >= 1
+        for rewriting in found:
+            assert_equivalent(
+                rs_catalog, query, rewriting, trials=30, domain=3
+            )
+
+    def test_view_self_join_into_query_self_join(self, rs_catalog):
+        query = parse_query(
+            "SELECT x.A, SUM(y.B) FROM R1 x, R1 y WHERE x.B = y.A "
+            "GROUP BY x.A",
+            rs_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A1, B2) AS "
+            "SELECT x.A, y.B FROM R1 x, R1 y WHERE x.B = y.A",
+            rs_catalog,
+        )
+        rs_catalog.add_view(view)
+        check(rs_catalog, query, view, try_rewrite_conjunctive)
+
+
+class TestGroupingEdges:
+    def test_grouping_by_closure_equal_columns(self, rs_catalog):
+        # A = B, grouped by both: the view only outputs A.
+        query = parse_query(
+            "SELECT A, B, COUNT(B) FROM R1 WHERE A = B GROUP BY A, B",
+            rs_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, N) AS "
+            "SELECT A, COUNT(B) FROM R1 WHERE A = B GROUP BY A",
+            rs_catalog,
+        )
+        rs_catalog.add_view(view)
+        check(rs_catalog, query, view, try_rewrite_aggregation)
+
+    def test_view_grouped_by_everything(self, wide_catalog):
+        # Every group has COUNT >= 1; the rewriting must still weight.
+        query = parse_query(
+            "SELECT A, COUNT(B) FROM R1 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B, C, D, N) AS "
+            "SELECT A, B, C, D, COUNT(A) FROM R1 GROUP BY A, B, C, D",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        check(wide_catalog, query, view, try_rewrite_aggregation, domain=2)
+
+    def test_having_only_aggregate(self, rs_catalog):
+        # The aggregate appears only in HAVING, never in SELECT.
+        query = parse_query(
+            "SELECT A FROM R1 GROUP BY A HAVING SUM(B) > 3", rs_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S) AS SELECT A, SUM(B) FROM R1 GROUP BY A",
+            rs_catalog,
+        )
+        rs_catalog.add_view(view)
+        check(rs_catalog, query, view, try_rewrite_aggregation, domain=4)
+
+
+class TestPartialCoverage:
+    def test_view_covers_one_of_three_tables(self):
+        catalog = Catalog(
+            [
+                table("R", ["A", "B"]),
+                table("S", ["C", "D"]),
+                table("T", ["E", "F"]),
+            ]
+        )
+        query = parse_query(
+            "SELECT A, SUM(E) FROM R, S, T WHERE B = C AND D = E "
+            "GROUP BY A",
+            catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B, N) AS "
+            "SELECT A, B, COUNT(A) FROM R GROUP BY A, B",
+            catalog,
+        )
+        catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_aggregation)
+        assert found
+        names = sorted(rel.name for rel in found[0].query.from_)
+        assert names == ["S", "T", "V"]
+        assert_equivalent(catalog, query, found[0], trials=25, domain=2)
+
+    def test_two_aggregation_views_sequentially(self):
+        """An aggregation view, then a conjunctive view on the remainder."""
+        from repro.core.multiview import all_rewritings
+
+        catalog = Catalog(
+            [table("R", ["A", "B"]), table("S", ["C", "D"])]
+        )
+        agg_view = parse_view(
+            "CREATE VIEW VA (A, N) AS SELECT A, COUNT(B) FROM R GROUP BY A",
+            catalog,
+        )
+        conj_view = parse_view(
+            "CREATE VIEW VC (C, D) AS SELECT C, D FROM S", catalog
+        )
+        catalog.add_view(agg_view)
+        catalog.add_view(conj_view)
+        query = parse_query(
+            "SELECT A, COUNT(D) FROM R, S GROUP BY A", catalog
+        )
+        found = all_rewritings(query, [agg_view, conj_view], catalog)
+        both = [r for r in found if len(r.view_names) == 2]
+        assert both
+        assert_equivalent(catalog, query, both[0], trials=25, domain=3)

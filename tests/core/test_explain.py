@@ -1,0 +1,191 @@
+"""The usability explainer: reasons must name the actual obstruction."""
+
+import pytest
+
+from repro import parse_query, parse_view
+from repro.core.explain import explain_usability
+from repro.core.multiview import single_view_rewritings
+
+
+def check_agreement(query, view, catalog):
+    """The explainer's verdict must agree with the rewriter's."""
+    diagnosis = explain_usability(query, view)
+    found = single_view_rewritings(query, view, catalog)
+    assert diagnosis.usable == bool(found), diagnosis.summary()
+    return diagnosis
+
+
+class TestConjunctiveDiagnoses:
+    def test_c2_projection_failure_names_column(self, rs_catalog):
+        query = parse_query("SELECT A, B FROM R1", rs_catalog)
+        view = parse_view("CREATE VIEW V (A) AS SELECT A FROM R1", rs_catalog)
+        diagnosis = check_agreement(query, view, rs_catalog)
+        failure = diagnosis.mappings[0].first_failure()
+        assert failure.condition == "C2"
+        assert "R1.B" in failure.detail
+
+    def test_c3_selectivity_failure(self, rs_catalog):
+        query = parse_query("SELECT A FROM R1", rs_catalog)
+        view = parse_view(
+            "CREATE VIEW V (A) AS SELECT A FROM R1 WHERE A = B", rs_catalog
+        )
+        diagnosis = check_agreement(query, view, rs_catalog)
+        failure = diagnosis.mappings[0].first_failure()
+        assert failure.condition == "C3"
+        assert "more selective" in failure.detail
+
+    def test_c3_residual_failure(self, rs_catalog):
+        query = parse_query("SELECT A FROM R1 WHERE B = 3", rs_catalog)
+        view = parse_view("CREATE VIEW V (A) AS SELECT A FROM R1", rs_catalog)
+        diagnosis = check_agreement(query, view, rs_catalog)
+        failure = diagnosis.mappings[0].first_failure()
+        assert failure.condition == "C3"
+        assert "projects out" in failure.detail
+
+    def test_c4_failure(self, rs_catalog):
+        query = parse_query(
+            "SELECT A, SUM(B) FROM R1 GROUP BY A", rs_catalog
+        )
+        view = parse_view("CREATE VIEW V (A) AS SELECT A FROM R1", rs_catalog)
+        diagnosis = check_agreement(query, view, rs_catalog)
+        conditions = {
+            r.condition for m in diagnosis.mappings for r in m.reports if not r.ok
+        }
+        assert "C4" in conditions
+
+    def test_c1_failure_reported(self, rs_catalog):
+        query = parse_query("SELECT A FROM R1", rs_catalog)
+        view = parse_view("CREATE VIEW V (C) AS SELECT C FROM R2", rs_catalog)
+        diagnosis = check_agreement(query, view, rs_catalog)
+        assert not diagnosis.mappings
+        assert "C1" in diagnosis.summary()
+
+
+class TestAggregationDiagnoses:
+    def test_example_4_4(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, E, SUM(B) FROM R1, R2 WHERE B = F GROUP BY A, E",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, E, F, S) AS "
+            "SELECT A, E, F, SUM(B) FROM R1, R2 GROUP BY A, E, F",
+            wide_catalog,
+        )
+        diagnosis = check_agreement(query, view, wide_catalog)
+        failure = diagnosis.mappings[0].first_failure()
+        assert failure.condition == "C3'"
+
+    def test_missing_count_output(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, SUM(E) FROM R1, R2 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B, S) AS "
+            "SELECT A, B, SUM(C) FROM R1 GROUP BY A, B",
+            wide_catalog,
+        )
+        diagnosis = check_agreement(query, view, wide_catalog)
+        failure = diagnosis.mappings[0].first_failure()
+        assert failure.condition == "C4'"
+        assert "COUNT" in failure.detail
+
+    def test_coarse_view_groups(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, B, SUM(D) FROM R1 GROUP BY A, B", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S, N) AS "
+            "SELECT A, SUM(D), COUNT(D) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        diagnosis = check_agreement(query, view, wide_catalog)
+        failure = diagnosis.mappings[0].first_failure()
+        assert failure.condition == "C2'"
+        assert "R1.B" in failure.detail
+
+    def test_view_having_blocked(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, SUM(C) FROM R1 GROUP BY A HAVING SUM(C) > 2",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S) AS "
+            "SELECT A, SUM(C) FROM R1 GROUP BY A HAVING SUM(C) > 5",
+            wide_catalog,
+        )
+        diagnosis = check_agreement(query, view, wide_catalog)
+        conditions = {
+            r.condition
+            for m in diagnosis.mappings
+            for r in m.reports
+            if not r.ok
+        }
+        assert "4.3" in conditions
+
+    def test_section_4_5_scope(self, wide_catalog):
+        query = parse_query("SELECT A, B FROM R1", wide_catalog)
+        view = parse_view(
+            "CREATE VIEW V (A, B, N) AS "
+            "SELECT A, B, COUNT(C) FROM R1 GROUP BY A, B",
+            wide_catalog,
+        )
+        diagnosis = explain_usability(query, view)
+        assert not diagnosis.usable
+        assert "4.5" in diagnosis.scope_failure
+
+
+class TestPositiveDiagnoses:
+    def test_usable_view_all_pass(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, SUM(E) FROM R1, R2 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B, S, N) AS "
+            "SELECT A, B, SUM(C), COUNT(C) FROM R1 GROUP BY A, B",
+            wide_catalog,
+        )
+        diagnosis = check_agreement(query, view, wide_catalog)
+        assert diagnosis.usable
+        assert "USABLE" in diagnosis.summary()
+
+
+class TestAgreementSweep:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_explainer_agrees_with_rewriter(self, seed):
+        """Property: the explainer's verdict always matches whether the
+        rewriter actually produces a rewriting."""
+        import random
+
+        from repro.workloads.random_queries import (
+            random_catalog,
+            related_pair,
+        )
+
+        rng = random.Random(90_000 + seed)
+        catalog = random_catalog(rng)
+        query, view = related_pair(catalog, rng)
+        catalog.add_view(view)
+        check_agreement(query, view, catalog)
+
+
+class TestSetSemanticsHint:
+    def test_many_to_one_hint(self, keyed_catalog):
+        # Example 5.1's shape: the view self-joins R1, the query has one
+        # occurrence, so no 1-1 mapping exists — but many-to-1 does.
+        query = parse_query("SELECT A FROM R1 WHERE B = C", keyed_catalog)
+        view = parse_view(
+            "CREATE VIEW V1 (A2, A3) AS "
+            "SELECT x.A, y.A FROM R1 x, R1 y WHERE x.B = y.C",
+            keyed_catalog,
+        )
+        diagnosis = explain_usability(query, view)
+        assert diagnosis.many_to_one_possible
+        assert "Section 5.2" in diagnosis.summary()
+
+    def test_no_hint_when_tables_absent(self, rs_catalog):
+        query = parse_query("SELECT A FROM R1", rs_catalog)
+        view = parse_view("CREATE VIEW V (C) AS SELECT C FROM R2", rs_catalog)
+        diagnosis = explain_usability(query, view)
+        assert not diagnosis.many_to_one_possible
+        assert "Section 5.2" not in diagnosis.summary()

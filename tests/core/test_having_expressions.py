@@ -1,0 +1,115 @@
+"""HAVING clauses beyond AGG-vs-constant: aggregate-to-aggregate and
+arithmetic comparisons, through evaluation and rewriting."""
+
+import pytest
+
+from repro import (
+    assert_equivalent,
+    enumerate_mappings,
+    parse_query,
+    parse_view,
+    try_rewrite_aggregation,
+    try_rewrite_conjunctive,
+)
+from repro.engine.database import Database
+
+
+def rewritings(query, view, fn):
+    out = []
+    for mapping in enumerate_mappings(view.block, query):
+        rewriting = fn(query, view, mapping)
+        if rewriting is not None:
+            out.append(rewriting)
+    return out
+
+
+class TestEvaluation:
+    def test_aggregate_vs_aggregate(self, rs_catalog):
+        db = Database(
+            rs_catalog,
+            {"R1": [(1, 10), (1, 20), (2, 1), (2, 1), (2, 1)], "R2": []},
+        )
+        result = db.execute(
+            "SELECT A FROM R1 GROUP BY A HAVING SUM(B) > COUNT(B)"
+        )
+        assert sorted(result.rows) == [(1,)]  # 30 > 2 but 3 == 3 fails
+
+    def test_arithmetic_over_aggregates(self, rs_catalog):
+        db = Database(
+            rs_catalog,
+            {"R1": [(1, 10), (1, 20), (2, 4)], "R2": []},
+        )
+        result = db.execute(
+            "SELECT A FROM R1 GROUP BY A HAVING SUM(B) / COUNT(B) >= 10"
+        )
+        assert result.rows == [(1,)]
+
+    def test_aggregate_vs_grouping_column(self, rs_catalog):
+        db = Database(
+            rs_catalog,
+            {"R1": [(5, 3), (5, 4), (2, 9)], "R2": []},
+        )
+        result = db.execute(
+            "SELECT A FROM R1 GROUP BY A HAVING MAX(B) < A"
+        )
+        assert result.rows == [(5,)]
+
+
+class TestRewriting:
+    def test_agg_vs_agg_conjunctive_view(self, rs_catalog):
+        query = parse_query(
+            "SELECT A FROM R1 GROUP BY A HAVING SUM(B) > COUNT(B)",
+            rs_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B) AS SELECT A, B FROM R1", rs_catalog
+        )
+        rs_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_conjunctive)
+        assert found
+        assert_equivalent(rs_catalog, query, found[0], trials=30, domain=4)
+
+    def test_agg_vs_agg_aggregation_view(self, wide_catalog):
+        query = parse_query(
+            "SELECT A FROM R1 GROUP BY A HAVING SUM(C) > COUNT(C)",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S, N) AS "
+            "SELECT A, SUM(C), COUNT(C) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_aggregation)
+        assert found
+        assert_equivalent(wide_catalog, query, found[0], trials=30, domain=4)
+
+    def test_agg_vs_grouping_column_rewrite(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, MAX(C) FROM R1 GROUP BY A HAVING MAX(C) < A",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B, Mx) AS "
+            "SELECT A, B, MAX(C) FROM R1 GROUP BY A, B",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_aggregation)
+        assert found
+        assert_equivalent(wide_catalog, query, found[0], trials=30, domain=4)
+
+    def test_having_avg_comparison_rewritten(self, wide_catalog):
+        query = parse_query(
+            "SELECT A FROM R1 GROUP BY A HAVING AVG(C) >= 2 AND COUNT(C) > 1",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S, N) AS "
+            "SELECT A, SUM(C), COUNT(C) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_aggregation)
+        assert found
+        assert_equivalent(wide_catalog, query, found[0], trials=30, domain=4)

@@ -1,0 +1,201 @@
+"""Rewriting with HAVING clauses in the query and/or the view
+(Sections 3.3 and 4.3)."""
+
+import pytest
+
+from repro import (
+    assert_equivalent,
+    enumerate_mappings,
+    parse_query,
+    parse_view,
+    try_rewrite_aggregation,
+    try_rewrite_conjunctive,
+)
+
+
+def rewritings(query, view, fn):
+    out = []
+    for mapping in enumerate_mappings(view.block, query):
+        rewriting = fn(query, view, mapping)
+        if rewriting is not None:
+            out.append(rewriting)
+    return out
+
+
+class TestQueryHavingConjunctiveView:
+    def test_having_kept_in_rewriting(self, rs_catalog):
+        query = parse_query(
+            "SELECT A, SUM(B) FROM R1 GROUP BY A HAVING SUM(B) > 5",
+            rs_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B) AS SELECT A, B FROM R1", rs_catalog
+        )
+        rs_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_conjunctive)
+        assert found
+        assert found[0].query.having
+        assert_equivalent(rs_catalog, query, found[0], trials=30, domain=4)
+
+    def test_having_strengthens_where_for_usability(self, rs_catalog):
+        """Pre-processing moves A > 2 into WHERE, which then matches the
+        view's condition; without Section 3.3 the view looks too
+        selective."""
+        query = parse_query(
+            "SELECT A, SUM(B) FROM R1 GROUP BY A HAVING A > 2", rs_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B) AS SELECT A, B FROM R1 WHERE A > 2",
+            rs_catalog,
+        )
+        rs_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_conjunctive)
+        assert found
+        assert_equivalent(rs_catalog, query, found[0], trials=40, domain=5)
+
+    def test_max_having_strengthens_where(self, rs_catalog):
+        query = parse_query(
+            "SELECT A, MAX(B) FROM R1 GROUP BY A HAVING MAX(B) > 3",
+            rs_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B) AS SELECT A, B FROM R1 WHERE B > 3",
+            rs_catalog,
+        )
+        rs_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_conjunctive)
+        assert found
+        assert_equivalent(rs_catalog, query, found[0], trials=40, domain=6)
+
+    def test_having_count_aggregate_not_in_select(self, rs_catalog):
+        # C4 extension: aggregation columns appearing only in HAVING.
+        query = parse_query(
+            "SELECT A FROM R1 GROUP BY A HAVING COUNT(B) >= 2", rs_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A) AS SELECT A FROM R1", rs_catalog
+        )
+        rs_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_conjunctive)
+        assert found
+        assert_equivalent(rs_catalog, query, found[0], trials=30, domain=3)
+
+    def test_having_sum_needs_column_copy(self, rs_catalog):
+        query = parse_query(
+            "SELECT A FROM R1 GROUP BY A HAVING SUM(B) > 4", rs_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A) AS SELECT A FROM R1", rs_catalog
+        )
+        assert rewritings(query, view, try_rewrite_conjunctive) == []
+
+
+class TestQueryHavingAggregationView:
+    def test_having_aggregate_rewritten(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, SUM(C) FROM R1 GROUP BY A HAVING COUNT(B) > 1",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S, N) AS "
+            "SELECT A, SUM(C), COUNT(C) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_aggregation)
+        assert found
+        assert_equivalent(wide_catalog, query, found[0], trials=40, domain=3)
+
+    def test_having_with_coalescing(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, SUM(C) FROM R1 GROUP BY A HAVING SUM(C) > 6",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B, S) AS "
+            "SELECT A, B, SUM(C) FROM R1 GROUP BY A, B",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_aggregation)
+        assert found
+        assert_equivalent(wide_catalog, query, found[0], trials=40, domain=3)
+
+
+class TestViewHaving:
+    def test_aligned_view_having_entailed(self, wide_catalog):
+        """Same groups, query HAVING at least as strict: usable."""
+        query = parse_query(
+            "SELECT A, SUM(C) FROM R1 GROUP BY A HAVING SUM(C) > 10",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S) AS "
+            "SELECT A, SUM(C) FROM R1 GROUP BY A HAVING SUM(C) > 5",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_aggregation)
+        assert found
+        assert_equivalent(
+            wide_catalog, query, found[0], trials=40, domain=4, max_rows=10
+        )
+
+    def test_view_having_not_entailed(self, wide_catalog):
+        """The view's HAVING eliminates groups the query still needs."""
+        query = parse_query(
+            "SELECT A, SUM(C) FROM R1 GROUP BY A HAVING SUM(C) > 2",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S) AS "
+            "SELECT A, SUM(C) FROM R1 GROUP BY A HAVING SUM(C) > 5",
+            wide_catalog,
+        )
+        assert rewritings(query, view, try_rewrite_aggregation) == []
+
+    def test_view_having_with_coalescing_blocked(self, wide_catalog):
+        """Coalescing over a filtered view loses eliminated subgroups."""
+        query = parse_query(
+            "SELECT A, SUM(C) FROM R1 GROUP BY A HAVING SUM(C) > 5",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B, S) AS "
+            "SELECT A, B, SUM(C) FROM R1 GROUP BY A, B HAVING SUM(C) > 5",
+            wide_catalog,
+        )
+        assert rewritings(query, view, try_rewrite_aggregation) == []
+
+    def test_view_having_with_extra_tables_blocked(self, wide_catalog):
+        """Joining other tables rescales aggregates; entailment between
+        the two HAVING clauses cannot be trusted."""
+        query = parse_query(
+            "SELECT A, E, SUM(C) FROM R1, R2 GROUP BY A, E "
+            "HAVING SUM(C) > 5",
+            wide_catalog,
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S, N) AS "
+            "SELECT A, SUM(C), COUNT(C) FROM R1 GROUP BY A "
+            "HAVING SUM(C) > 5",
+            wide_catalog,
+        )
+        assert rewritings(query, view, try_rewrite_aggregation) == []
+
+    def test_view_having_moved_to_where_still_usable(self, wide_catalog):
+        """A view HAVING over its grouping columns normalizes into WHERE
+        (Section 3.3 pre-processing of the view) and is then handled by
+        the ordinary C3' residual check."""
+        query = parse_query(
+            "SELECT A, SUM(C) FROM R1 WHERE A > 1 GROUP BY A", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, S) AS "
+            "SELECT A, SUM(C) FROM R1 GROUP BY A HAVING A > 1",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view, try_rewrite_aggregation)
+        assert found
+        assert_equivalent(wide_catalog, query, found[0], trials=40, domain=4)

@@ -1,0 +1,225 @@
+"""Multiple uses of views: Theorem 3.2 (soundness, Church-Rosser,
+completeness for equality predicates)."""
+
+import itertools
+
+import pytest
+
+from repro import (
+    Catalog,
+    assert_equivalent,
+    parse_query,
+    parse_view,
+    table,
+)
+from repro.core.canonical import blocks_isomorphic, canonical_key
+from repro.core.multiview import (
+    all_rewritings,
+    rewrite_iteratively,
+    single_view_rewritings,
+)
+
+
+@pytest.fixture
+def three_table_catalog():
+    return Catalog(
+        [
+            table("R", ["A", "B"]),
+            table("S", ["C", "D"]),
+            table("T", ["E", "F"]),
+        ]
+    )
+
+
+@pytest.fixture
+def two_views(three_table_catalog):
+    catalog = three_table_catalog
+    v_r = parse_view(
+        "CREATE VIEW VR (A, B) AS SELECT A, B FROM R WHERE A > 0",
+        catalog,
+    )
+    v_s = parse_view("CREATE VIEW VS (C, D) AS SELECT C, D FROM S", catalog)
+    catalog.add_view(v_r)
+    catalog.add_view(v_s)
+    return catalog, v_r, v_s
+
+
+class TestIterativeSoundness:
+    def test_each_step_multiset_equivalent(self, two_views):
+        catalog, v_r, v_s = two_views
+        query = parse_query(
+            "SELECT A, SUM(D) FROM R, S, T WHERE A > 0 AND B = C "
+            "GROUP BY A",
+            catalog,
+        )
+        first = single_view_rewritings(query, v_r, catalog)
+        assert first
+        assert_equivalent(catalog, query, first[0], trials=25, domain=3)
+
+        second = single_view_rewritings(first[0].query, v_s, catalog)
+        assert second
+        assert_equivalent(
+            catalog, query, second[0].query, trials=25, domain=3
+        )
+
+    def test_views_treated_as_tables_after_use(self, two_views):
+        catalog, v_r, v_s = two_views
+        query = parse_query(
+            "SELECT A, SUM(D) FROM R, S WHERE A > 0 GROUP BY A", catalog
+        )
+        combined = rewrite_iteratively(query, [v_r, v_s], catalog)
+        assert combined is not None
+        names = {rel.name for rel in combined.query.from_}
+        assert names == {"VR", "VS"}
+        assert combined.view_names == ("VR", "VS")
+        assert_equivalent(catalog, query, combined, trials=25, domain=3)
+
+
+class TestChurchRosser:
+    def test_order_independence(self, two_views):
+        """Theorem 3.2(2): any order of view incorporation gives the same
+        rewriting, up to renaming."""
+        catalog, v_r, v_s = two_views
+        query = parse_query(
+            "SELECT A, SUM(D) FROM R, S WHERE A > 0 GROUP BY A", catalog
+        )
+        keys = set()
+        for order in itertools.permutations([v_r, v_s]):
+            result = rewrite_iteratively(query, list(order), catalog)
+            assert result is not None
+            keys.add(canonical_key(result.query))
+        assert len(keys) == 1
+
+    def test_three_views_any_order(self, three_table_catalog):
+        catalog = three_table_catalog
+        views = []
+        for name, base, cols in [
+            ("VR", "R", "A, B"),
+            ("VS", "S", "C, D"),
+            ("VT", "T", "E, F"),
+        ]:
+            view = parse_view(
+                f"CREATE VIEW {name} ({cols}) AS SELECT {cols} FROM {base}",
+                catalog,
+            )
+            catalog.add_view(view)
+            views.append(view)
+        query = parse_query(
+            "SELECT A, E, COUNT(C) FROM R, S, T WHERE B = C AND D = E "
+            "GROUP BY A, E",
+            catalog,
+        )
+        keys = set()
+        for order in itertools.permutations(views):
+            result = rewrite_iteratively(query, list(order), catalog)
+            assert result is not None
+            keys.add(canonical_key(result.query))
+        assert len(keys) == 1
+
+
+class TestAllRewritings:
+    def test_enumerates_single_and_double(self, two_views):
+        catalog, v_r, v_s = two_views
+        query = parse_query(
+            "SELECT A, SUM(D) FROM R, S WHERE A > 0 GROUP BY A", catalog
+        )
+        found = all_rewritings(query, [v_r, v_s], catalog)
+        # VR alone, VS alone, and both (in either order, deduplicated).
+        assert len(found) == 3
+        for rewriting in found:
+            assert_equivalent(catalog, query, rewriting, trials=20, domain=3)
+
+    def test_maximal_only(self, two_views):
+        catalog, v_r, v_s = two_views
+        query = parse_query(
+            "SELECT A, SUM(D) FROM R, S WHERE A > 0 GROUP BY A", catalog
+        )
+        maximal = all_rewritings(
+            query, [v_r, v_s], catalog, include_partial=False
+        )
+        assert len(maximal) == 1
+        assert set(maximal[0].view_names) == {"VR", "VS"}
+
+    def test_same_view_twice_on_self_join(self, three_table_catalog):
+        catalog = three_table_catalog
+        view = parse_view(
+            "CREATE VIEW VR (A, B) AS SELECT A, B FROM R WHERE B = 1",
+            catalog,
+        )
+        catalog.add_view(view)
+        query = parse_query(
+            "SELECT x.A, y.A FROM R x, R y WHERE x.B = 1 AND y.B = 1",
+            catalog,
+        )
+        found = all_rewritings(query, [view], catalog)
+        double = [r for r in found if len(r.view_names) == 2]
+        assert double
+        for rewriting in double:
+            assert {rel.name for rel in rewriting.query.from_} == {"VR"}
+            assert_equivalent(catalog, query, rewriting, trials=25, domain=3)
+
+    def test_completeness_equality_case(self, three_table_catalog):
+        """Theorem 3.2(3) in a checkable form: an obviously-usable view is
+        found through the iterative procedure (no rewriting is reachable
+        only by simultaneous substitution)."""
+        catalog = three_table_catalog
+        v1 = parse_view(
+            "CREATE VIEW V1 (A, C) AS SELECT A, C FROM R, S WHERE B = C",
+            catalog,
+        )
+        v2 = parse_view(
+            "CREATE VIEW V2 (E) AS SELECT E FROM T WHERE E = F", catalog
+        )
+        catalog.add_view(v1)
+        catalog.add_view(v2)
+        query = parse_query(
+            "SELECT A, COUNT(E) FROM R, S, T "
+            "WHERE B = C AND E = F GROUP BY A",
+            catalog,
+        )
+        found = all_rewritings(query, [v1, v2], catalog)
+        both = [r for r in found if set(r.view_names) == {"V1", "V2"}]
+        assert both
+        assert_equivalent(catalog, query, both[0], trials=25, domain=3)
+
+
+class TestCanonical:
+    def test_isomorphic_under_renaming(self, three_table_catalog):
+        catalog = three_table_catalog
+        q1 = parse_query("SELECT A FROM R WHERE B = 1", catalog)
+        q2 = parse_query("SELECT r.A FROM R r WHERE r.B = 1", catalog)
+        assert blocks_isomorphic(q1, q2)
+
+    def test_from_order_irrelevant(self, three_table_catalog):
+        catalog = three_table_catalog
+        q1 = parse_query("SELECT A FROM R, S WHERE B = C", catalog)
+        q2 = parse_query("SELECT A FROM S, R WHERE B = C", catalog)
+        assert blocks_isomorphic(q1, q2)
+
+    def test_where_order_irrelevant(self, three_table_catalog):
+        catalog = three_table_catalog
+        q1 = parse_query("SELECT A FROM R WHERE A = 1 AND B = 2", catalog)
+        q2 = parse_query("SELECT A FROM R WHERE B = 2 AND A = 1", catalog)
+        assert blocks_isomorphic(q1, q2)
+
+    def test_different_conditions_distinguished(self, three_table_catalog):
+        catalog = three_table_catalog
+        q1 = parse_query("SELECT A FROM R WHERE B = 1", catalog)
+        q2 = parse_query("SELECT A FROM R WHERE B = 2", catalog)
+        assert not blocks_isomorphic(q1, q2)
+
+    def test_select_order_matters(self, three_table_catalog):
+        catalog = three_table_catalog
+        q1 = parse_query("SELECT A, B FROM R", catalog)
+        q2 = parse_query("SELECT B, A FROM R", catalog)
+        assert not blocks_isomorphic(q1, q2)
+
+    def test_self_join_symmetry(self, three_table_catalog):
+        catalog = three_table_catalog
+        q1 = parse_query(
+            "SELECT x.A FROM R x, R y WHERE x.B = y.A", catalog
+        )
+        q2 = parse_query(
+            "SELECT y.A FROM R x, R y WHERE y.B = x.A", catalog
+        )
+        assert blocks_isomorphic(q1, q2)

@@ -1,0 +1,153 @@
+"""The literal S4'/S5' auxiliary-view construction (DESIGN.md note 1).
+
+Two regimes:
+
+* aligned (``Groups(Q) ⊇ φ(Groups(V))``): the construction is sound and
+  our implementation verifies against the oracle;
+* unaligned: the tech report's own Example 4.2 over-counts — reproduced
+  here as a concrete demonstration, on the paper's own query/view pair.
+"""
+
+import pytest
+
+from repro import (
+    assert_equivalent,
+    check_equivalent,
+    enumerate_mappings,
+    parse_query,
+    parse_view,
+    try_rewrite_paper_va,
+)
+from repro.engine.database import Database
+
+
+def rewritings(query, view, **kwargs):
+    out = []
+    for mapping in enumerate_mappings(view.block, query):
+        rewriting = try_rewrite_paper_va(query, view, mapping, **kwargs)
+        if rewriting is not None:
+            out.append(rewriting)
+    return out
+
+
+@pytest.fixture
+def example_42(wide_catalog):
+    query = parse_query(
+        "SELECT A, SUM(E) FROM R1, R2 GROUP BY A", wide_catalog
+    )
+    view = parse_view(
+        "CREATE VIEW V2 (A, B, S, N) AS "
+        "SELECT A, B, SUM(C), COUNT(C) FROM R1 GROUP BY A, B",
+        wide_catalog,
+    )
+    wide_catalog.add_view(view)
+    return wide_catalog, query, view
+
+
+class TestAlignedRegime:
+    def test_s5_count_scaling(self, wide_catalog):
+        """Q groups by everything V groups by: Cnt_Va scaling is exact."""
+        query = parse_query(
+            "SELECT A, B, SUM(E) FROM R1, R2 GROUP BY A, B", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V2 (A, B, S, N) AS "
+            "SELECT A, B, SUM(C), COUNT(C) FROM R1 GROUP BY A, B",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view)
+        assert found
+        rewriting = found[0]
+        assert rewriting.aux_views, "the Va auxiliary view must appear"
+        assert "Va" in rewriting.sql()
+        assert_equivalent(
+            wide_catalog, query, rewriting, trials=40, domain=3
+        )
+
+    def test_s4_sum_of_grouping_column(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, B, SUM(B) FROM R1 GROUP BY A, B", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V2 (A, B, N) AS "
+            "SELECT A, B, COUNT(C) FROM R1 GROUP BY A, B",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view)
+        assert found
+        assert_equivalent(
+            wide_catalog, query, found[0], trials=40, domain=3
+        )
+
+    def test_direct_sum_needs_no_va(self, wide_catalog):
+        query = parse_query(
+            "SELECT A, B, SUM(C) FROM R1 GROUP BY A, B", wide_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V2 (A, B, S, N) AS "
+            "SELECT A, B, SUM(C), COUNT(C) FROM R1 GROUP BY A, B",
+            wide_catalog,
+        )
+        wide_catalog.add_view(view)
+        found = rewritings(query, view)
+        assert found
+        assert not found[0].aux_views
+        assert_equivalent(wide_catalog, query, found[0], trials=30, domain=3)
+
+
+class TestUnalignedRegime:
+    def test_alignment_gate_refuses(self, example_42):
+        _catalog, query, view = example_42
+        assert rewritings(query, view) == []
+
+    def test_paper_literal_overcounts_on_its_own_example(self, example_42):
+        """Example 4.2 as printed: keeping φ(V) in FROM and scaling by
+        Cnt_Va multiplies by the number of V-groups per Q-group."""
+        catalog, query, view = example_42
+        found = rewritings(query, view, check_alignment=False)
+        assert found
+        rewriting = found[0]
+        # Two subgroups (a,b1), (a,b2) of group a; one R2 row.
+        db = Database(
+            catalog,
+            {
+                "R1": [(0, 0, 1, 0), (0, 1, 1, 0)],
+                "R2": [(5, 0)],
+            },
+        )
+        original = db.execute(query)
+        literal = db.execute(
+            rewriting.query, extra_views=rewriting.extra_views()
+        )
+        assert original.rows == [(0, 5 + 5)]
+        # The literal construction doubles the answer (k = 2 subgroups).
+        assert literal.rows == [(0, 20)]
+
+    def test_oracle_also_catches_it(self, example_42):
+        catalog, query, view = example_42
+        found = rewritings(query, view, check_alignment=False)
+        counterexample = check_equivalent(
+            catalog, query, found[0], trials=60, domain=3
+        )
+        assert counterexample is not None
+
+
+class TestScope:
+    def test_conjunctive_view_rejected(self, rs_catalog):
+        query = parse_query(
+            "SELECT A, SUM(B) FROM R1 GROUP BY A", rs_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V (A, B) AS SELECT A, B FROM R1", rs_catalog
+        )
+        assert rewritings(query, view) == []
+
+    def test_no_group_by_rejected(self, wide_catalog):
+        query = parse_query("SELECT SUM(E) FROM R1, R2", wide_catalog)
+        view = parse_view(
+            "CREATE VIEW V (A, N) AS SELECT A, COUNT(C) FROM R1 GROUP BY A",
+            wide_catalog,
+        )
+        assert rewritings(query, view) == []

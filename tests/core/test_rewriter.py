@@ -1,0 +1,159 @@
+"""The RewriteEngine facade and the cost model."""
+
+import pytest
+
+from repro import Catalog, RewriteEngine, parse_query, table
+from repro.core.cost import estimate_cost, estimate_result_rows, estimate_rows
+
+
+@pytest.fixture
+def engine():
+    catalog = Catalog(
+        [
+            table("Fact", ["K", "G", "V"], key=["K"], row_count=100_000),
+            table("Dim", ["G", "Name"], key=["G"], row_count=100),
+        ]
+    )
+    eng = RewriteEngine(catalog)
+    eng.add_view(
+        "CREATE VIEW Summary (G, Total, N) AS "
+        "SELECT G, SUM(V), COUNT(V) FROM Fact GROUP BY G",
+        row_count=100,
+    )
+    return eng
+
+
+class TestRewriteEngine:
+    def test_finds_and_ranks(self, engine):
+        result = engine.rewrite(
+            "SELECT G, SUM(V) FROM Fact GROUP BY G"
+        )
+        assert len(result) >= 1
+        best = result.best()
+        assert best is not None and best.view_names == ("Summary",)
+
+    def test_view_cheaper_than_original(self, engine):
+        result = engine.rewrite("SELECT G, SUM(V) FROM Fact GROUP BY G")
+        assert result.ranked[0].cost < result.original_cost
+        chosen = result.best_or_original()
+        assert chosen is result.ranked[0].rewriting.query
+
+    def test_original_kept_when_no_view_usable(self, engine):
+        result = engine.rewrite("SELECT K, V FROM Fact")
+        assert result.best() is None
+        assert result.best_or_original() is result.query
+
+    def test_rewrite_with_specific_view(self, engine):
+        view = engine.catalog.view("Summary")
+        found = engine.rewrite_with(
+            "SELECT G, COUNT(V) FROM Fact GROUP BY G", view
+        )
+        assert found
+
+    def test_add_view_by_sql_and_name(self, engine):
+        engine.add_view(
+            "SELECT G, MIN(V) FROM Fact GROUP BY G", name="Mins"
+        )
+        assert engine.catalog.is_view("Mins")
+
+    def test_views_property(self, engine):
+        assert {v.name for v in engine.views} == {"Summary"}
+
+    def test_query_validated(self, engine):
+        from repro.errors import NormalizationError
+
+        with pytest.raises(NormalizationError):
+            engine.rewrite("SELECT V FROM Fact GROUP BY G")
+
+    def test_rewriting_sql_is_executable(self, engine):
+        from repro.engine.database import Database
+
+        result = engine.rewrite("SELECT G, SUM(V) FROM Fact GROUP BY G")
+        rewriting = result.best()
+        db = Database(
+            engine.catalog,
+            {"Fact": [(1, 0, 10), (2, 0, 20), (3, 1, 5)], "Dim": []},
+        )
+        out = db.execute(rewriting.query, extra_views=rewriting.extra_views())
+        assert sorted(out.rows) == [(0, 30), (1, 5)]
+
+
+class TestCostModel:
+    def test_rows_scale_with_tables(self, engine):
+        catalog = engine.catalog
+        q_small = parse_query("SELECT G, Name FROM Dim", catalog)
+        q_large = parse_query("SELECT K FROM Fact", catalog)
+        assert estimate_rows(q_small, catalog) < estimate_rows(
+            q_large, catalog
+        )
+
+    def test_predicates_reduce_estimate(self, engine):
+        catalog = engine.catalog
+        q_all = parse_query("SELECT K FROM Fact", catalog)
+        q_filtered = parse_query("SELECT K FROM Fact WHERE G = 1", catalog)
+        assert estimate_rows(q_filtered, catalog) < estimate_rows(
+            q_all, catalog
+        )
+
+    def test_grouping_condenses_result(self, engine):
+        catalog = engine.catalog
+        q = parse_query("SELECT G, SUM(V) FROM Fact GROUP BY G", catalog)
+        assert estimate_result_rows(q, catalog) < estimate_rows(q, catalog)
+
+    def test_aux_views_add_cost(self, engine):
+        catalog = engine.catalog
+        q = parse_query("SELECT G, Total FROM Summary", catalog)
+        from repro.blocks.normalize import parse_view
+
+        aux = parse_view(
+            "CREATE VIEW Extra (G2, T2) AS SELECT G, Total FROM Summary",
+            catalog.copy(),
+        )
+        assert estimate_cost(q, catalog, [aux]) > estimate_cost(q, catalog)
+
+    def test_floor_at_one(self, engine):
+        catalog = engine.catalog
+        q = parse_query(
+            "SELECT G, Name FROM Dim WHERE G = 1 AND Name = 'x' "
+            "AND G = 1 AND Name = 'x'",
+            catalog,
+        )
+        assert estimate_rows(q, catalog) >= 1.0
+
+
+class TestAnswer:
+    def test_answer_uses_cheapest_plan(self, engine):
+        from repro.engine.database import Database
+
+        db = Database(
+            engine.catalog,
+            {"Fact": [(1, 0, 10), (2, 0, 20), (3, 1, 5)], "Dim": []},
+        )
+        out = engine.answer("SELECT G, SUM(V) FROM Fact GROUP BY G", db)
+        assert sorted(out.rows) == [(0, 30), (1, 5)]
+
+    def test_answer_falls_back_to_direct(self, engine):
+        from repro.engine.database import Database
+
+        db = Database(engine.catalog, {"Fact": [(1, 0, 10)], "Dim": []})
+        out = engine.answer("SELECT K, V FROM Fact", db)
+        assert out.rows == [(1, 10)]
+
+    def test_answer_matches_direct_evaluation(self, engine):
+        import random
+
+        from repro.engine.database import Database
+
+        rng = random.Random(0)
+        db = Database(
+            engine.catalog,
+            {
+                "Fact": [
+                    (i, rng.randint(0, 3), rng.randint(0, 9))
+                    for i in range(40)
+                ],
+                "Dim": [(g, f"d{g}") for g in range(4)],
+            },
+        )
+        sql = "SELECT G, COUNT(V) FROM Fact GROUP BY G"
+        assert engine.answer(sql, db).multiset_equal(db.execute(sql))

@@ -1,0 +1,154 @@
+"""Section 5.2: many-to-1 rewritings under set semantics."""
+
+import pytest
+
+from repro import (
+    Catalog,
+    assert_equivalent,
+    enumerate_mappings,
+    parse_query,
+    parse_view,
+    table,
+    try_rewrite_set_semantics,
+)
+from repro.core.canonical import blocks_isomorphic
+
+
+def rewritings(query, view, catalog):
+    out = []
+    for mapping in enumerate_mappings(view.block, query, many_to_one=True):
+        rewriting = try_rewrite_set_semantics(query, view, mapping, catalog)
+        if rewriting is not None:
+            out.append(rewriting)
+    return out
+
+
+class TestExample51:
+    @pytest.fixture
+    def setup(self, keyed_catalog):
+        query = parse_query(
+            "SELECT A FROM R1 WHERE B = C", keyed_catalog
+        )
+        view = parse_view(
+            "CREATE VIEW V1 (A2, A3) AS "
+            "SELECT x.A, y.A FROM R1 x, R1 y WHERE x.B = y.C",
+            keyed_catalog,
+        )
+        keyed_catalog.add_view(view)
+        return keyed_catalog, query, view
+
+    def test_rewriting_matches_paper(self, setup):
+        catalog, query, view = setup
+        found = rewritings(query, view, catalog)
+        assert found
+        expected = parse_query(
+            "SELECT A2 FROM V1 WHERE A2 = A3", catalog
+        )
+        assert any(
+            blocks_isomorphic(r.query, expected) for r in found
+        ), [r.sql() for r in found]
+
+    def test_equivalence_with_keys(self, setup):
+        catalog, query, view = setup
+        for rewriting in rewritings(query, view, catalog):
+            assert_equivalent(
+                catalog, query, rewriting, trials=50, domain=3,
+                respect_keys=True,
+            )
+
+    def test_unusable_without_key(self):
+        """The paper: absent key information, V is not usable."""
+        catalog = Catalog([table("R1", ["A", "B", "C"])])  # no key
+        query = parse_query("SELECT A FROM R1 WHERE B = C", catalog)
+        view = parse_view(
+            "CREATE VIEW V1 (A2, A3) AS "
+            "SELECT x.A, y.A FROM R1 x, R1 y WHERE x.B = y.C",
+            catalog,
+        )
+        assert rewritings(query, view, catalog) == []
+
+
+class TestKeyCoverage:
+    def test_collapse_without_key_outputs_refused(self, keyed_catalog):
+        """Selecting non-key columns cannot force the two range variables
+        onto the same tuple: collapsing would be unsound."""
+        query = parse_query("SELECT B FROM R1 WHERE B = C", keyed_catalog)
+        view = parse_view(
+            "CREATE VIEW V (B2, C3) AS "
+            "SELECT x.B, y.C FROM R1 x, R1 y WHERE x.B = y.C",
+            keyed_catalog,
+        )
+        found = [
+            r
+            for r in rewritings(query, view, keyed_catalog)
+            if not r.query.from_[0].name == "R1"
+        ]
+        assert found == []
+
+    def test_collapse_with_internal_key_equality(self, keyed_catalog):
+        """The view itself equates the keys: no output equality needed."""
+        query = parse_query("SELECT A FROM R1 WHERE B = C", keyed_catalog)
+        view = parse_view(
+            "CREATE VIEW V (A2) AS "
+            "SELECT x.A FROM R1 x, R1 y WHERE x.A = y.A AND x.B = y.C",
+            keyed_catalog,
+        )
+        keyed_catalog.add_view(view)
+        found = rewritings(query, view, keyed_catalog)
+        assert found
+        for rewriting in found:
+            assert_equivalent(
+                keyed_catalog, query, rewriting, trials=50, domain=3
+            )
+
+
+class TestSetGuards:
+    def test_multiset_query_refused(self, keyed_catalog):
+        # Selecting B only: the query result can have duplicates, so the
+        # set-semantics relaxation must not fire (result not a set).
+        query = parse_query("SELECT B FROM R1", keyed_catalog)
+        view = parse_view(
+            "CREATE VIEW V (B2) AS SELECT x.B FROM R1 x, R1 y",
+            keyed_catalog,
+        )
+        assert rewritings(query, view, keyed_catalog) == []
+
+    def test_distinct_makes_it_usable(self, keyed_catalog):
+        query = parse_query("SELECT DISTINCT B FROM R1", keyed_catalog)
+        view = parse_view(
+            "CREATE VIEW V (B2, B3) AS "
+            "SELECT DISTINCT x.B, y.B FROM R1 x, R1 y WHERE x.A = y.A",
+            keyed_catalog,
+        )
+        keyed_catalog.add_view(view)
+        found = rewritings(query, view, keyed_catalog)
+        assert found
+        for rewriting in found:
+            counter = None
+            from repro import check_equivalent
+
+            counter = check_equivalent(
+                keyed_catalog,
+                query,
+                rewriting,
+                trials=50,
+                domain=3,
+                compare="set",
+            )
+            assert counter is None, str(counter)
+
+    def test_rewriting_is_multiset_equivalent_not_just_set(self, keyed_catalog):
+        """Section 5's rewritings stay multiset-equivalent because both
+        sides are sets; the engine oracle checks the strong notion."""
+        query = parse_query("SELECT A FROM R1 WHERE B = C", keyed_catalog)
+        view = parse_view(
+            "CREATE VIEW V1 (A2, A3) AS "
+            "SELECT x.A, y.A FROM R1 x, R1 y WHERE x.B = y.C",
+            keyed_catalog,
+        )
+        keyed_catalog.add_view(view)
+        for rewriting in rewritings(query, view, keyed_catalog):
+            assert_equivalent(
+                keyed_catalog, query, rewriting, trials=50, domain=3,
+                compare="multiset",
+            )

@@ -1,0 +1,48 @@
+"""Aggregate function semantics, including SQL empty-group rules."""
+
+from fractions import Fraction
+
+from repro.blocks.exprs import AggFunc
+from repro.engine.aggregates import apply_aggregate
+
+
+class TestNonEmpty:
+    def test_all_functions(self):
+        values = [3, 1, 2, 2]
+        assert apply_aggregate(AggFunc.MIN, values) == 1
+        assert apply_aggregate(AggFunc.MAX, values) == 3
+        assert apply_aggregate(AggFunc.SUM, values) == 8
+        assert apply_aggregate(AggFunc.COUNT, values) == 4
+        assert apply_aggregate(AggFunc.AVG, values) == 2
+
+    def test_avg_exact_fraction(self):
+        avg = apply_aggregate(AggFunc.AVG, [1, 2])
+        assert avg == Fraction(3, 2)
+        assert isinstance(avg, Fraction)
+
+    def test_avg_floats(self):
+        assert apply_aggregate(AggFunc.AVG, [1.0, 2.0]) == 1.5
+
+    def test_sum_duplicates_counted(self):
+        # Multiset semantics: duplicates contribute.
+        assert apply_aggregate(AggFunc.SUM, [5, 5]) == 10
+
+    def test_strings_min_max(self):
+        assert apply_aggregate(AggFunc.MIN, ["b", "a"]) == "a"
+        assert apply_aggregate(AggFunc.MAX, ["b", "a"]) == "b"
+
+
+class TestEmptyGroup:
+    """SQL: over an empty group COUNT is 0, the rest are NULL."""
+
+    def test_count_zero(self):
+        assert apply_aggregate(AggFunc.COUNT, []) == 0
+
+    def test_others_null(self):
+        for func in (AggFunc.MIN, AggFunc.MAX, AggFunc.SUM, AggFunc.AVG):
+            assert apply_aggregate(func, []) is None
+
+
+class TestCountNulls:
+    def test_count_skips_none(self):
+        assert apply_aggregate(AggFunc.COUNT, [1, None, 2]) == 2

@@ -1,0 +1,75 @@
+"""Multiset table semantics."""
+
+import pytest
+
+from repro.engine.table import Table
+from repro.errors import EvaluationError
+
+
+class TestConstruction:
+    def test_rows_coerced_to_tuples(self):
+        t = Table(["a", "b"], [[1, 2], (3, 4)])
+        assert t.rows == [(1, 2), (3, 4)]
+
+    def test_arity_checked(self):
+        with pytest.raises(EvaluationError):
+            Table(["a", "b"], [(1,)])
+
+    def test_len_and_iter(self):
+        t = Table(["a"], [(1,), (2,)])
+        assert len(t) == 2
+        assert list(t) == [(1,), (2,)]
+
+
+class TestMultisetSemantics:
+    def test_duplicates_preserved(self):
+        t = Table(["a"], [(1,), (1,)])
+        assert len(t) == 2
+        assert not t.is_set
+
+    def test_multiset_equal_counts_duplicates(self):
+        t1 = Table(["a"], [(1,), (1,), (2,)])
+        t2 = Table(["x"], [(2,), (1,), (1,)])
+        t3 = Table(["a"], [(1,), (2,)])
+        assert t1.multiset_equal(t2)  # headers irrelevant
+        assert not t1.multiset_equal(t3)
+
+    def test_set_equal_ignores_multiplicity(self):
+        t1 = Table(["a"], [(1,), (1,), (2,)])
+        t3 = Table(["a"], [(1,), (2,)])
+        assert t1.set_equal(t3)
+
+    def test_distinct(self):
+        t = Table(["a"], [(2,), (1,), (2,)])
+        d = t.distinct()
+        assert d.rows == [(2,), (1,)]  # stable order
+        assert t.rows == [(2,), (1,), (2,)]  # original untouched
+
+    def test_is_set(self):
+        assert Table(["a"], [(1,), (2,)]).is_set
+        assert Table(["a"], []).is_set
+
+
+class TestAccess:
+    def test_column_values(self):
+        t = Table(["a", "b"], [(1, "x"), (2, "y")])
+        assert t.column_values("b") == ["x", "y"]
+
+    def test_unknown_column(self):
+        with pytest.raises(EvaluationError):
+            Table(["a"], []).column_index("zzz")
+
+    def test_as_counter(self):
+        t = Table(["a"], [(1,), (1,)])
+        assert t.as_counter() == {(1,): 2}
+
+
+class TestDisplay:
+    def test_to_text_contains_all(self):
+        text = Table(["a", "bee"], [(1, 2)]).to_text()
+        assert "bee" in text and "1" in text
+
+    def test_to_text_limit(self):
+        t = Table(["a"], [(i,) for i in range(30)])
+        text = t.to_text(limit=5)
+        assert "25 more rows" in text

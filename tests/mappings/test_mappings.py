@@ -1,0 +1,112 @@
+"""Column-mapping enumeration and application (Definition 2.1)."""
+
+import pytest
+
+from repro.blocks.normalize import parse_query, parse_view
+from repro.blocks.terms import Column, Comparison, Op
+from repro.catalog.schema import Catalog, table
+from repro.mappings.column_mapping import ColumnMapping
+from repro.mappings.enumerate_mappings import count_mappings, enumerate_mappings
+
+
+@pytest.fixture
+def catalog():
+    return Catalog([table("R", ["A", "B"]), table("S", ["C", "D"])])
+
+
+class TestEnumeration:
+    def test_single_match(self, catalog):
+        v = parse_view("CREATE VIEW V AS SELECT A FROM R", catalog)
+        q = parse_query("SELECT A FROM R, S", catalog)
+        mappings = list(enumerate_mappings(v.block, q))
+        assert len(mappings) == 1
+        assert mappings[0].is_one_to_one
+
+    def test_no_matching_table(self, catalog):
+        v = parse_view("CREATE VIEW V AS SELECT C FROM S", catalog)
+        q = parse_query("SELECT A FROM R", catalog)
+        assert count_mappings(v.block, q) == 0
+
+    def test_self_join_fanout(self, catalog):
+        v = parse_view(
+            "CREATE VIEW V AS SELECT x.A FROM R x, R y", catalog
+        )
+        q = parse_query("SELECT p.A FROM R p, R q, R r", catalog)
+        # 3 choices for first occurrence, 2 remaining for second: 6.
+        assert count_mappings(v.block, q) == 6
+
+    def test_many_to_one_fanout(self, catalog):
+        v = parse_view(
+            "CREATE VIEW V AS SELECT x.A FROM R x, R y", catalog
+        )
+        q = parse_query("SELECT p.A FROM R p, R q", catalog)
+        assert count_mappings(v.block, q) == 2  # 1-1 only
+        assert count_mappings(v.block, q, many_to_one=True) == 4
+
+    def test_one_to_one_required_by_default(self, catalog):
+        v = parse_view(
+            "CREATE VIEW V AS SELECT x.A FROM R x, R y", catalog
+        )
+        q = parse_query("SELECT A FROM R", catalog)
+        assert count_mappings(v.block, q) == 0
+        many = list(enumerate_mappings(v.block, q, many_to_one=True))
+        assert len(many) == 1 and not many[0].is_one_to_one
+
+    def test_mixed_tables(self, catalog):
+        v = parse_view(
+            "CREATE VIEW V AS SELECT A, C FROM R, S", catalog
+        )
+        q = parse_query("SELECT x.A FROM R x, R y, S", catalog)
+        assert count_mappings(v.block, q) == 2
+
+    def test_deterministic_order(self, catalog):
+        v = parse_view("CREATE VIEW V AS SELECT x.A FROM R x, R y", catalog)
+        q = parse_query("SELECT p.A FROM R p, R q", catalog)
+        first = [m.table_pairs for m in enumerate_mappings(v.block, q)]
+        second = [m.table_pairs for m in enumerate_mappings(v.block, q)]
+        assert first == second
+
+
+class TestApplication:
+    def make(self, catalog):
+        v = parse_view(
+            "CREATE VIEW V AS SELECT A FROM R WHERE A = B", catalog
+        )
+        q = parse_query("SELECT A FROM R, S WHERE A = C", catalog)
+        mapping = next(enumerate_mappings(v.block, q))
+        return v, q, mapping
+
+    def test_column_map_positional(self, catalog):
+        v, q, mapping = self.make(catalog)
+        v_a, v_b = v.block.from_[0].columns
+        q_a, q_b = q.from_[0].columns
+        assert mapping.apply(v_a) == q_a
+        assert mapping.apply(v_b) == q_b
+
+    def test_image_columns(self, catalog):
+        v, q, mapping = self.make(catalog)
+        assert mapping.image_columns == frozenset(q.from_[0].columns)
+
+    def test_apply_atom(self, catalog):
+        v, q, mapping = self.make(catalog)
+        atom = v.block.where[0]
+        image = mapping.apply_atom(atom)
+        q_a, q_b = q.from_[0].columns
+        assert image == Comparison(q_a, Op.EQ, q_b)
+
+    def test_preimages_and_inverse(self, catalog):
+        v, q, mapping = self.make(catalog)
+        q_a = q.from_[0].columns[0]
+        v_a = v.block.from_[0].columns[0]
+        assert mapping.preimages(q_a) == (v_a,)
+        assert mapping.inverse_map[q_a] == v_a
+
+    def test_image_relations(self, catalog):
+        v, q, mapping = self.make(catalog)
+        rels = mapping.image_relations()
+        assert [r.name for r in rels] == ["R"]
+
+    def test_describe_mentions_columns(self, catalog):
+        v, q, mapping = self.make(catalog)
+        text = mapping.describe()
+        assert "->" in text

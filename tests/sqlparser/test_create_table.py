@@ -1,0 +1,82 @@
+"""CREATE TABLE parsing and script parsing."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlparser.ast import CreateTableStmt, CreateViewStmt, SelectStmt
+from repro.sqlparser.parser import parse_script, parse_statement
+
+
+class TestCreateTable:
+    def test_basic(self):
+        stmt = parse_statement("CREATE TABLE R (a INT, b TEXT)")
+        assert isinstance(stmt, CreateTableStmt)
+        assert stmt.columns == ("a", "b")
+        assert stmt.column_types == ("INT", "TEXT")
+        assert stmt.primary_key == ()
+
+    def test_inline_primary_key(self):
+        stmt = parse_statement("CREATE TABLE R (a INT PRIMARY KEY, b INT)")
+        assert stmt.primary_key == ("a",)
+
+    def test_table_level_primary_key(self):
+        stmt = parse_statement(
+            "CREATE TABLE R (a INT, b INT, PRIMARY KEY (a, b))"
+        )
+        assert stmt.primary_key == ("a", "b")
+
+    def test_unique_constraints(self):
+        stmt = parse_statement(
+            "CREATE TABLE R (a INT UNIQUE, b INT, UNIQUE (a, b))"
+        )
+        assert stmt.uniques == (("a",), ("a", "b"))
+
+    def test_typeless_columns(self):
+        stmt = parse_statement("CREATE TABLE R (a, b)")
+        assert stmt.column_types == ("", "")
+
+    def test_parameterized_and_multiword_types(self):
+        stmt = parse_statement(
+            "CREATE TABLE R (a VARCHAR(30), b DOUBLE PRECISION)"
+        )
+        assert stmt.column_types == ("VARCHAR(30)", "DOUBLE PRECISION")
+
+    def test_duplicate_primary_key_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement(
+                "CREATE TABLE R (a INT PRIMARY KEY, PRIMARY KEY (a))"
+            )
+
+    def test_roundtrips_through_str(self):
+        stmt = parse_statement(
+            "CREATE TABLE R (a INT PRIMARY KEY, b TEXT, UNIQUE (b))"
+        )
+        again = parse_statement(str(stmt))
+        assert again == stmt
+
+
+class TestParseScript:
+    def test_mixed_statements(self):
+        script = """
+            CREATE TABLE R (a INT, b INT);
+            CREATE VIEW V (x) AS SELECT a FROM R;
+            SELECT x FROM V;
+        """
+        statements = parse_script(script)
+        assert [type(s) for s in statements] == [
+            CreateTableStmt,
+            CreateViewStmt,
+            SelectStmt,
+        ]
+
+    def test_trailing_semicolon_optional(self):
+        assert len(parse_script("SELECT a FROM R")) == 1
+        assert len(parse_script("SELECT a FROM R;")) == 1
+
+    def test_empty_script(self):
+        assert parse_script("") == []
+        assert parse_script("  -- just a comment\n") == []
+
+    def test_missing_semicolon_between_statements(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_script("SELECT a FROM R SELECT b FROM R")

@@ -1,0 +1,105 @@
+"""Printer tests: parse(print(ast)) round-trips, including random trees."""
+
+import random
+
+import pytest
+
+from repro.sqlparser.ast import (
+    BinOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    SelectItemSyntax,
+    SelectStmt,
+    SqlComparison,
+    TableRef,
+)
+from repro.sqlparser.parser import parse_select
+from repro.sqlparser.printer import print_select
+
+EXAMPLES = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b FROM t, u",
+    "SELECT t.a AS x FROM t AS t1, t t2 WHERE t1.a = t2.b",
+    "SELECT a, SUM(b) FROM t WHERE a < 5 AND b >= 2 GROUP BY a HAVING SUM(b) > 10",
+    "SELECT COUNT(c), MIN(d) FROM t WHERE c <> 'x''y'",
+    "SELECT (n * e) FROM t",
+    "SELECT SUM(n * e), AVG(q) FROM t GROUP BY k HAVING k = 3",
+]
+
+
+@pytest.mark.parametrize("sql", EXAMPLES)
+def test_roundtrip_examples(sql):
+    first = parse_select(sql)
+    printed = print_select(first)
+    second = parse_select(printed)
+    assert first == second, printed
+
+
+def _random_expr(rng: random.Random, depth: int, allow_agg: bool):
+    choice = rng.random()
+    if depth <= 0 or choice < 0.4:
+        if rng.random() < 0.5:
+            return ColumnRef(
+                rng.choice("abcd"),
+                qualifier=rng.choice([None, "t", "u"]),
+            )
+        return Literal(rng.choice([0, 1, 7, 2.5, "str'val"]))
+    if allow_agg and choice < 0.6:
+        return FuncCall(
+            rng.choice(["MIN", "MAX", "SUM", "COUNT", "AVG"]),
+            _random_expr(rng, depth - 1, allow_agg=False),
+        )
+    return BinOp(
+        rng.choice("+-*/"),
+        _random_expr(rng, depth - 1, allow_agg),
+        _random_expr(rng, depth - 1, allow_agg),
+    )
+
+
+def _random_select(rng: random.Random) -> SelectStmt:
+    items = tuple(
+        SelectItemSyntax(
+            _random_expr(rng, 2, allow_agg=True),
+            alias=rng.choice([None, f"x{i}"]),
+        )
+        for i in range(rng.randint(1, 3))
+    )
+    tables = tuple(
+        TableRef(name, alias)
+        for name, alias in [("t", None), ("u", "u1")][: rng.randint(1, 2)]
+    )
+    where = tuple(
+        SqlComparison(
+            _random_expr(rng, 1, allow_agg=False),
+            rng.choice(["<", "<=", "=", ">=", ">", "<>"]),
+            _random_expr(rng, 1, allow_agg=False),
+        )
+        for _ in range(rng.randint(0, 2))
+    )
+    group_by = tuple(
+        ColumnRef(c) for c in rng.sample("abcd", rng.randint(0, 2))
+    )
+    having = ()
+    if group_by and rng.random() < 0.5:
+        having = (
+            SqlComparison(
+                FuncCall("SUM", ColumnRef("a")), ">", Literal(3)
+            ),
+        )
+    return SelectStmt(
+        items=items,
+        from_tables=tables,
+        where=where,
+        group_by=group_by,
+        having=having,
+        distinct=rng.random() < 0.3,
+    )
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_roundtrip_random_trees(seed):
+    """Property: any tree the AST can express survives print -> parse."""
+    rng = random.Random(seed)
+    stmt = _random_select(rng)
+    assert parse_select(print_select(stmt)) == stmt

@@ -1,0 +1,52 @@
+"""The shared benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import ResultTable, speedup, time_best, time_once
+
+
+class TestResultTable:
+    def test_render_alignment(self):
+        table = ResultTable("demo", ["name", "value"])
+        table.add("long-row-name", 1)
+        table.add("x", 123456)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "123,456" in text
+        # Columns align: every data line has the same width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_float_formatting(self):
+        table = ResultTable("t", ["v"])
+        table.add(0.000012)
+        table.add(1234.5678)
+        text = table.render()
+        assert "1.20e-05" in text
+        assert "1,234.568" in text
+
+    def test_wrong_arity_rejected(self):
+        table = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_show_prints(self, capsys):
+        table = ResultTable("t", ["a"])
+        table.add(1)
+        table.show()
+        assert "== t ==" in capsys.readouterr().out
+
+
+class TestTiming:
+    def test_time_once_positive(self):
+        assert time_once(lambda: sum(range(100))) > 0
+
+    def test_time_best_not_more_than_single(self):
+        single = time_once(lambda: sum(range(2000)))
+        best = time_best(lambda: sum(range(2000)), repeats=5)
+        assert best <= single * 5  # sanity, not flaky
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(10.0, 0.0) is None

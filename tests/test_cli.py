@@ -1,0 +1,182 @@
+"""CLI behaviour (driven through ``main(argv)``, no subprocesses)."""
+
+import pytest
+
+from repro.cli import main
+
+SCHEMA = """
+CREATE TABLE Plans (Plan_Id INT PRIMARY KEY, Plan_Name TEXT);
+CREATE TABLE Calls (
+  Call_Id INT PRIMARY KEY,
+  Plan_Id INT, Month INT, Year INT, Charge INT
+);
+CREATE VIEW Monthly (Plan_Id, Month, Year, Revenue, N) AS
+SELECT Plan_Id, Month, Year, SUM(Charge), COUNT(Charge)
+FROM Calls
+GROUP BY Plan_Id, Month, Year;
+"""
+
+QUERY = (
+    "SELECT Calls.Plan_Id, SUM(Charge) FROM Calls "
+    "WHERE Year = 1995 GROUP BY Calls.Plan_Id"
+)
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "schema.sql"
+    path.write_text(SCHEMA)
+    return str(path)
+
+
+class TestRewrite:
+    def test_success(self, schema_file, capsys):
+        code = main(["rewrite", "--schema", schema_file, "--query", QUERY])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Monthly" in out and "rewriting 1" in out
+
+    def test_query_from_script(self, tmp_path, capsys):
+        path = tmp_path / "schema.sql"
+        path.write_text(SCHEMA + QUERY + ";")
+        code = main(["rewrite", "--schema", str(path)])
+        assert code == 0
+        assert "Monthly" in capsys.readouterr().out
+
+    def test_no_view_usable(self, schema_file, capsys):
+        code = main(
+            [
+                "rewrite",
+                "--schema",
+                schema_file,
+                "--query",
+                "SELECT Call_Id, Charge FROM Calls",
+            ]
+        )
+        assert code == 1
+        assert "no usable view" in capsys.readouterr().out
+
+    def test_failure_with_explain(self, schema_file, capsys):
+        code = main(
+            [
+                "rewrite",
+                "--schema",
+                schema_file,
+                "--explain",
+                "--query",
+                "SELECT Call_Id, Charge FROM Calls",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "not usable" in out
+
+    def test_missing_query(self, schema_file, capsys):
+        code = main(["rewrite", "--schema", schema_file])
+        assert code == 2
+        assert "no query" in capsys.readouterr().err
+
+    def test_missing_schema_file(self, capsys):
+        code = main(
+            ["rewrite", "--schema", "/nonexistent.sql", "--query", QUERY]
+        )
+        assert code == 2
+
+    def test_bad_sql_reported(self, schema_file, capsys):
+        code = main(
+            ["rewrite", "--schema", schema_file, "--query", "SELECT FROM"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_reports_conditions(self, schema_file, capsys):
+        code = main(
+            [
+                "explain",
+                "--schema",
+                schema_file,
+                "--query",
+                QUERY,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "USABLE" in out
+
+    def test_restrict_to_view(self, schema_file, capsys):
+        code = main(
+            [
+                "explain",
+                "--schema",
+                schema_file,
+                "--view",
+                "Monthly",
+                "--query",
+                QUERY,
+            ]
+        )
+        assert code == 0
+        assert "Monthly" in capsys.readouterr().out
+
+
+class TestCheck:
+    def test_equivalent(self, schema_file, capsys):
+        code = main(
+            [
+                "check",
+                "--schema",
+                schema_file,
+                "--left",
+                "SELECT Plan_Id FROM Plans",
+                "--right",
+                "SELECT DISTINCT Plan_Id FROM Plans",
+                "--trials",
+                "10",
+            ]
+        )
+        assert code == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_not_equivalent(self, schema_file, capsys):
+        code = main(
+            [
+                "check",
+                "--schema",
+                schema_file,
+                "--left",
+                "SELECT Month FROM Calls",
+                "--right",
+                "SELECT DISTINCT Month FROM Calls",
+                "--trials",
+                "30",
+            ]
+        )
+        assert code == 1
+        assert "NOT EQUIVALENT" in capsys.readouterr().out
+
+
+class TestAdvise:
+    def test_advises_from_workload_file(self, schema_file, tmp_path, capsys):
+        workload = tmp_path / "workload.sql"
+        workload.write_text(
+            QUERY + ";\n"
+            "SELECT Month, COUNT(Charge) FROM Calls GROUP BY Month;\n"
+        )
+        code = main(
+            [
+                "advise",
+                "--schema",
+                schema_file,
+                "--workload",
+                str(workload),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chosen views" in out and "CREATE VIEW" in out
+
+    def test_empty_workload_errors(self, schema_file, capsys):
+        code = main(["advise", "--schema", schema_file])
+        assert code == 2

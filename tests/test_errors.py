@@ -1,0 +1,41 @@
+"""Exception hierarchy behaviour."""
+
+import pytest
+
+from repro.errors import (
+    EvaluationError,
+    NormalizationError,
+    ReproError,
+    RewriteError,
+    SchemaError,
+    SQLSyntaxError,
+    UnsupportedSQLError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (
+        SQLSyntaxError,
+        UnsupportedSQLError,
+        SchemaError,
+        NormalizationError,
+        EvaluationError,
+        RewriteError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_syntax_error_carries_position():
+    error = SQLSyntaxError("bad token", line=3, column=7)
+    assert error.line == 3 and error.column == 7
+    assert "line 3" in str(error) and "column 7" in str(error)
+
+
+def test_syntax_error_without_position():
+    error = SQLSyntaxError("bad token")
+    assert "line" not in str(error)
+
+
+def test_single_catch_point():
+    with pytest.raises(ReproError):
+        raise UnsupportedSQLError("nope")

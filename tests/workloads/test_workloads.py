@@ -1,0 +1,125 @@
+"""Workload generators: shape, determinism, and rewritability."""
+
+import random
+
+import pytest
+
+from repro import RewriteEngine, assert_equivalent
+from repro.workloads import random_queries, star, telephony
+
+
+class TestTelephony:
+    def test_deterministic(self):
+        a = telephony.generate(n_calls=100, seed=5)
+        b = telephony.generate(n_calls=100, seed=5)
+        assert a.tables == b.tables
+
+    def test_scale_knob(self):
+        wl = telephony.generate(n_calls=250)
+        assert wl.calls_rows == 250
+        assert len(wl.tables["Calling_Plans"]) == 8
+
+    def test_skew_across_plans(self):
+        wl = telephony.generate(n_calls=2000, n_plans=6)
+        counts = [0] * 6
+        for row in wl.tables["Calls"]:
+            counts[row[2]] += 1
+        assert counts[0] > counts[5]  # plan 0 is the most popular
+
+    def test_view_much_smaller_than_calls(self):
+        """The premise of Example 1.1: |V1| << |Calls|."""
+        wl = telephony.generate(n_calls=5000)
+        db = wl.database()
+        view_rows = len(db.materialize("V1"))
+        assert view_rows * 10 <= wl.calls_rows
+
+    def test_query_rewritable_and_equivalent(self):
+        wl = telephony.generate(n_calls=200, seed=2)
+        engine = RewriteEngine(wl.catalog)
+        result = engine.rewrite(wl.query)
+        assert result.best() is not None
+        assert_equivalent(
+            wl.catalog, wl.query, result.best(), trials=5, max_rows=25,
+            domain=5,
+        )
+
+    def test_rewritten_answers_match_on_generated_data(self):
+        wl = telephony.generate(n_calls=400, seed=9, threshold=10_000)
+        engine = RewriteEngine(wl.catalog)
+        rewriting = engine.rewrite(wl.query).best()
+        db = wl.database()
+        left = db.execute(wl.query)
+        right = db.execute(rewriting.query, extra_views=rewriting.extra_views())
+        assert left.multiset_equal(right)
+
+
+class TestStar:
+    def test_views_and_queries_parse(self):
+        wl = star.generate(n_sales=100)
+        assert set(wl.views) == set(star.VIEW_DEFINITIONS)
+        assert set(wl.queries) == set(star.QUERIES)
+
+    def test_expected_rewritability_matrix(self):
+        wl = star.generate(n_sales=100)
+        engine = RewriteEngine(wl.catalog)
+        rewritable = {
+            name: len(engine.rewrite(q)) > 0
+            for name, q in wl.queries.items()
+        }
+        assert rewritable["yearly_product_revenue"]
+        assert rewritable["category_revenue"]
+        assert rewritable["store_december"]
+        assert rewritable["monthly_volume"]
+        assert not rewritable["daily_detail"]
+
+    def test_all_rewritings_equivalent_on_data(self):
+        wl = star.generate(n_sales=150)
+        engine = RewriteEngine(wl.catalog)
+        db = wl.database()
+        for name, query in wl.queries.items():
+            for ranked in engine.rewrite(query):
+                rewriting = ranked.rewriting
+                left = db.execute(query)
+                right = db.execute(
+                    rewriting.query, extra_views=rewriting.extra_views()
+                )
+                assert left.multiset_equal(right), (name, rewriting.sql())
+
+
+class TestRandomQueries:
+    def test_blocks_are_valid(self):
+        rng = random.Random(0)
+        catalog = random_queries.random_catalog(rng)
+        for _ in range(50):
+            block = random_queries.random_block(catalog, rng)
+            block.validate()
+
+    def test_views_have_unique_outputs(self):
+        rng = random.Random(1)
+        catalog = random_queries.random_catalog(rng)
+        for i in range(20):
+            view = random_queries.random_view(catalog, rng, f"V{i}")
+            assert len(set(view.output_names)) == len(view.output_names)
+
+    def test_aggregation_flag_respected(self):
+        rng = random.Random(2)
+        catalog = random_queries.random_catalog(rng)
+        for _ in range(20):
+            assert random_queries.random_block(
+                catalog, rng, aggregation=True
+            ).is_aggregation
+            assert random_queries.random_block(
+                catalog, rng, aggregation=False
+            ).is_conjunctive
+
+    def test_related_pair_is_executable(self):
+        rng = random.Random(3)
+        catalog = random_queries.random_catalog(rng)
+        query, view = random_queries.related_pair(catalog, rng)
+        from repro.engine.database import Database
+        from repro.equivalence import random_instance
+
+        catalog.add_view(view)
+        db = Database(catalog, random_instance(catalog, rng))
+        db.execute(query)
+        db.materialize("V")
