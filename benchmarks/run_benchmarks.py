@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Run the tier-1 tests, then the rewriting benchmarks, and write
+``BENCH_rewriting.json`` at the repository root.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py [--skip-tests] [--output PATH]
+
+The exit code is non-zero when the tier-1 tests fail or when any
+planner/naive parity assertion inside a collector fires, so the script
+doubles as the performance-regression gate described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT / "src", REPO_ROOT / "benchmarks"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+
+def run_tier1_tests() -> int:
+    """The repo's own test suite; benchmarks are meaningless if it fails."""
+    print("== tier-1 tests ==", flush=True)
+    env = {"PYTHONPATH": str(REPO_ROOT / "src")}
+    import os
+
+    env = {**os.environ, **env}
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q"],
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    return proc.returncode
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--skip-tests",
+        action="store_true",
+        help="skip the tier-1 pytest run (benchmarks only)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_rewriting.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.skip_tests:
+        code = run_tier1_tests()
+        if code != 0:
+            print("tier-1 tests failed; not benchmarking", file=sys.stderr)
+            return code
+
+    from repro.bench import BenchReport
+
+    from bench_cache import collect_cache_metrics
+    from bench_closure import collect_closure_metrics
+    from bench_multiview import (
+        collect_church_rosser_metrics,
+        collect_multiview_metrics,
+    )
+
+    report = BenchReport()
+    failures = 0
+    for name, collector in [
+        ("multiview", collect_multiview_metrics),
+        ("church_rosser", collect_church_rosser_metrics),
+        ("cache", collect_cache_metrics),
+        ("closure", collect_closure_metrics),
+    ]:
+        print(f"== bench: {name} ==", flush=True)
+        try:
+            report.add_workload(name, **collector())
+        except AssertionError as exc:
+            # Parity violations are correctness bugs, not perf noise.
+            failures += 1
+            report.add_workload(name, error=str(exc))
+            print(f"PARITY FAILURE in {name}: {exc}", file=sys.stderr)
+
+    report.write(args.output)
+    print(f"wrote {args.output}")
+
+    multiview = report.workloads.get("multiview", {})
+    if "speedup" in multiview and multiview["speedup"] is not None:
+        print(
+            f"multiview speedup: {multiview['speedup']:.2f}x "
+            f"(naive {multiview['naive_seconds'] * 1e3:.2f} ms, "
+            f"planner {multiview['planner_seconds'] * 1e3:.2f} ms)"
+        )
+    print(json.dumps({"parity_failures": failures}))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -114,13 +114,20 @@ def recommend_views(
     )
     base_cost, _ = _workload_cost(catalog, queries, [])
 
+    # A candidate's estimated size never changes across greedy rounds;
+    # estimating it once keeps the loop's work to the cost probes.
+    sizes = {
+        id(candidate): estimate_result_rows(candidate.block, catalog)
+        for candidate in pool
+    }
+
     chosen: list[ViewDef] = []
     used_space = 0.0
     current_cost = base_cost
     while pool and len(chosen) < max_views:
         best = None
         for candidate in pool:
-            size = estimate_result_rows(candidate.block, catalog)
+            size = sizes[id(candidate)]
             if used_space + size > space_budget_rows:
                 continue
             cost, _ = _workload_cost(

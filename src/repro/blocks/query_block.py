@@ -108,6 +108,25 @@ class QueryBlock:
     having: tuple[Comparison, ...] = ()
     distinct: bool = False
 
+    def __hash__(self) -> int:
+        # Blocks are deeply frozen but large; equality-keyed caches (the
+        # canonical-key memo) hash them repeatedly, so compute once.
+        try:
+            return object.__getattribute__(self, "_cached_hash")
+        except AttributeError:
+            value = hash(
+                (
+                    self.select,
+                    self.from_,
+                    self.where,
+                    self.group_by,
+                    self.having,
+                    self.distinct,
+                )
+            )
+            object.__setattr__(self, "_cached_hash", value)
+            return value
+
     # ------------------------------------------------------------------
     # Paper-notation accessors
     # ------------------------------------------------------------------

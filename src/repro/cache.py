@@ -23,6 +23,7 @@ from .blocks.normalize import as_block
 from .blocks.query_block import QueryBlock, ViewDef
 from .catalog.schema import Catalog
 from .core.multiview import all_rewritings
+from .core.planner import RewritePlanner
 from .core.result import Rewriting
 from .engine.database import Database
 from .engine.table import Table
@@ -73,6 +74,8 @@ class QueryCache:
         self._catalog = catalog.copy()
         self._entries: OrderedDict[str, _Entry] = OrderedDict()
         self._counter = 0
+        self._size_rows = 0
+        self._planner: Optional[RewritePlanner] = None
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -93,9 +96,15 @@ class QueryCache:
             table = Table(view.output_names, result.rows)
         else:
             table = Table(view.output_names, result)
+        previous = self._entries.get(name)
+        if previous is not None:
+            self._catalog.remove_view(name)
+            self._size_rows -= previous.rows
         self._catalog.add_view(view, row_count=len(table))
         self._entries[name] = _Entry(view, table)
         self._entries.move_to_end(name)
+        self._size_rows += len(table)
+        self._planner = None
         self.stats.remembered += 1
         self._evict_over_capacity(keep=name)
         return view
@@ -104,25 +113,34 @@ class QueryCache:
         """Drop one cached result."""
         if name not in self._entries:
             raise SchemaError(f"not cached: {name}")
+        self._size_rows -= self._entries[name].rows
         del self._entries[name]
         self._catalog.remove_view(name)
+        self._planner = None
 
     def _evict_over_capacity(self, keep: str) -> None:
-        while self.size_rows > self.capacity_rows and len(self._entries) > 1:
+        while self._size_rows > self.capacity_rows and len(self._entries) > 1:
             victim = next(
                 (n for n in self._entries if n != keep), None
             )
             if victim is None:
                 return
+            self._size_rows -= self._entries[victim].rows
             del self._entries[victim]
             self._catalog.remove_view(victim)
+            self._planner = None
             self.stats.evictions += 1
 
     # ------------------------------------------------------------------
 
     @property
     def size_rows(self) -> int:
-        return sum(entry.rows for entry in self._entries.values())
+        """Summed cardinality of all cached results.
+
+        Maintained incrementally on remember/forget/evict — the eviction
+        loop used to re-sum every entry per iteration (quadratic).
+        """
+        return self._size_rows
 
     @property
     def cached_names(self) -> list[str]:
@@ -135,12 +153,20 @@ class QueryCache:
     ) -> Optional[Rewriting]:
         """A rewriting of ``query`` whose FROM reads only cached views."""
         block = as_block(query, self._catalog)
-        views = [entry.view for entry in self._entries.values()]
+        if self._planner is None:
+            # Reused across lookups until the cached view set changes, so
+            # heavy query traffic pays for the signature index once.
+            self._planner = RewritePlanner(
+                [entry.view for entry in self._entries.values()],
+                catalog=self._catalog,
+                use_set_semantics=self.use_set_semantics,
+            )
         candidates = all_rewritings(
             block,
-            views,
+            (),
             catalog=self._catalog,
             use_set_semantics=self.use_set_semantics,
+            planner=self._planner,
         )
         cached = set(self._entries)
         for rewriting in candidates:

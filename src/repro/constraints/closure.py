@@ -25,7 +25,10 @@ treatment of "aggregation columns" in GConds.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional, Sequence
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Optional, Sequence
 
 from ..blocks.terms import Column, Comparison, Constant, Op
 
@@ -339,7 +342,10 @@ class Closure:
 
     def bounds(self, term: Node) -> tuple[Optional[tuple], Optional[tuple]]:
         """(lower, upper) constant bounds of a term, each (value, strict)."""
-        rep = self._find(term)
+        # Don't use _find directly: it would register an unknown term in
+        # the union-find, mutating an instance that may be shared through
+        # the closure cache.
+        rep = self._find(term) if term in self._parent else term
         return self.lower_bound_rep(rep), self.upper_bound_rep(rep)
 
     # ------------------------------------------------------------------
@@ -520,3 +526,108 @@ def _bound_gt(bound, value) -> bool:
     """lower bound (v, strict) proves term > value."""
     v, strict = bound
     return v > value or (v == value and strict)
+
+
+# ----------------------------------------------------------------------
+# Closure cache
+# ----------------------------------------------------------------------
+#
+# The rewriting conditions rebuild the closure of the same conjunction
+# over and over: every candidate mapping of every view re-checks C2/C3
+# against Closure(Conds(Q)), and repeated rewrite traffic (the semantic
+# cache) re-derives identical closures per lookup. A conjunction's
+# closure depends only on the *set* of its atoms, so a bounded LRU keyed
+# on that frozen set lets all of them share one instance. Closure objects
+# are immutable after construction (union-find path compression aside),
+# which makes the sharing safe.
+
+
+@dataclass
+class ClosureCacheStats:
+    """Hit/miss accounting for :func:`closure_of` (benchmark surface)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bypasses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+CLOSURE_CACHE_MAX = 4096
+
+_closure_cache: "OrderedDict[frozenset, Closure]" = OrderedDict()
+_closure_cache_enabled = True
+_closure_stats = ClosureCacheStats()
+
+
+def closure_of(atoms: Iterable[Comparison]) -> Closure:
+    """A (possibly shared) :class:`Closure` of the given conjunction.
+
+    Drop-in replacement for ``Closure(atoms)`` on hot paths: entailment
+    is order- and duplicate-insensitive, so conjunctions with the same
+    atom set share one cached instance.
+    """
+    atom_tuple = tuple(atoms)
+    if not _closure_cache_enabled:
+        _closure_stats.bypasses += 1
+        return Closure(atom_tuple)
+    key = frozenset(atom_tuple)
+    cached = _closure_cache.get(key)
+    if cached is not None:
+        _closure_stats.hits += 1
+        _closure_cache.move_to_end(key)
+        return cached
+    _closure_stats.misses += 1
+    closure = Closure(atom_tuple)
+    _closure_cache[key] = closure
+    if len(_closure_cache) > CLOSURE_CACHE_MAX:
+        _closure_cache.popitem(last=False)
+        _closure_stats.evictions += 1
+    return closure
+
+
+def closure_cache_enabled() -> bool:
+    """Whether :func:`closure_of` currently caches (see
+    :func:`closure_cache_disabled`). Derived caches — e.g. the residual
+    memo in :mod:`repro.constraints.residual` — key off the same switch
+    so baselines disable all entailment memoization at once."""
+    return _closure_cache_enabled
+
+
+def closure_cache_stats() -> ClosureCacheStats:
+    """The live hit/miss counters (reset by :func:`clear_closure_cache`)."""
+    return _closure_stats
+
+
+def clear_closure_cache() -> None:
+    """Empty the cache and zero its counters."""
+    _closure_cache.clear()
+    _closure_stats.hits = 0
+    _closure_stats.misses = 0
+    _closure_stats.evictions = 0
+    _closure_stats.bypasses = 0
+
+
+@contextmanager
+def closure_cache_disabled() -> Iterator[None]:
+    """Run with :func:`closure_of` bypassing the cache (A/B baselines)."""
+    global _closure_cache_enabled
+    previous = _closure_cache_enabled
+    _closure_cache_enabled = False
+    try:
+        yield
+    finally:
+        _closure_cache_enabled = previous

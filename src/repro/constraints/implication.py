@@ -5,23 +5,23 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..blocks.terms import Comparison
-from .closure import Closure
+from .closure import closure_of
 
 
 def satisfiable(atoms: Iterable[Comparison]) -> bool:
     """Can some database make every atom true simultaneously?"""
-    return Closure(atoms).satisfiable
+    return closure_of(atoms).satisfiable
 
 
 def implies(premise: Sequence[Comparison], conclusion: Sequence[Comparison]) -> bool:
     """``premise ⊨ conclusion`` (conjunctions of comparison atoms)."""
-    return Closure(premise).entails_all(conclusion)
+    return closure_of(premise).entails_all(conclusion)
 
 
 def equivalent(left: Sequence[Comparison], right: Sequence[Comparison]) -> bool:
     """Mutual implication of two conjunctions."""
-    left_closure = Closure(left)
-    right_closure = Closure(right)
+    left_closure = closure_of(left)
+    right_closure = closure_of(right)
     if not left_closure.satisfiable or not right_closure.satisfiable:
         return left_closure.satisfiable == right_closure.satisfiable
     return left_closure.entails_all(right) and right_closure.entails_all(left)
@@ -41,7 +41,7 @@ def minimize(
         changed = False
         for atom in sorted(kept, key=str, reverse=True):
             rest = [a for a in kept if a != atom]
-            if Closure(tuple(context) + tuple(rest)).entails(atom):
+            if closure_of(tuple(context) + tuple(rest)).entails(atom):
                 kept = rest
                 changed = True
     return kept

@@ -15,11 +15,12 @@ complete (Theorem 3.1), and it is sound in general.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, Optional, Sequence
 
 from ..blocks.exprs import columns_in
 from ..blocks.terms import Column, Comparison, Constant
-from .closure import Closure
+from .closure import Closure, closure_cache_enabled, closure_of
 from .implication import minimize
 
 
@@ -33,6 +34,35 @@ def atoms_constants(atoms: Iterable[Comparison]) -> list[Constant]:
     return list(out)
 
 
+#: Memo for :func:`find_residual`. A C3 check is a pure function of the
+#: query conditions, the mapped view conditions and the *ordered* allowed
+#: vocabulary (the construction's output order follows it), so repeated
+#: rewrite traffic — the same query probed against the same views — reuses
+#: the entailed-atom enumeration and minimization outright. Honors the
+#: closure-cache switch so baseline benchmarks disable it too.
+RESIDUAL_CACHE_MAX = 4096
+_residual_cache: "OrderedDict[tuple, Optional[tuple[Comparison, ...]]]" = (
+    OrderedDict()
+)
+_residual_hits = 0
+_residual_misses = 0
+
+
+def residual_cache_stats() -> dict:
+    total = _residual_hits + _residual_misses
+    return {
+        "hits": _residual_hits,
+        "misses": _residual_misses,
+        "hit_rate": round(_residual_hits / total, 4) if total else 0.0,
+    }
+
+
+def clear_residual_cache() -> None:
+    global _residual_hits, _residual_misses
+    _residual_cache.clear()
+    _residual_hits = _residual_misses = 0
+
+
 def find_residual(
     conds_q: Sequence[Comparison],
     mapped_view_conds: Sequence[Comparison],
@@ -44,7 +74,43 @@ def find_residual(
     ``mapped_view_conds`` is ``φ(Conds(V))`` — the view's conditions with
     its columns renamed into query columns by the candidate mapping.
     """
-    closure_q = Closure(conds_q)
+    allowed_terms: list = list(dict.fromkeys(allowed_columns))
+    allowed_terms += atoms_constants(conds_q)
+    allowed_terms += atoms_constants(mapped_view_conds)
+
+    global _residual_hits, _residual_misses
+    caching = closure_cache_enabled()
+    if caching:
+        key = (
+            frozenset(conds_q),
+            frozenset(mapped_view_conds),
+            tuple(allowed_terms),
+        )
+        try:
+            cached = _residual_cache[key]
+        except KeyError:
+            _residual_misses += 1
+        else:
+            _residual_hits += 1
+            _residual_cache.move_to_end(key)
+            return None if cached is None else list(cached)
+
+    result = _find_residual_uncached(
+        conds_q, mapped_view_conds, allowed_terms
+    )
+    if caching:
+        _residual_cache[key] = None if result is None else tuple(result)
+        if len(_residual_cache) > RESIDUAL_CACHE_MAX:
+            _residual_cache.popitem(last=False)
+    return result
+
+
+def _find_residual_uncached(
+    conds_q: Sequence[Comparison],
+    mapped_view_conds: Sequence[Comparison],
+    allowed_terms: Sequence,
+) -> Optional[list[Comparison]]:
+    closure_q = closure_of(conds_q)
     if not closure_q.satisfiable:
         # Q is unsatisfiable (returns no groups on any database). Declining
         # to rewrite is sound; callers may special-case this if desired.
@@ -55,15 +121,11 @@ def find_residual(
     if not closure_q.entails_all(mapped_view_conds):
         return None
 
-    allowed_terms: list = list(dict.fromkeys(allowed_columns))
-    allowed_terms += atoms_constants(conds_q)
-    allowed_terms += atoms_constants(mapped_view_conds)
-
     candidates = closure_q.entailed_atoms_over(allowed_terms)
 
     # Second half of C3: the view's conditions plus the residual must give
     # back exactly Conds(Q).
-    combined = Closure(tuple(mapped_view_conds) + tuple(candidates))
+    combined = closure_of(tuple(mapped_view_conds) + tuple(candidates))
     if not combined.entails_all(conds_q):
         return None
 

@@ -12,10 +12,18 @@ from .explain import UsabilityDiagnosis, explain_usability
 from .cost import estimate_cost, estimate_result_rows, estimate_rows
 from .multiview import (
     all_rewritings,
+    all_rewritings_naive,
     rewrite_iteratively,
     single_view_rewritings,
 )
 from .paper_va import try_rewrite_paper_va
+from .planner import (
+    PlannerStats,
+    RewritePlanner,
+    ViewSignature,
+    baseline_mode,
+    cache_stats,
+)
 from .result import Rewriting
 from .rewriter import (
     NestedRewriteResult,
@@ -39,9 +47,15 @@ __all__ = [
     "estimate_result_rows",
     "estimate_rows",
     "all_rewritings",
+    "all_rewritings_naive",
     "rewrite_iteratively",
     "single_view_rewritings",
     "try_rewrite_paper_va",
+    "PlannerStats",
+    "RewritePlanner",
+    "ViewSignature",
+    "baseline_mode",
+    "cache_stats",
     "Rewriting",
     "NestedRewriteResult",
     "RankedRewriting",

@@ -40,7 +40,7 @@ from ..blocks.exprs import (
 )
 from ..blocks.query_block import QueryBlock, SelectItem, ViewDef
 from ..blocks.terms import Column, Comparison
-from ..constraints.closure import Closure
+from ..constraints.closure import Closure, closure_of
 from ..constraints.having import normalize_having
 from ..constraints.residual import find_residual
 from ..mappings.column_mapping import ColumnMapping
@@ -123,10 +123,10 @@ def try_rewrite_aggregation(
     if view_n.having:
         view_n = normalize_having(view_n)
 
-    closure_q = Closure(query_n.where)
+    closure_q = closure_of(query_n.where)
     if not closure_q.satisfiable:
         return None
-    closure_v = Closure(view_n.where)
+    closure_v = closure_of(view_n.where)
 
     image = mapping.image_columns
     namer = query_namer(query_n, view_n)

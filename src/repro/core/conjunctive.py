@@ -18,7 +18,7 @@ from ..blocks.exprs import (
 )
 from ..blocks.query_block import QueryBlock, SelectItem, ViewDef
 from ..blocks.terms import Column, Comparison, Constant
-from ..constraints.closure import Closure
+from ..constraints.closure import closure_of
 from ..constraints.having import normalize_having
 from ..constraints.residual import find_residual
 from ..mappings.column_mapping import ColumnMapping
@@ -53,7 +53,7 @@ def try_rewrite_conjunctive(
     # Section 3.3 pre-processing: strengthen Conds(Q) from the HAVING
     # clause before checking C2-C4.
     query_n = normalize_having(query)
-    closure_q = Closure(query_n.where)
+    closure_q = closure_of(query_n.where)
     if not closure_q.satisfiable:
         return None
 

@@ -12,7 +12,10 @@ views — complete.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .planner import RewritePlanner
 
 from ..blocks.query_block import QueryBlock, ViewDef
 from ..catalog.schema import Catalog
@@ -111,6 +114,8 @@ def all_rewritings(
     use_set_semantics: bool = False,
     max_steps: int = 4,
     include_partial: bool = True,
+    use_planner: bool = True,
+    planner: Optional["RewritePlanner"] = None,
 ) -> list[Rewriting]:
     """Every rewriting reachable by iterated single-view substitution.
 
@@ -119,6 +124,38 @@ def all_rewritings(
     step removes at least one base table, so the bound is also naturally
     limited by the query's FROM size). With ``include_partial`` every
     intermediate rewriting is returned, not only the maximal ones.
+
+    By default the search runs through the indexed/memoized
+    :class:`repro.core.planner.RewritePlanner`, which returns the same
+    result list faster; ``use_planner=False`` runs the original
+    enumeration (kept callable for A/B benchmarks and parity tests). A
+    prepared ``planner`` may be passed to reuse its signature index and
+    stats across queries (``views`` is ignored then).
+    """
+    if planner is not None or use_planner:
+        from .planner import RewritePlanner
+
+        if planner is None:
+            planner = RewritePlanner(views, catalog, use_set_semantics)
+        return planner.all_rewritings(query, max_steps, include_partial)
+    return all_rewritings_naive(
+        query, views, catalog, use_set_semantics, max_steps, include_partial
+    )
+
+
+def all_rewritings_naive(
+    query: QueryBlock,
+    views: Iterable[ViewDef],
+    catalog: Optional[Catalog] = None,
+    use_set_semantics: bool = False,
+    max_steps: int = 4,
+    include_partial: bool = True,
+) -> list[Rewriting]:
+    """The original (unindexed, non-incremental) search.
+
+    Every view is tried at every node and maximality is decided by
+    re-running ``single_view_rewritings`` over every result. Kept as the
+    parity baseline for :mod:`repro.core.planner`.
     """
     view_list = list(views)
     results: list[Rewriting] = []

@@ -1,0 +1,294 @@
+"""The rewrite planner: indexed and memoized multi-view search.
+
+:func:`repro.core.multiview.all_rewritings` is candidate generation plus
+verification (the framing of Cohen & Nutt's rewriting algorithms): every
+BFS node is matched against every view, each match enumerates column
+mappings, and each mapping re-derives predicate closures and canonical
+keys. This module makes that search fast without changing its result set:
+
+view-signature index
+    Per view, the multiset of FROM relation names and arities (plus its
+    conjunctive/aggregation class, kept for diagnostics). A 1-1 column
+    mapping (condition C1) requires the view's FROM multiset to be
+    contained in the node's FROM multiset — many-to-1 mappings (set
+    semantics, Section 5.2) need only set containment — so views failing
+    the containment test are skipped before any backtracking happens.
+
+memoization
+    Canonical keys are interned (:mod:`repro.core.canonical`) and
+    predicate closures are shared (:func:`repro.constraints.closure
+    .closure_of`), so repeated C2/C3 entailment work across mappings,
+    nodes and queries is paid once.
+
+incremental maximality bookkeeping
+    The naive search decides ``include_partial=False`` by re-running
+    ``single_view_rewritings`` over *every* result after the fact. The
+    planner records, while expanding each node, whether any view offered
+    an expansion; only nodes the step bound left unexpanded are probed
+    lazily.
+
+The naive path stays callable (``all_rewritings(use_planner=False)``)
+and :func:`baseline_mode` additionally switches the memoization caches
+off, so A/B benchmarks can reproduce the pre-planner behavior exactly.
+Result-set parity between the two paths is asserted by
+``tests/core/test_planner_parity.py`` and by ``benchmarks/run_benchmarks.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..blocks.query_block import QueryBlock, ViewDef
+from ..catalog.schema import Catalog
+from ..constraints.closure import (
+    closure_cache_disabled,
+    closure_cache_enabled,
+    closure_cache_stats,
+)
+from ..constraints.residual import residual_cache_stats
+from .canonical import (
+    canonical_cache_disabled,
+    canonical_cache_stats,
+    canonical_key,
+)
+from .result import Rewriting
+
+
+def _from_counts(block: QueryBlock) -> Counter:
+    """The FROM multiset of a block: (relation name, arity) -> count."""
+    return Counter((rel.name, len(rel.columns)) for rel in block.from_)
+
+
+@dataclass(frozen=True)
+class ViewSignature:
+    """What a view needs from a query's FROM clause to be applicable.
+
+    ``relations`` lists ``((name, arity), count)`` sorted by name; the
+    class flag mirrors which rewriting path (Section 3 vs Section 4)
+    the view takes, for diagnostics and the benchmark report.
+    """
+
+    relations: tuple[tuple[tuple[str, int], int], ...]
+    is_conjunctive: bool
+
+    @classmethod
+    def of(cls, view: ViewDef) -> "ViewSignature":
+        counts = _from_counts(view.block)
+        return cls(
+            relations=tuple(sorted(counts.items())),
+            is_conjunctive=view.block.is_conjunctive,
+        )
+
+    def admits(self, query_counts: Counter, many_to_one: bool) -> bool:
+        """Can any column mapping from the view into a query with these
+        FROM counts exist?  Multiset containment is necessary for 1-1
+        mappings; set containment suffices when many-to-1 mappings are
+        also admissible."""
+        for key, count in self.relations:
+            available = query_counts.get(key, 0)
+            if available == 0:
+                return False
+            if not many_to_one and available < count:
+                return False
+        return True
+
+
+@dataclass
+class PlannerStats:
+    """Counters from one or more planned searches (benchmark surface)."""
+
+    searches: int = 0
+    nodes_expanded: int = 0
+    views_considered: int = 0
+    views_pruned: int = 0
+    candidates_generated: int = 0
+    duplicates_skipped: int = 0
+    maximality_probes: int = 0
+    substitution_hits: int = 0
+    substitution_misses: int = 0
+
+    @property
+    def prune_rate(self) -> float:
+        if not self.views_considered:
+            return 0.0
+        return self.views_pruned / self.views_considered
+
+    def as_dict(self) -> dict:
+        return {
+            "searches": self.searches,
+            "nodes_expanded": self.nodes_expanded,
+            "views_considered": self.views_considered,
+            "views_pruned": self.views_pruned,
+            "prune_rate": round(self.prune_rate, 4),
+            "candidates_generated": self.candidates_generated,
+            "duplicates_skipped": self.duplicates_skipped,
+            "maximality_probes": self.maximality_probes,
+            "substitution_hits": self.substitution_hits,
+            "substitution_misses": self.substitution_misses,
+        }
+
+
+class _Node:
+    """One BFS node plus its maximality bookkeeping."""
+
+    __slots__ = ("rewriting", "block", "probed", "expandable")
+
+    def __init__(self, rewriting: Optional[Rewriting], block: QueryBlock):
+        self.rewriting = rewriting
+        self.block = block
+        self.probed = False      # were this node's expansions attempted?
+        self.expandable = False  # did any view offer an expansion?
+
+
+class RewritePlanner:
+    """A prepared multi-view search over a fixed set of views.
+
+    Builds the signature index once; :meth:`all_rewritings` then runs the
+    breadth-first substitution search with view pruning and incremental
+    maximality bookkeeping. The result list is identical (same rewritings,
+    same order) to the naive search's.
+    """
+
+    def __init__(
+        self,
+        views: Iterable[ViewDef],
+        catalog: Optional[Catalog] = None,
+        use_set_semantics: bool = False,
+    ):
+        self.views: list[ViewDef] = list(views)
+        self.catalog = catalog
+        self.use_set_semantics = use_set_semantics
+        self.signatures: list[ViewSignature] = [
+            ViewSignature.of(v) for v in self.views
+        ]
+        self.stats = PlannerStats()
+        # Substitution memo: single_view_rewritings is a pure function of
+        # (block, view, catalog, semantics); the planner fixes the last
+        # three, and blocks are deeply frozen, so results are shared across
+        # BFS nodes and repeated rewrite traffic. Honors the cache switch
+        # so baseline_mode() reproduces the uncached search.
+        self._substitutions: "OrderedDict[tuple[QueryBlock, int], list[Rewriting]]" = (
+            OrderedDict()
+        )
+
+    SUBSTITUTION_CACHE_MAX = 8192
+
+    def _single_view(self, block: QueryBlock, view_index: int) -> list[Rewriting]:
+        from .multiview import single_view_rewritings
+
+        if not closure_cache_enabled():
+            return single_view_rewritings(
+                block, self.views[view_index], self.catalog, self.use_set_semantics
+            )
+        key = (block, view_index)
+        cached = self._substitutions.get(key)
+        if cached is not None:
+            self.stats.substitution_hits += 1
+            self._substitutions.move_to_end(key)
+            return cached
+        self.stats.substitution_misses += 1
+        options = single_view_rewritings(
+            block, self.views[view_index], self.catalog, self.use_set_semantics
+        )
+        self._substitutions[key] = options
+        if len(self._substitutions) > self.SUBSTITUTION_CACHE_MAX:
+            self._substitutions.popitem(last=False)
+        return options
+
+    # ------------------------------------------------------------------
+
+    def candidate_views(self, block: QueryBlock) -> list[ViewDef]:
+        """The views whose signature is contained in ``block``'s FROM."""
+        return [self.views[i] for i in self._candidate_indices(block)]
+
+    def _candidate_indices(self, block: QueryBlock) -> list[int]:
+        counts = _from_counts(block)
+        out = []
+        for index, signature in enumerate(self.signatures):
+            self.stats.views_considered += 1
+            if signature.admits(counts, self.use_set_semantics):
+                out.append(index)
+            else:
+                self.stats.views_pruned += 1
+        return out
+
+    # ------------------------------------------------------------------
+
+    def all_rewritings(
+        self,
+        query: QueryBlock,
+        max_steps: int = 4,
+        include_partial: bool = True,
+    ) -> list[Rewriting]:
+        """The planned equivalent of the naive ``all_rewritings`` search."""
+        from .multiview import _merge
+
+        self.stats.searches += 1
+        seen: set[str] = {canonical_key(query)}
+        frontier: list[_Node] = [_Node(None, query)]
+        result_nodes: list[_Node] = []
+
+        for _step in range(max_steps):
+            next_frontier: list[_Node] = []
+            for node in frontier:
+                node.probed = True
+                self.stats.nodes_expanded += 1
+                for view_index in self._candidate_indices(node.block):
+                    options = self._single_view(node.block, view_index)
+                    if options:
+                        node.expandable = True
+                    for option in options:
+                        merged = _merge(node.rewriting, option)
+                        self.stats.candidates_generated += 1
+                        key = canonical_key(merged.query)
+                        if key in seen:
+                            self.stats.duplicates_skipped += 1
+                            continue
+                        seen.add(key)
+                        child = _Node(merged, merged.query)
+                        next_frontier.append(child)
+                        result_nodes.append(child)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+
+        if include_partial:
+            return [node.rewriting for node in result_nodes]
+
+        maximal: list[Rewriting] = []
+        for node in result_nodes:
+            if not node.probed:
+                # The step bound cut this node off before expansion; probe
+                # it now, exactly as the naive maximality re-scan would.
+                self.stats.maximality_probes += 1
+                node.expandable = any(
+                    self._single_view(node.block, view_index)
+                    for view_index in self._candidate_indices(node.block)
+                )
+                node.probed = True
+            if not node.expandable:
+                maximal.append(node.rewriting)
+        return maximal
+
+
+def cache_stats() -> dict:
+    """A snapshot of both memoization caches, for the benchmark report."""
+    return {
+        "closure": closure_cache_stats().as_dict(),
+        "canonical_key": canonical_cache_stats().as_dict(),
+        "residual": residual_cache_stats(),
+    }
+
+
+@contextmanager
+def baseline_mode() -> Iterator[None]:
+    """Disable the memoization caches — the seed behavior, for A/B runs.
+
+    Combine with ``all_rewritings(..., use_planner=False)`` to time the
+    exact pre-planner code path.
+    """
+    with closure_cache_disabled(), canonical_cache_disabled():
+        yield

@@ -14,7 +14,10 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .planner import RewritePlanner
 
 from ..blocks.normalize import as_block, parse_view
 from ..blocks.query_block import QueryBlock, ViewDef
@@ -125,11 +128,24 @@ class NestedRewriteResult:
 
 
 class RewriteEngine:
-    """Rewrites SQL queries to use the catalog's materialized views."""
+    """Rewrites SQL queries to use the catalog's materialized views.
 
-    def __init__(self, catalog: Catalog, use_set_semantics: bool = True):
+    ``use_planner`` selects the indexed/memoized search of
+    :mod:`repro.core.planner` (default); the planner instance — and its
+    view-signature index — is shared across :meth:`rewrite` calls until
+    the view set changes.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        use_set_semantics: bool = True,
+        use_planner: bool = True,
+    ):
         self.catalog = catalog
         self.use_set_semantics = use_set_semantics
+        self.use_planner = use_planner
+        self._planner: Optional["RewritePlanner"] = None
 
     # ------------------------------------------------------------------
 
@@ -145,7 +161,17 @@ class RewriteEngine:
         else:
             view = definition
         self.catalog.add_view(view, row_count=row_count)
+        self._planner = None
         return view
+
+    def _shared_planner(self) -> "RewritePlanner":
+        from .planner import RewritePlanner
+
+        if self._planner is None or self._planner.views != self.views:
+            self._planner = RewritePlanner(
+                self.views, self.catalog, self.use_set_semantics
+            )
+        return self._planner
 
     @property
     def views(self) -> list[ViewDef]:
@@ -169,6 +195,11 @@ class RewriteEngine:
         clause are first expanded into base tables (paper Section 7), so
         the rewriter can reassemble the query from *different* views.
         """
+        shared = (
+            views is None
+            and (catalog is None or catalog is self.catalog)
+            and self.use_planner
+        )
         catalog = catalog if catalog is not None else self.catalog
         block = as_block(query, catalog)
         block.validate()
@@ -182,6 +213,8 @@ class RewriteEngine:
             catalog=catalog,
             use_set_semantics=self.use_set_semantics,
             max_steps=max_steps,
+            use_planner=self.use_planner,
+            planner=self._shared_planner() if shared else None,
         )
         ranked = sorted(
             (
@@ -239,6 +272,7 @@ class RewriteEngine:
                 catalog=working,
                 use_set_semantics=self.use_set_semantics,
                 max_steps=max_steps,
+                use_planner=self.use_planner,
             ):
                 cost = estimate_cost(
                     candidate.query, working, candidate.aux_views

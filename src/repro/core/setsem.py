@@ -29,7 +29,7 @@ from ..blocks.query_block import QueryBlock, SelectItem, ViewDef
 from ..blocks.terms import Column, Comparison, Op
 from ..catalog.keys import result_is_set
 from ..catalog.schema import Catalog
-from ..constraints.closure import Closure
+from ..constraints.closure import Closure, closure_of
 from ..constraints.residual import find_residual
 from ..mappings.column_mapping import ColumnMapping
 from .common import (
@@ -61,10 +61,10 @@ def try_rewrite_set_semantics(
     ):
         return None
 
-    closure_q = Closure(query.where)
+    closure_q = closure_of(query.where)
     if not closure_q.satisfiable:
         return None
-    closure_v = Closure(view.block.where)
+    closure_v = closure_of(view.block.where)
     image = mapping.image_columns
     namer = query_namer(query, view.block)
     occurrence = make_view_occurrence(view, mapping, namer)

@@ -1,0 +1,251 @@
+"""Accounting for the planner-layer memoization caches.
+
+Covers the closure memo, the canonical-key intern table, the residual
+memo and the planner's substitution memo — hit/miss/eviction/bypass
+bookkeeping and the cache-disable switches — plus two QueryCache
+regressions: the LRU touch on ``try_answer`` hits and the incrementally
+maintained ``size_rows`` total.
+"""
+
+import random
+
+import pytest
+
+from repro import Catalog, Database, parse_query, table
+from repro.blocks.terms import Column, Comparison, Constant, Op
+from repro.cache import QueryCache
+from repro.constraints import closure as closure_mod
+from repro.constraints import residual as residual_mod
+from repro.constraints.closure import (
+    clear_closure_cache,
+    closure_cache_disabled,
+    closure_cache_stats,
+    closure_of,
+)
+from repro.constraints.residual import (
+    clear_residual_cache,
+    find_residual,
+    residual_cache_stats,
+)
+from repro.core.canonical import (
+    canonical_cache_disabled,
+    canonical_cache_stats,
+    canonical_key,
+    clear_canonical_cache,
+)
+from repro.core.planner import RewritePlanner, baseline_mode
+from repro.workloads import star
+
+
+def atoms(n, offset=0):
+    cols = [Column(f"c{offset + i}") for i in range(n + 1)]
+    return [Comparison(cols[i], Op.LT, cols[i + 1]) for i in range(n)]
+
+
+class TestClosureCache:
+    def setup_method(self):
+        clear_closure_cache()
+
+    def test_hit_and_miss_accounting(self):
+        conj = atoms(3)
+        first = closure_of(conj)
+        second = closure_of(conj)
+        assert first is second  # the memo shares the instance
+        stats = closure_cache_stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_order_insensitive_key(self):
+        conj = atoms(3)
+        closure_of(conj)
+        closure_of(list(reversed(conj)))
+        stats = closure_cache_stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_disabled_counts_bypasses(self):
+        conj = atoms(2)
+        with closure_cache_disabled():
+            a = closure_of(conj)
+            b = closure_of(conj)
+        assert a is not b
+        stats = closure_cache_stats()
+        assert stats.bypasses == 2
+        assert stats.hits == stats.misses == 0
+
+    def test_eviction_accounting(self, monkeypatch):
+        monkeypatch.setattr(closure_mod, "CLOSURE_CACHE_MAX", 2)
+        closure_of(atoms(1, offset=0))
+        closure_of(atoms(1, offset=10))
+        closure_of(atoms(1, offset=20))  # evicts the oldest
+        stats = closure_cache_stats()
+        assert stats.evictions == 1
+        closure_of(atoms(1, offset=0))  # the evicted key misses again
+        assert closure_cache_stats().misses == 4
+
+
+class TestCanonicalCache:
+    def setup_method(self):
+        clear_canonical_cache()
+
+    @pytest.fixture
+    def catalog(self):
+        return Catalog([table("R", ["A", "B"])])
+
+    def test_hit_and_miss_accounting(self, catalog):
+        block = parse_query("SELECT A FROM R WHERE B > 1", catalog)
+        key1 = canonical_key(block)
+        key2 = canonical_key(block)
+        assert key1 == key2
+        stats = canonical_cache_stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_equal_blocks_share_entry(self, catalog):
+        one = parse_query("SELECT A FROM R", catalog)
+        two = parse_query("SELECT A FROM R", catalog)
+        canonical_key(one)
+        canonical_key(two)
+        stats = canonical_cache_stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_disabled_counts_bypasses(self, catalog):
+        block = parse_query("SELECT A FROM R", catalog)
+        with canonical_cache_disabled():
+            canonical_key(block)
+            canonical_key(block)
+        stats = canonical_cache_stats()
+        assert stats.bypasses == 2
+
+    def test_cached_key_matches_uncached(self, catalog):
+        block = parse_query(
+            "SELECT A, SUM(B) FROM R WHERE A > 0 GROUP BY A", catalog
+        )
+        warm = canonical_key(block)
+        with canonical_cache_disabled():
+            cold = canonical_key(block)
+        assert warm == cold
+
+
+class TestResidualCache:
+    def setup_method(self):
+        clear_residual_cache()
+        clear_closure_cache()
+
+    def test_hit_accounting_and_copy_semantics(self):
+        conds_q = atoms(4) + [Comparison(Column("c0"), Op.GE, Constant(0))]
+        view_conds = conds_q[:2]
+        allowed = [Column(f"c{i}") for i in range(5)]
+        first = find_residual(conds_q, view_conds, allowed)
+        second = find_residual(conds_q, view_conds, allowed)
+        assert first == second
+        assert first is not second  # callers get private lists
+        stats = residual_cache_stats()
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+
+    def test_disabled_with_closure_switch(self):
+        conds_q = atoms(3)
+        with closure_cache_disabled():
+            find_residual(conds_q, conds_q[:1], [Column("c0")])
+        stats = residual_cache_stats()
+        assert stats["hits"] == stats["misses"] == 0
+
+
+class TestPlannerSubstitutionMemo:
+    def test_repeat_searches_hit(self):
+        wl = star.generate(n_sales=100)
+        planner = RewritePlanner(list(wl.views.values()), wl.catalog)
+        query = wl.queries["category_revenue"]
+        planner.all_rewritings(query, include_partial=False)
+        misses_after_first = planner.stats.substitution_misses
+        planner.all_rewritings(query, include_partial=False)
+        assert planner.stats.substitution_misses == misses_after_first
+        assert planner.stats.substitution_hits >= misses_after_first
+
+    def test_baseline_mode_bypasses_memo(self):
+        wl = star.generate(n_sales=100)
+        planner = RewritePlanner(list(wl.views.values()), wl.catalog)
+        query = wl.queries["category_revenue"]
+        with baseline_mode():
+            planner.all_rewritings(query)
+            planner.all_rewritings(query)
+        assert planner.stats.substitution_hits == 0
+        assert planner.stats.substitution_misses == 0
+
+
+class TestQueryCacheAccounting:
+    @pytest.fixture
+    def catalog(self):
+        return Catalog(
+            [
+                table(
+                    "Calls",
+                    ["Call_Id", "Plan_Id", "Month", "Year", "Charge"],
+                    key=["Call_Id"],
+                )
+            ]
+        )
+
+    @pytest.fixture
+    def server(self, catalog):
+        rng = random.Random(4)
+        rows = [
+            (
+                i,
+                rng.randrange(4),
+                rng.randint(1, 12),
+                rng.choice([1994, 1995]),
+                rng.randint(1, 100),
+            )
+            for i in range(300)
+        ]
+        return Database(catalog, {"Calls": rows})
+
+    SUMMARY = (
+        "SELECT Plan_Id, Month, Year, SUM(Charge), COUNT(Charge) "
+        "FROM Calls GROUP BY Plan_Id, Month, Year"
+    )
+    YEARLY = "SELECT Plan_Id, SUM(Charge) FROM Calls GROUP BY Plan_Id"
+
+    def test_try_answer_touches_lru_order(self, catalog, server):
+        """A hit must move the serving entry to most-recently-used, so a
+        later capacity squeeze evicts the untouched entry instead."""
+        cache = QueryCache(catalog)
+        cache.remember(self.SUMMARY, server.execute(self.SUMMARY), name="monthly")
+        cache.remember(self.YEARLY, server.execute(self.YEARLY), name="yearly")
+        assert cache.try_answer(self.SUMMARY) is not None  # serves "monthly"
+        per_month = "SELECT Month, SUM(Charge) FROM Calls GROUP BY Month"
+        pm_rows = server.execute(per_month)
+        # Room for monthly + pm but not yearly as well.
+        cache.capacity_rows = (
+            len(server.execute(self.SUMMARY)) + len(pm_rows)
+        )
+        cache.remember(per_month, pm_rows, name="pm")
+        assert "monthly" in cache.cached_names
+        assert "yearly" not in cache.cached_names
+
+    def test_size_rows_running_total(self, catalog, server):
+        cache = QueryCache(catalog)
+
+        def expected():
+            return sum(
+                len(cache._entries[n].table) for n in cache.cached_names
+            )
+
+        assert cache.size_rows == 0
+        cache.remember(self.SUMMARY, server.execute(self.SUMMARY), name="m")
+        assert cache.size_rows == expected()
+        cache.remember(self.YEARLY, server.execute(self.YEARLY), name="y")
+        assert cache.size_rows == expected()
+        # Overwrite: the old rows must be subtracted, not double-counted.
+        cache.remember(self.SUMMARY, server.execute(self.SUMMARY), name="m")
+        assert cache.size_rows == expected()
+        cache.forget("y")
+        assert cache.size_rows == expected()
+
+    def test_size_rows_after_eviction(self, catalog, server):
+        summary_rows = server.execute(self.SUMMARY)
+        cache = QueryCache(catalog, capacity_rows=len(summary_rows) + 1)
+        cache.remember(self.SUMMARY, summary_rows, name="m")
+        cache.remember(self.YEARLY, server.execute(self.YEARLY), name="y")
+        assert cache.cached_names == ["y"]
+        assert cache.size_rows == len(cache._entries["y"].table)
+        assert cache.stats.evictions == 1
