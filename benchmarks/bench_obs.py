@@ -1,0 +1,119 @@
+"""Observability benchmarks: stage timings, budget trips, trace overhead.
+
+Three questions about the ``repro.obs`` layer, answered on the star
+warehouse workload and written into ``BENCH_rewriting.json``:
+
+1. *Where does rewrite time go?* Per-stage seconds aggregated from a
+   traced run of every star query (parse → normalize → search
+   [signature_probe / mapping_enumeration / checks / merge / maximality]
+   → rank).
+2. *What does an aggressive budget do?* Every query is searched under a
+   hard deadline and under a mapping cap; the report records the trip
+   rate, which limits tripped, and how many (sound) partial rewritings
+   still came back.
+3. *What does the instrumentation cost when off?* Warm planner searches
+   timed with tracing disabled vs. enabled. The disabled figure is the
+   one the ≤5%-overhead acceptance gate watches (compare
+   ``workloads.multiview.planner_seconds`` across reports).
+"""
+
+import pytest
+
+from repro.bench import time_best
+from repro.core.planner import RewritePlanner
+from repro.core.rewriter import RewriteEngine
+from repro.obs import SearchBudget, Tracer, tracing
+from repro.workloads import star
+
+
+@pytest.fixture(scope="module")
+def star_workload():
+    return star.generate(n_sales=500)
+
+
+def test_trace_overhead_smoke(star_workload, benchmark):
+    """Tracing-off search must look exactly like the PR 1 hot path."""
+    wl = star_workload
+    planner = RewritePlanner(list(wl.views.values()), wl.catalog)
+    query = wl.queries["category_revenue"]
+    planner.all_rewritings(query, max_steps=3)  # warm the memos
+    benchmark(lambda: planner.all_rewritings(query, max_steps=3))
+
+
+def collect_obs_metrics(quick: bool = False) -> dict:
+    """The ``obs`` workload entry for ``BENCH_rewriting.json``."""
+    repeats = 3 if quick else 7
+    wl = star.generate(n_sales=200 if quick else 1_000)
+    views = list(wl.views.values())
+
+    # -- 1. stage timings from one traced engine pass over every query --
+    engine = RewriteEngine(wl.catalog)
+    stage_seconds: dict[str, float] = {}
+    counters: dict[str, int] = {}
+    for query in wl.queries.values():
+        result = engine.rewrite(query, trace=True)
+        for stage, seconds in result.trace.stage_seconds().items():
+            stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+        for name, value in result.trace.counters.items():
+            counters[name] = counters.get(name, 0) + value
+
+    # -- 2. budget trips under an aggressive deadline / mapping cap -----
+    def budget_sweep(budget: SearchBudget) -> dict:
+        runs = exhausted = partial_results = 0
+        tripped: dict[str, int] = {}
+        for query in wl.queries.values():
+            # A fresh planner per run: budgets bound work actually done,
+            # and a warm substitution memo would make every search free.
+            planner = RewritePlanner(views, wl.catalog)
+            meter = budget.start()
+            found = planner.all_rewritings(query, max_steps=3, budget=meter)
+            runs += 1
+            if meter.exhausted:
+                exhausted += 1
+                partial_results += len(found)
+                for reason in meter.tripped:
+                    tripped[reason] = tripped.get(reason, 0) + 1
+        return {
+            "budget": budget.as_dict(),
+            "runs": runs,
+            "exhausted_runs": exhausted,
+            "trip_rate": round(exhausted / runs, 4) if runs else 0.0,
+            "tripped": tripped,
+            "partial_results": partial_results,
+        }
+
+    deadline_sweep = budget_sweep(SearchBudget(deadline=1e-4))
+    mapping_sweep = budget_sweep(SearchBudget(max_mappings=2))
+
+    # -- 3. warm-path overhead: tracing off vs. on ----------------------
+    planner = RewritePlanner(views, wl.catalog)
+
+    def run_all():
+        for query in wl.queries.values():
+            planner.all_rewritings(query, max_steps=3, include_partial=False)
+
+    run_all()  # warm the memos (the PR 1 steady-state scenario)
+    untraced = time_best(run_all, repeats=repeats)
+
+    def run_all_traced():
+        with tracing(Tracer()):
+            run_all()
+
+    traced = time_best(run_all_traced, repeats=repeats)
+
+    return {
+        "workload": "star",
+        "queries": len(wl.queries),
+        "stage_seconds": {
+            name: round(seconds, 6)
+            for name, seconds in sorted(stage_seconds.items())
+        },
+        "search_counters": counters,
+        "budget_sweeps": {
+            "deadline": deadline_sweep,
+            "max_mappings": mapping_sweep,
+        },
+        "untraced_seconds": untraced,
+        "traced_seconds": traced,
+        "trace_overhead": round(traced / untraced, 4) if untraced > 0 else None,
+    }

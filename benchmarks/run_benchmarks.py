@@ -4,11 +4,14 @@
 
 Usage::
 
-    python benchmarks/run_benchmarks.py [--skip-tests] [--output PATH]
+    python benchmarks/run_benchmarks.py [--skip-tests] [--quick] [--output PATH]
 
 The exit code is non-zero when the tier-1 tests fail or when any
 planner/naive parity assertion inside a collector fires, so the script
 doubles as the performance-regression gate described in DESIGN.md.
+``--quick`` shrinks workload sizes and repeat counts for use as a CI
+smoke gate (numbers are indicative only — do not compare them against a
+full run).
 """
 
 from __future__ import annotations
@@ -48,6 +51,11 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the tier-1 pytest run (benchmarks only)",
     )
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workloads / few repeats (CI smoke gate)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_rewriting.json",
@@ -69,14 +77,19 @@ def main(argv: list[str] | None = None) -> int:
         collect_church_rosser_metrics,
         collect_multiview_metrics,
     )
+    from bench_obs import collect_obs_metrics
 
+    repeats = 2 if args.quick else 7
     report = BenchReport()
+    if args.quick:
+        report.meta["quick"] = True
     failures = 0
     for name, collector in [
-        ("multiview", collect_multiview_metrics),
+        ("multiview", lambda: collect_multiview_metrics(repeats=repeats)),
         ("church_rosser", collect_church_rosser_metrics),
-        ("cache", collect_cache_metrics),
-        ("closure", collect_closure_metrics),
+        ("cache", lambda: collect_cache_metrics(repeats=min(repeats, 5))),
+        ("closure", lambda: collect_closure_metrics(repeats=min(repeats, 5))),
+        ("obs", lambda: collect_obs_metrics(quick=args.quick)),
     ]:
         print(f"== bench: {name} ==", flush=True)
         try:

@@ -77,6 +77,7 @@ from .core import (
 )
 from .engine import Database, Table
 from .equivalence import assert_equivalent, check_equivalent
+from .obs import BudgetMeter, RewriteTrace, SearchBudget
 from .errors import (
     EvaluationError,
     NormalizationError,
@@ -143,6 +144,9 @@ __all__ = [
     "Table",
     "assert_equivalent",
     "check_equivalent",
+    "BudgetMeter",
+    "RewriteTrace",
+    "SearchBudget",
     "EvaluationError",
     "NormalizationError",
     "ReproError",

@@ -24,6 +24,7 @@ from ..blocks.query_block import QueryBlock, ViewDef
 from ..catalog.schema import Catalog
 from ..core.cost import estimate_cost, estimate_result_rows
 from ..core.rewriter import RewriteEngine
+from ..obs.budget import SearchBudget
 from .candidates import generate_candidates
 
 
@@ -72,12 +73,19 @@ def _workload_cost(
     catalog: Catalog,
     queries: Sequence[QueryBlock],
     views: Sequence[ViewDef],
+    search_budget: Optional[SearchBudget] = None,
 ) -> tuple[float, list[QueryPlanReport]]:
-    """Total estimated cost with the given views materialized."""
+    """Total estimated cost with the given views materialized.
+
+    ``search_budget`` bounds each per-query rewrite probe. A tripped
+    budget means the probe may miss a cheaper rewriting — the advisor
+    then under-reports a candidate's benefit, which only ever makes the
+    recommendation more conservative, never unsound.
+    """
     trial = catalog.copy()
     for view in views:
         trial.add_view(view, row_count=int(estimate_result_rows(view.block, catalog)))
-    engine = RewriteEngine(trial, use_set_semantics=False)
+    engine = RewriteEngine(trial, use_set_semantics=False, budget=search_budget)
     total = 0.0
     reports = []
     for query in queries:
@@ -100,11 +108,14 @@ def recommend_views(
     space_budget_rows: float = float("inf"),
     candidates: Optional[Sequence[ViewDef]] = None,
     max_views: int = 8,
+    search_budget: Optional[SearchBudget] = None,
 ) -> Recommendation:
     """Choose summary views to materialize for a query workload.
 
     ``space_budget_rows`` caps the summed *estimated* cardinality of the
     chosen views. Candidate views default to workload-derived summaries.
+    ``search_budget`` caps each rewrite probe the greedy loop makes, so
+    advising over a large workload has a bounded worst case.
     """
     queries = [as_block(q, catalog) for q in workload]
     pool = list(
@@ -112,7 +123,7 @@ def recommend_views(
         if candidates is not None
         else generate_candidates(queries)
     )
-    base_cost, _ = _workload_cost(catalog, queries, [])
+    base_cost, _ = _workload_cost(catalog, queries, [], search_budget)
 
     # A candidate's estimated size never changes across greedy rounds;
     # estimating it once keeps the loop's work to the cost probes.
@@ -131,7 +142,7 @@ def recommend_views(
             if used_space + size > space_budget_rows:
                 continue
             cost, _ = _workload_cost(
-                catalog, queries, chosen + [candidate]
+                catalog, queries, chosen + [candidate], search_budget
             )
             gain = current_cost - cost
             if gain <= 0:
@@ -147,7 +158,9 @@ def recommend_views(
         used_space += size
         current_cost = cost
 
-    final_cost, reports = _workload_cost(catalog, queries, chosen)
+    final_cost, reports = _workload_cost(
+        catalog, queries, chosen, search_budget
+    )
     return Recommendation(
         views=chosen,
         total_size_rows=used_space,

@@ -25,6 +25,7 @@ from .catalog.schema import Catalog
 from .core.multiview import all_rewritings
 from .core.planner import RewritePlanner
 from .core.result import Rewriting
+from .obs.budget import BudgetMeter, SearchBudget, ensure_meter
 from .engine.database import Database
 from .engine.table import Table
 from .errors import SchemaError
@@ -36,6 +37,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     remembered: int = 0
+    budget_exhausted: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -67,10 +69,15 @@ class QueryCache:
         catalog: Catalog,
         capacity_rows: float = float("inf"),
         use_set_semantics: bool = False,
+        budget: Optional[SearchBudget] = None,
     ):
         self.base_catalog = catalog
         self.capacity_rows = capacity_rows
         self.use_set_semantics = use_set_semantics
+        # Default lookup budget: a spent budget is just a cache miss, so
+        # heavy traffic can cap per-lookup rewrite latency without ever
+        # getting a wrong (or missing) answer.
+        self.budget = budget
         self._catalog = catalog.copy()
         self._entries: OrderedDict[str, _Entry] = OrderedDict()
         self._counter = 0
@@ -149,9 +156,17 @@ class QueryCache:
     # ------------------------------------------------------------------
 
     def find_rewriting(
-        self, query: Union[str, QueryBlock]
+        self,
+        query: Union[str, QueryBlock],
+        budget: Union[SearchBudget, BudgetMeter, None] = None,
     ) -> Optional[Rewriting]:
-        """A rewriting of ``query`` whose FROM reads only cached views."""
+        """A rewriting of ``query`` whose FROM reads only cached views.
+
+        ``budget`` (default: the cache's) bounds the search; a spent
+        budget simply means fewer candidates were tried — the lookup
+        degrades to a miss, never an error.
+        """
+        meter = ensure_meter(budget if budget is not None else self.budget)
         block = as_block(query, self._catalog)
         if self._planner is None:
             # Reused across lookups until the cached view set changes, so
@@ -167,7 +182,10 @@ class QueryCache:
             catalog=self._catalog,
             use_set_semantics=self.use_set_semantics,
             planner=self._planner,
+            budget=meter,
         )
+        if meter is not None and meter.exhausted:
+            self.stats.budget_exhausted += 1
         cached = set(self._entries)
         for rewriting in candidates:
             names = {rel.name for rel in rewriting.query.from_}
@@ -176,14 +194,17 @@ class QueryCache:
         return None
 
     def try_answer(
-        self, query: Union[str, QueryBlock]
+        self,
+        query: Union[str, QueryBlock],
+        budget: Union[SearchBudget, BudgetMeter, None] = None,
     ) -> Optional[Table]:
         """Answer from the cache, or None on a miss.
 
         A hit never reads base tables; the rewritten query runs against
-        the cached result tables only.
+        the cached result tables only. A tripped search budget degrades
+        to a miss, so callers fall back to the original query.
         """
-        rewriting = self.find_rewriting(query)
+        rewriting = self.find_rewriting(query, budget=budget)
         if rewriting is None:
             self.stats.misses += 1
             return None
@@ -200,13 +221,14 @@ class QueryCache:
         query: Union[str, QueryBlock],
         database: Database,
         remember_on_miss: bool = True,
+        budget: Union[SearchBudget, BudgetMeter, None] = None,
     ) -> tuple[Table, bool]:
         """Answer from the cache, falling back to ``database``.
 
         Returns ``(result, hit)``. On a miss the fresh result is cached
         (when ``remember_on_miss``).
         """
-        cached = self.try_answer(query)
+        cached = self.try_answer(query, budget=budget)
         if cached is not None:
             return cached, True
         result = database.execute(as_block(query, self.base_catalog))

@@ -6,7 +6,8 @@ Commands:
     Load a schema script (CREATE TABLE / CREATE VIEW), rewrite a query to
     use the materialized views, print ranked rewritings.
 ``explain``
-    Diagnose per-condition why each view is or is not usable.
+    Diagnose per-condition why each view is or is not usable; with
+    ``--trace``, also print where the rewrite search spends its time.
 ``check``
     Empirically compare two queries for multiset-equivalence on random
     databases.
@@ -33,6 +34,34 @@ from .core.explain import explain_usability
 from .core.rewriter import RewriteEngine
 from .equivalence import check_equivalent
 from .errors import ReproError
+from .obs import SearchBudget
+
+
+def _budget_from(args) -> Optional[SearchBudget]:
+    """A SearchBudget from the --deadline-ms / --max-* flags, or None."""
+    deadline = getattr(args, "deadline_ms", None)
+    max_mappings = getattr(args, "max_mappings", None)
+    max_candidates = getattr(args, "max_candidates", None)
+    if deadline is None and max_mappings is None and max_candidates is None:
+        return None
+    return SearchBudget(
+        deadline=deadline / 1000.0 if deadline is not None else None,
+        max_mappings=max_mappings,
+        max_candidates=max_candidates,
+    )
+
+
+def _print_search_report(result) -> None:
+    """The --trace / budget epilogue shared by rewrite and explain."""
+    if result.exhausted:
+        tripped = ",".join(result.budget.get("tripped", []))
+        print(
+            f"\n-- search budget exhausted ({tripped}): "
+            "results are partial but sound"
+        )
+    if result.trace is not None:
+        print("\n-- trace:")
+        print(result.trace.format())
 
 
 def _load(args) -> tuple:
@@ -56,7 +85,12 @@ def cmd_rewrite(args) -> int:
     catalog, queries = _load(args)
     query = _query_from(args, catalog, queries)
     engine = RewriteEngine(catalog)
-    result = engine.rewrite(query, unfold=args.unfold)
+    result = engine.rewrite(
+        query,
+        unfold=args.unfold,
+        budget=_budget_from(args),
+        trace=args.trace,
+    )
     print(f"-- query (estimated cost {result.original_cost:,.0f}):")
     print(block_to_sql(result.query))
     if not result.ranked:
@@ -65,6 +99,7 @@ def cmd_rewrite(args) -> int:
             print()
             for view in engine.views:
                 print(explain_usability(result.query, view).summary())
+        _print_search_report(result)
         return 1
     shown = result.ranked if args.all else result.ranked[:1]
     for i, ranked in enumerate(shown, 1):
@@ -74,6 +109,7 @@ def cmd_rewrite(args) -> int:
             f"uses {', '.join(ranked.rewriting.view_names)}):"
         )
         print(ranked.rewriting.sql())
+    _print_search_report(result)
     return 0
 
 
@@ -86,6 +122,16 @@ def cmd_explain(args) -> int:
     for view in views:
         print(explain_usability(query, view).summary())
         print()
+    if args.trace:
+        # Where the time goes: run the full instrumented search once.
+        engine = RewriteEngine(catalog)
+        result = engine.rewrite(
+            query, budget=_budget_from(args), trace=True
+        )
+        print(
+            f"-- search: {len(result.ranked)} rewriting(s) found"
+        )
+        _print_search_report(result)
     return 0
 
 
@@ -187,6 +233,28 @@ def build_parser() -> argparse.ArgumentParser:
             help="SQL script with CREATE TABLE / CREATE VIEW statements",
         )
 
+    def search_knobs(p):
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="print per-stage timings and search counters",
+        )
+        p.add_argument(
+            "--deadline-ms",
+            type=float,
+            help="wall-clock budget for the rewrite search (milliseconds)",
+        )
+        p.add_argument(
+            "--max-mappings",
+            type=int,
+            help="cap on column mappings enumerated by the search",
+        )
+        p.add_argument(
+            "--max-candidates",
+            type=int,
+            help="cap on candidate rewritings generated by the search",
+        )
+
     p = sub.add_parser("rewrite", help="rewrite a query to use views")
     common(p)
     p.add_argument("--query", help="the SELECT to rewrite")
@@ -203,12 +271,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="first unfold conjunctive views in the query's FROM clause",
     )
+    search_knobs(p)
     p.set_defaults(func=cmd_rewrite)
 
     p = sub.add_parser("explain", help="diagnose view usability")
     common(p)
     p.add_argument("--query", help="the SELECT to diagnose against")
     p.add_argument("--view", help="restrict to one view name")
+    search_knobs(p)
     p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("check", help="empirical equivalence check")

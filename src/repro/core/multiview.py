@@ -12,7 +12,7 @@ views — complete.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from .planner import RewritePlanner
@@ -20,11 +20,15 @@ if TYPE_CHECKING:  # pragma: no cover
 from ..blocks.query_block import QueryBlock, ViewDef
 from ..catalog.schema import Catalog
 from ..mappings.enumerate_mappings import enumerate_mappings
+from ..obs.budget import BudgetMeter, SearchBudget, ensure_meter
+from ..obs.trace import span
 from .aggregate import try_rewrite_aggregation
 from .canonical import canonical_key
 from .conjunctive import try_rewrite_conjunctive
 from .result import Rewriting
 from .setsem import try_rewrite_set_semantics
+
+BudgetLike = Optional[Union[SearchBudget, BudgetMeter]]
 
 
 def single_view_rewritings(
@@ -32,12 +36,17 @@ def single_view_rewritings(
     view: ViewDef,
     catalog: Optional[Catalog] = None,
     use_set_semantics: bool = False,
+    meter: Optional[BudgetMeter] = None,
 ) -> list[Rewriting]:
     """Every rewriting of ``query`` using ``view`` once (all mappings).
 
     Tries the Section 3 path for conjunctive views, the Section 4 path for
     aggregation views, and — when ``use_set_semantics`` and a catalog with
     key information are supplied — the Section 5.2 many-to-1 path.
+
+    ``meter`` bounds mapping enumeration and is polled between the C1–C4
+    checks, so a spent budget returns the (sound) rewritings found so
+    far; completeness of the list is what degrades.
     """
     out: list[Rewriting] = []
     seen: set[str] = set()
@@ -50,14 +59,31 @@ def single_view_rewritings(
             seen.add(key)
             out.append(rewriting)
 
-    for mapping in enumerate_mappings(view.block, query):
-        if view.block.is_conjunctive:
-            add(try_rewrite_conjunctive(query, view, mapping))
-        else:
-            add(try_rewrite_aggregation(query, view, mapping))
+    with span("mapping_enumeration"):
+        mappings = list(enumerate_mappings(view.block, query, meter=meter))
+    with span("checks"):
+        for mapping in mappings:
+            if meter is not None and not meter.ok():
+                return out
+            if view.block.is_conjunctive:
+                add(try_rewrite_conjunctive(query, view, mapping))
+            else:
+                add(try_rewrite_aggregation(query, view, mapping))
     if use_set_semantics and catalog is not None:
-        for mapping in enumerate_mappings(view.block, query, many_to_one=True):
-            if not mapping.is_one_to_one:
+        if meter is not None and not meter.ok():
+            return out
+        with span("mapping_enumeration"):
+            many = [
+                m
+                for m in enumerate_mappings(
+                    view.block, query, many_to_one=True, meter=meter
+                )
+                if not m.is_one_to_one
+            ]
+        with span("checks"):
+            for mapping in many:
+                if meter is not None and not meter.ok():
+                    return out
                 add(try_rewrite_set_semantics(query, view, mapping, catalog))
     return out
 
@@ -81,18 +107,29 @@ def rewrite_iteratively(
     views: Sequence[ViewDef],
     catalog: Optional[Catalog] = None,
     use_set_semantics: bool = False,
+    budget: BudgetLike = None,
 ) -> Optional[Rewriting]:
     """Apply the views in the given order, greedily taking the first
     usable mapping of each; views that are not usable are skipped.
 
     Used by the Church-Rosser experiments: for conjunctive views with
     equality predicates, any order yields the same result (Theorem 3.2).
+
+    The ``budget`` is honored *between* per-view iterations as well as
+    inside each ``single_view_rewritings`` call: once spent, remaining
+    views are not attempted at all, so one expensive view cannot consume
+    the whole deadline and then let the stragglers spin. The partial
+    composition built so far is returned (it is a complete, sound
+    rewriting of the query).
     """
+    meter = ensure_meter(budget)
     current: Optional[Rewriting] = None
     block = query
     for view in views:
+        if meter is not None and not meter.ok():
+            break
         options = single_view_rewritings(
-            block, view, catalog, use_set_semantics
+            block, view, catalog, use_set_semantics, meter=meter
         )
         if not options:
             continue
@@ -116,6 +153,7 @@ def all_rewritings(
     include_partial: bool = True,
     use_planner: bool = True,
     planner: Optional["RewritePlanner"] = None,
+    budget: BudgetLike = None,
 ) -> list[Rewriting]:
     """Every rewriting reachable by iterated single-view substitution.
 
@@ -131,15 +169,28 @@ def all_rewritings(
     enumeration (kept callable for A/B benchmarks and parity tests). A
     prepared ``planner`` may be passed to reuse its signature index and
     stats across queries (``views`` is ignored then).
+
+    ``budget`` (a :class:`repro.obs.SearchBudget`, or an already-running
+    :class:`repro.obs.BudgetMeter`) bounds the search; when it trips,
+    the rewritings found so far are returned and the meter reports
+    ``exhausted=True``. Budgets never raise.
     """
     if planner is not None or use_planner:
         from .planner import RewritePlanner
 
         if planner is None:
             planner = RewritePlanner(views, catalog, use_set_semantics)
-        return planner.all_rewritings(query, max_steps, include_partial)
+        return planner.all_rewritings(
+            query, max_steps, include_partial, budget=budget
+        )
     return all_rewritings_naive(
-        query, views, catalog, use_set_semantics, max_steps, include_partial
+        query,
+        views,
+        catalog,
+        use_set_semantics,
+        max_steps,
+        include_partial,
+        budget=budget,
     )
 
 
@@ -150,13 +201,16 @@ def all_rewritings_naive(
     use_set_semantics: bool = False,
     max_steps: int = 4,
     include_partial: bool = True,
+    budget: BudgetLike = None,
 ) -> list[Rewriting]:
     """The original (unindexed, non-incremental) search.
 
     Every view is tried at every node and maximality is decided by
     re-running ``single_view_rewritings`` over every result. Kept as the
-    parity baseline for :mod:`repro.core.planner`.
+    parity baseline for :mod:`repro.core.planner`. Honors ``budget``
+    with the same partial-results contract as the planner.
     """
+    meter = ensure_meter(budget)
     view_list = list(views)
     results: list[Rewriting] = []
     seen: set[str] = {canonical_key(query)}
@@ -164,10 +218,14 @@ def all_rewritings_naive(
     for _step in range(max_steps):
         next_frontier: list[_SearchNode] = []
         for node in frontier:
+            if meter is not None and not meter.ok():
+                break
             for view in view_list:
                 for option in single_view_rewritings(
-                    node.block, view, catalog, use_set_semantics
+                    node.block, view, catalog, use_set_semantics, meter=meter
                 ):
+                    if meter is not None and not meter.charge_candidate():
+                        break
                     merged = _merge(node.rewriting, option)
                     key = canonical_key(merged.query)
                     if key in seen:
@@ -179,6 +237,10 @@ def all_rewritings_naive(
             break
         frontier = next_frontier
     if include_partial:
+        return results
+    if meter is not None and not meter.ok():
+        # Budget spent: skip the (expensive) maximality re-scan and
+        # return every result — sound, possibly non-maximal.
         return results
     return [
         r

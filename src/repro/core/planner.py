@@ -39,7 +39,7 @@ from __future__ import annotations
 from collections import Counter, OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Union
 
 from ..blocks.query_block import QueryBlock, ViewDef
 from ..catalog.schema import Catalog
@@ -49,6 +49,8 @@ from ..constraints.closure import (
     closure_cache_stats,
 )
 from ..constraints.residual import residual_cache_stats
+from ..obs.budget import BudgetMeter, SearchBudget, ensure_meter
+from ..obs.trace import current_tracer
 from .canonical import (
     canonical_cache_disabled,
     canonical_cache_stats,
@@ -60,6 +62,20 @@ from .result import Rewriting
 def _from_counts(block: QueryBlock) -> Counter:
     """The FROM multiset of a block: (relation name, arity) -> count."""
     return Counter((rel.name, len(rel.columns)) for rel in block.from_)
+
+
+_MERGE = None
+
+
+def _resolve_merge():
+    # multiview imports this module, so _merge cannot be a top-level
+    # import; resolve it once instead of per _merge_options call.
+    global _MERGE
+    if _MERGE is None:
+        from .multiview import _merge
+
+        _MERGE = _merge
+    return _MERGE
 
 
 @dataclass(frozen=True)
@@ -176,12 +192,21 @@ class RewritePlanner:
 
     SUBSTITUTION_CACHE_MAX = 8192
 
-    def _single_view(self, block: QueryBlock, view_index: int) -> list[Rewriting]:
+    def _single_view(
+        self,
+        block: QueryBlock,
+        view_index: int,
+        meter: Optional[BudgetMeter] = None,
+    ) -> list[Rewriting]:
         from .multiview import single_view_rewritings
 
         if not closure_cache_enabled():
             return single_view_rewritings(
-                block, self.views[view_index], self.catalog, self.use_set_semantics
+                block,
+                self.views[view_index],
+                self.catalog,
+                self.use_set_semantics,
+                meter=meter,
             )
         key = (block, view_index)
         cached = self._substitutions.get(key)
@@ -191,8 +216,17 @@ class RewritePlanner:
             return cached
         self.stats.substitution_misses += 1
         options = single_view_rewritings(
-            block, self.views[view_index], self.catalog, self.use_set_semantics
+            block,
+            self.views[view_index],
+            self.catalog,
+            self.use_set_semantics,
+            meter=meter,
         )
+        if meter is not None and meter.exhausted:
+            # The budget tripped somewhere during (or before) this call,
+            # so ``options`` may be a truncated enumeration. Caching it
+            # would poison later unbudgeted searches with a partial list.
+            return options
         self._substitutions[key] = options
         if len(self._substitutions) > self.SUBSTITUTION_CACHE_MAX:
             self._substitutions.popitem(last=False)
@@ -215,6 +249,32 @@ class RewritePlanner:
                 self.stats.views_pruned += 1
         return out
 
+    def _merge_options(
+        self,
+        node: "_Node",
+        options: list[Rewriting],
+        meter: Optional[BudgetMeter],
+        seen: set[str],
+        next_frontier: list["_Node"],
+        result_nodes: list["_Node"],
+    ) -> bool:
+        """Fold one view's substitutions into the BFS; True = budget hit."""
+        _merge = _resolve_merge()
+        for option in options:
+            if meter is not None and not meter.charge_candidate():
+                return True
+            merged = _merge(node.rewriting, option)
+            self.stats.candidates_generated += 1
+            key = canonical_key(merged.query)
+            if key in seen:
+                self.stats.duplicates_skipped += 1
+                continue
+            seen.add(key)
+            child = _Node(merged, merged.query)
+            next_frontier.append(child)
+            result_nodes.append(child)
+        return False
+
     # ------------------------------------------------------------------
 
     def all_rewritings(
@@ -222,50 +282,91 @@ class RewritePlanner:
         query: QueryBlock,
         max_steps: int = 4,
         include_partial: bool = True,
+        budget: Union[SearchBudget, BudgetMeter, None] = None,
     ) -> list[Rewriting]:
-        """The planned equivalent of the naive ``all_rewritings`` search."""
-        from .multiview import _merge
+        """The planned equivalent of the naive ``all_rewritings`` search.
 
+        ``budget`` bounds the search. When it trips, the BFS stops where
+        it stands and the rewritings found so far come back (each one
+        complete and sound — only coverage of the search space degrades);
+        the caller reads ``meter.exhausted`` / ``meter.tripped`` off the
+        meter it passed in. Partial enumerations are never written to the
+        substitution memo.
+        """
+        meter = None if budget is None else ensure_meter(budget)
+        # Hoisted once: tracing cannot change mid-search, and the traced
+        # branches below keep all span machinery (including its no-op
+        # context) off the warm path entirely.
+        tracer = current_tracer()
         self.stats.searches += 1
         seen: set[str] = {canonical_key(query)}
         frontier: list[_Node] = [_Node(None, query)]
         result_nodes: list[_Node] = []
+        budget_hit = False
 
         for _step in range(max_steps):
             next_frontier: list[_Node] = []
             for node in frontier:
+                if meter is not None and not meter.ok():
+                    budget_hit = True
+                    break
                 node.probed = True
                 self.stats.nodes_expanded += 1
-                for view_index in self._candidate_indices(node.block):
-                    options = self._single_view(node.block, view_index)
+                if tracer is None:
+                    indices = self._candidate_indices(node.block)
+                else:
+                    with tracer.span("signature_probe"):
+                        indices = self._candidate_indices(node.block)
+                for view_index in indices:
+                    options = self._single_view(node.block, view_index, meter)
                     if options:
                         node.expandable = True
-                    for option in options:
-                        merged = _merge(node.rewriting, option)
-                        self.stats.candidates_generated += 1
-                        key = canonical_key(merged.query)
-                        if key in seen:
-                            self.stats.duplicates_skipped += 1
-                            continue
-                        seen.add(key)
-                        child = _Node(merged, merged.query)
-                        next_frontier.append(child)
-                        result_nodes.append(child)
-            if not next_frontier:
+                        if tracer is None:
+                            budget_hit = self._merge_options(
+                                node, options, meter, seen,
+                                next_frontier, result_nodes,
+                            )
+                        else:
+                            with tracer.span("merge"):
+                                budget_hit = self._merge_options(
+                                    node, options, meter, seen,
+                                    next_frontier, result_nodes,
+                                )
+                    if budget_hit:
+                        break
+                if budget_hit:
+                    break
+            if budget_hit or not next_frontier:
                 break
             frontier = next_frontier
 
         if include_partial:
             return [node.rewriting for node in result_nodes]
 
+        if tracer is None:
+            return self._maximal_results(result_nodes, meter)
+        with tracer.span("maximality"):
+            return self._maximal_results(result_nodes, meter)
+
+    def _maximal_results(
+        self,
+        result_nodes: list["_Node"],
+        meter: Optional[BudgetMeter],
+    ) -> list[Rewriting]:
         maximal: list[Rewriting] = []
         for node in result_nodes:
             if not node.probed:
-                # The step bound cut this node off before expansion; probe
-                # it now, exactly as the naive maximality re-scan would.
+                if meter is not None and not meter.ok():
+                    # Budget spent: skip the probe and keep the node —
+                    # sound, possibly non-maximal (anytime contract).
+                    maximal.append(node.rewriting)
+                    continue
+                # The step bound cut this node off before expansion;
+                # probe it now, exactly as the naive maximality
+                # re-scan would.
                 self.stats.maximality_probes += 1
                 node.expandable = any(
-                    self._single_view(node.block, view_index)
+                    self._single_view(node.block, view_index, meter)
                     for view_index in self._candidate_indices(node.block)
                 )
                 node.probed = True

@@ -22,6 +22,8 @@ if TYPE_CHECKING:  # pragma: no cover
 from ..blocks.normalize import as_block, parse_view
 from ..blocks.query_block import QueryBlock, ViewDef
 from ..catalog.schema import Catalog
+from ..obs.budget import BudgetMeter, SearchBudget, ensure_meter
+from ..obs.trace import RewriteTrace, Tracer, span, tracing
 from .cost import estimate_cost
 from .multiview import all_rewritings, single_view_rewritings
 from .result import Rewriting
@@ -39,17 +41,30 @@ class RankedRewriting:
 
 
 class RewriteResult:
-    """All rewritings found for one query, ranked by estimated cost."""
+    """All rewritings found for one query, ranked by estimated cost.
+
+    ``exhausted`` is True when a :class:`repro.obs.SearchBudget` tripped
+    during the search: ``ranked`` then holds a partial (but individually
+    sound) result set and ``budget`` records which limits tripped and the
+    work consumed. ``trace`` carries the stage-span tree when the rewrite
+    was called with ``trace=True``.
+    """
 
     def __init__(
         self,
         query: QueryBlock,
         ranked: list[RankedRewriting],
         original_cost: float,
+        exhausted: bool = False,
+        budget: Optional[dict] = None,
+        trace: Optional[RewriteTrace] = None,
     ):
         self.query = query
         self.ranked = ranked
         self.original_cost = original_cost
+        self.exhausted = exhausted
+        self.budget = budget
+        self.trace = trace
 
     def __iter__(self):
         return iter(self.ranked)
@@ -141,10 +156,13 @@ class RewriteEngine:
         catalog: Catalog,
         use_set_semantics: bool = True,
         use_planner: bool = True,
+        budget: Optional[SearchBudget] = None,
     ):
         self.catalog = catalog
         self.use_set_semantics = use_set_semantics
         self.use_planner = use_planner
+        # Per-query default budget; rewrite(budget=...) overrides per call.
+        self.budget = budget
         self._planner: Optional["RewritePlanner"] = None
 
     # ------------------------------------------------------------------
@@ -186,6 +204,8 @@ class RewriteEngine:
         max_steps: int = 3,
         unfold: bool = False,
         catalog: Optional[Catalog] = None,
+        budget: Union[SearchBudget, BudgetMeter, None] = None,
+        trace: bool = False,
     ) -> RewriteResult:
         """Find all rewritings of ``query`` using the registered views.
 
@@ -194,6 +214,12 @@ class RewriteEngine:
         With ``unfold=True``, conjunctive views in the query's own FROM
         clause are first expanded into base tables (paper Section 7), so
         the rewriter can reassemble the query from *different* views.
+
+        ``budget`` (default: the engine's) bounds the search; a tripped
+        budget yields a partial-but-sound result with ``exhausted=True``
+        rather than an exception. ``trace=True`` attaches a
+        :class:`repro.obs.RewriteTrace` of per-stage timings and search
+        counters to the result.
         """
         shared = (
             views is None
@@ -201,34 +227,80 @@ class RewriteEngine:
             and self.use_planner
         )
         catalog = catalog if catalog is not None else self.catalog
-        block = as_block(query, catalog)
-        block.validate()
-        if unfold:
-            from ..blocks.unfold import unfold_views
+        meter = ensure_meter(budget if budget is not None else self.budget)
+        tracer = Tracer() if trace else None
 
-            block = unfold_views(block, catalog)
-        candidates = all_rewritings(
-            block,
-            views if views is not None else self.views,
-            catalog=catalog,
-            use_set_semantics=self.use_set_semantics,
-            max_steps=max_steps,
-            use_planner=self.use_planner,
-            planner=self._shared_planner() if shared else None,
-        )
-        ranked = sorted(
-            (
-                RankedRewriting(
-                    rw,
-                    estimate_cost(rw.query, catalog, rw.aux_views),
+        def run() -> RewriteResult:
+            from .planner import RewritePlanner
+
+            with span("parse"):
+                block = as_block(query, catalog)
+            with span("normalize"):
+                block.validate()
+                if unfold:
+                    from ..blocks.unfold import unfold_views
+
+                    block = unfold_views(block, catalog)
+            planner: Optional["RewritePlanner"] = None
+            if self.use_planner:
+                planner = (
+                    self._shared_planner()
+                    if shared
+                    else RewritePlanner(
+                        views if views is not None else self.views,
+                        catalog,
+                        self.use_set_semantics,
+                    )
                 )
-                for rw in candidates
-            ),
-            key=lambda r: (r.cost, r.rewriting.mapping_desc),
+            stats_before = (
+                planner.stats.as_dict() if planner is not None else None
+            )
+            with span("search"):
+                candidates = all_rewritings(
+                    block,
+                    views if views is not None else self.views,
+                    catalog=catalog,
+                    use_set_semantics=self.use_set_semantics,
+                    max_steps=max_steps,
+                    use_planner=self.use_planner,
+                    planner=planner,
+                    budget=meter,
+                )
+            with span("rank"):
+                ranked = sorted(
+                    (
+                        RankedRewriting(
+                            rw,
+                            estimate_cost(rw.query, catalog, rw.aux_views),
+                        )
+                        for rw in candidates
+                    ),
+                    key=lambda r: (r.cost, r.rewriting.mapping_desc),
+                )
+            if tracer is not None and stats_before is not None:
+                for name, value in planner.stats.as_dict().items():
+                    if isinstance(value, int):
+                        delta = value - stats_before.get(name, 0)
+                        if delta:
+                            tracer.add(name, delta)
+            return RewriteResult(
+                block,
+                ranked,
+                estimate_cost(block, catalog),
+                exhausted=meter.exhausted if meter is not None else False,
+                budget=meter.as_dict() if meter is not None else None,
+            )
+
+        if tracer is None:
+            return run()
+        with tracing(tracer):
+            result = run()
+        result.trace = RewriteTrace(
+            tracer.finish(),
+            counters=tracer.counters,
+            budget=meter.as_dict() if meter is not None else None,
         )
-        return RewriteResult(
-            block, ranked, estimate_cost(block, catalog)
-        )
+        return result
 
     def rewrite_with(
         self, query: Union[str, QueryBlock], view: ViewDef
@@ -243,6 +315,7 @@ class RewriteEngine:
         self,
         query,
         max_steps: int = 3,
+        budget: Union[SearchBudget, BudgetMeter, None] = None,
     ) -> "NestedRewriteResult":
         """Rewrite a query with FROM-clause subqueries (Section 7).
 
@@ -250,9 +323,14 @@ class RewriteEngine:
         block; each surviving (aggregation) derived table's body is
         rewritten independently when a registered view makes it cheaper;
         finally the outer block itself is rewritten as usual.
+
+        One ``budget`` meter covers the whole request — every inner
+        rewrite plus the outer one — so a nested query cannot multiply
+        the deadline by its number of derived tables.
         """
         from ..blocks.nested import NestedQuery, parse_nested_query
 
+        meter = ensure_meter(budget if budget is not None else self.budget)
         if isinstance(query, str):
             nested = parse_nested_query(query, self.catalog)
         else:
@@ -263,6 +341,10 @@ class RewriteEngine:
         final_locals: dict[str, ViewDef] = {}
         inner_rewrites: dict[str, Rewriting] = {}
         for view in flat.local_views:
+            if meter is not None and not meter.ok():
+                # Budget spent: serve the derived table directly.
+                final_locals[view.name] = view
+                continue
             direct_cost = estimate_cost(view.block, working)
             best: Optional[Rewriting] = None
             best_cost = direct_cost
@@ -273,6 +355,7 @@ class RewriteEngine:
                 use_set_semantics=self.use_set_semantics,
                 max_steps=max_steps,
                 use_planner=self.use_planner,
+                budget=meter,
             ):
                 cost = estimate_cost(
                     candidate.query, working, candidate.aux_views
@@ -296,7 +379,9 @@ class RewriteEngine:
                 view.name, body, view.output_names
             )
 
-        outer = self.rewrite(flat.block, max_steps=max_steps, catalog=working)
+        outer = self.rewrite(
+            flat.block, max_steps=max_steps, catalog=working, budget=meter
+        )
         return NestedRewriteResult(
             original=nested,
             flattened=flat,

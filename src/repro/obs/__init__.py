@@ -1,0 +1,39 @@
+"""Observability + robustness for the rewrite search.
+
+Two orthogonal facilities, both threaded through the whole rewrite path
+(:mod:`repro.core.planner`, :mod:`repro.core.multiview`,
+:mod:`repro.mappings.enumerate_mappings`, :mod:`repro.core.rewriter`):
+
+* :mod:`repro.obs.trace` — hierarchical stage spans and counters with a
+  no-op fast path when disabled, surfaced as ``RewriteResult.trace`` and
+  ``repro explain --trace``;
+* :mod:`repro.obs.budget` — per-search limits (wall-clock deadline,
+  mapping and candidate caps) with anytime degradation: partial-but-
+  sound results tagged ``exhausted=True`` instead of exceptions.
+
+See ``docs/observability.md`` for the user-facing guide.
+"""
+
+from .budget import BudgetMeter, SearchBudget, ensure_meter
+from .trace import (
+    RewriteTrace,
+    Span,
+    Tracer,
+    add_counter,
+    current_tracer,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "BudgetMeter",
+    "SearchBudget",
+    "ensure_meter",
+    "RewriteTrace",
+    "Span",
+    "Tracer",
+    "add_counter",
+    "current_tracer",
+    "span",
+    "tracing",
+]

@@ -10,6 +10,7 @@ grouping and residual conditions can go wrong.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Optional
 
 from ..blocks.exprs import AggFunc, Aggregate
@@ -237,3 +238,54 @@ def related_pair(
         names = tuple(f"o{i}" for i in range(len(view_block.select)))
         return query, ViewDef(view_name, view_block, names)
     raise RuntimeError("could not generate a related pair")
+
+
+@dataclass
+class Scenario:
+    """One differential-testing triple: (query, views, database).
+
+    ``catalog`` has every view registered; ``instance`` maps base-table
+    names to rows. Reproducible from ``seed`` alone.
+    """
+
+    seed: int
+    catalog: Catalog
+    query: QueryBlock
+    views: list[ViewDef]
+    instance: dict[str, list[tuple]]
+
+
+def random_scenario(
+    seed: int,
+    max_views: int = 3,
+    max_rows: int = 6,
+    domain: int = 3,
+) -> Scenario:
+    """A seeded (query, views, database) triple for differential testing.
+
+    The first view comes from :func:`related_pair`, so roughly half the
+    scenarios admit at least one rewriting (the harness is not vacuous);
+    the remaining views are unconstrained and exercise pruning and
+    near-miss rejection. The database instance uses a tiny value domain
+    — collisions are what stress multiset semantics and grouping.
+    """
+    from ..equivalence import random_instance
+
+    rng = random.Random(seed)
+    catalog = random_catalog(rng)
+    query, primary = related_pair(catalog, rng, view_name="V0")
+    views = [primary]
+    for i in range(1, rng.randint(1, max_views)):
+        views.append(random_view(catalog, rng, f"V{i}", max_tables=2))
+    for view in views:
+        catalog.add_view(view)
+    instance = random_instance(
+        catalog, rng, max_rows=max_rows, domain=domain, respect_keys=False
+    )
+    return Scenario(
+        seed=seed,
+        catalog=catalog,
+        query=query,
+        views=views,
+        instance=instance,
+    )

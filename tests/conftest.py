@@ -7,6 +7,19 @@ import pytest
 from repro import Catalog, table
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed",
+        type=int,
+        default=0,
+        help=(
+            "base seed for the differential soundness harness; CI "
+            "failures print the offending seed so `pytest --seed N` "
+            "reproduces them locally"
+        ),
+    )
+
+
 @pytest.fixture
 def rs_catalog() -> Catalog:
     """The R1(A,B), R2(C,D) schema of the paper's Example 3.1."""
