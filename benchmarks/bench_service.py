@@ -1,0 +1,183 @@
+"""Benchmark — the concurrent batch rewriting service.
+
+Hot-query traffic is the service's reason to exist: a warehouse
+dashboard re-asks the same G query shapes over and over, so a batch of
+G x M requests collapses into G signature groups whose planner warm-up
+(view-signature index + substitution memo) is paid once per group
+instead of once per request.
+
+The baseline is per-request serial ``api.rewrite`` — a fresh engine and
+cold planner per call, exactly what a caller without the service would
+do. Against it we measure the service in steady state (a long-lived
+service that has seen the traffic shape before: live planners in serial
+mode, memo-store warm starts in thread mode), which is the deployment
+the batch layer targets; the cold first submit is recorded separately.
+
+Every configuration's responses are asserted bit-identical to the
+baseline before any timing is trusted, and the ``speedup_at_4_workers``
+gate (>= 2.5x) makes this file the service's performance-regression
+tripwire in ``run_benchmarks.py``.
+
+Note on parallelism: on a single-CPU host (such as the CI container)
+the speedup comes from signature-grouping amortization, not from true
+concurrency — thread workers add GIL overhead and the process pool pays
+fork/pickle costs. ``scaling_efficiency`` records the honest per-worker
+numbers either way.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import api
+from repro.bench import time_best
+from repro.service import BatchRewriteService, RewriteRequest
+from repro.workloads.random_queries import random_scenario
+
+#: Distinct query shapes (signature groups) in the hot workload.
+N_GROUPS = 8
+#: Repeats of each shape per batch — the amortization lever.
+N_REPEATS = 12
+
+#: The acceptance gate: steady-state batch throughput at 4 workers must
+#: beat the per-request serial baseline by at least this factor.
+MIN_SPEEDUP_AT_4 = 2.5
+
+CONFIGS = (
+    ("serial", 1),
+    ("thread", 1),
+    ("thread", 2),
+    ("thread", 4),
+    ("thread", 8),
+    ("process", 2),
+)
+
+
+def hot_requests(groups: int = N_GROUPS, repeats: int = N_REPEATS):
+    """G x M requests: every shape repeated M times, interleaved."""
+    scenarios = [random_scenario(seed) for seed in range(groups)]
+    requests = []
+    for _ in range(repeats):
+        for scenario in scenarios:
+            requests.append(
+                RewriteRequest(query=scenario.query, catalog=scenario.catalog)
+            )
+    return requests
+
+
+def run_baseline(requests):
+    """What callers did before the service: one cold rewrite per request."""
+    return [api.rewrite(r.query, r.catalog) for r in requests]
+
+
+def assert_parity(responses, baseline, context: str) -> None:
+    for got, want in zip(responses, baseline):
+        assert got.rewritings == want.rewritings, (
+            f"{context}: batch results diverge from per-request serial"
+        )
+        assert got.error is None, f"{context}: {got.error}"
+
+
+def collect_service_metrics(repeats: int = 5, quick: bool = False) -> dict:
+    """Throughput and scaling of the batch service vs the serial baseline."""
+    groups = 4 if quick else N_GROUPS
+    per_query = 8 if quick else N_REPEATS
+    timing_repeats = max(2, min(repeats, 3) if quick else repeats)
+
+    requests = hot_requests(groups, per_query)
+    n = len(requests)
+
+    baseline = run_baseline(requests)
+    baseline_seconds = time_best(
+        lambda: run_baseline(requests), repeats=timing_repeats
+    )
+
+    results: dict[str, dict] = {}
+    thread_seconds: dict[int, float] = {}
+    for mode, workers in CONFIGS:
+        service = BatchRewriteService(mode=mode, workers=workers)
+        started = time.perf_counter()
+        cold = service.submit(requests)
+        cold_seconds = time.perf_counter() - started
+        assert_parity(cold, baseline, f"{mode}-{workers} (cold)")
+        steady_seconds = time_best(
+            lambda: service.submit(requests), repeats=timing_repeats
+        )
+        assert_parity(
+            service.submit(requests), baseline, f"{mode}-{workers} (steady)"
+        )
+        results[f"{mode}-{workers}"] = {
+            "mode": mode,
+            "workers": workers,
+            "cold_seconds": cold_seconds,
+            "steady_seconds": steady_seconds,
+            "steady_rps": n / steady_seconds if steady_seconds > 0 else None,
+            "speedup_vs_baseline": (
+                baseline_seconds / steady_seconds
+                if steady_seconds > 0
+                else None
+            ),
+        }
+        if mode == "thread":
+            thread_seconds[workers] = steady_seconds
+
+    t1 = thread_seconds.get(1)
+    scaling_efficiency = {
+        str(w): round(t1 / (t * w), 3)
+        for w, t in thread_seconds.items()
+        if t1 is not None and t > 0
+    }
+
+    speedup_at_4 = results["thread-4"]["speedup_vs_baseline"]
+    assert speedup_at_4 is not None and speedup_at_4 >= MIN_SPEEDUP_AT_4, (
+        f"service regression: steady-state throughput at 4 workers is "
+        f"{speedup_at_4:.2f}x the serial baseline (floor "
+        f"{MIN_SPEEDUP_AT_4}x)"
+    )
+
+    return {
+        "workload": "hot-queries",
+        "groups": groups,
+        "repeats_per_query": per_query,
+        "requests": n,
+        "baseline_seconds": baseline_seconds,
+        "baseline_rps": n / baseline_seconds if baseline_seconds > 0 else None,
+        "configs": results,
+        "speedup_at_4_workers": speedup_at_4,
+        "scaling_efficiency": scaling_efficiency,
+        "parity": "ok",
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (the benchmarks/ suite is also runnable directly)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    requests = hot_requests(4, 6)
+    return requests, run_baseline(requests)
+
+
+def test_steady_state_batch_beats_baseline(workload, benchmark):
+    requests, baseline = workload
+    service = BatchRewriteService(mode="serial")
+    service.submit(requests)  # warm the live planners
+    result = benchmark(lambda: service.submit(requests))
+    assert_parity(result, baseline, "serial steady")
+
+
+def test_thread_mode_parity_under_benchmark(workload, benchmark):
+    requests, baseline = workload
+    service = BatchRewriteService(mode="thread", workers=4)
+    service.submit(requests)
+    result = benchmark(lambda: service.submit(requests))
+    assert_parity(result, baseline, "thread-4 steady")
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(collect_service_metrics(), indent=2))

@@ -78,6 +78,7 @@ def main(argv: list[str] | None = None) -> int:
         collect_multiview_metrics,
     )
     from bench_obs import collect_obs_metrics
+    from bench_service import collect_service_metrics
 
     repeats = 2 if args.quick else 7
     report = BenchReport()
@@ -90,6 +91,12 @@ def main(argv: list[str] | None = None) -> int:
         ("cache", lambda: collect_cache_metrics(repeats=min(repeats, 5))),
         ("closure", lambda: collect_closure_metrics(repeats=min(repeats, 5))),
         ("obs", lambda: collect_obs_metrics(quick=args.quick)),
+        (
+            "service",
+            lambda: collect_service_metrics(
+                repeats=repeats, quick=args.quick
+            ),
+        ),
     ]:
         print(f"== bench: {name} ==", flush=True)
         try:
@@ -109,6 +116,14 @@ def main(argv: list[str] | None = None) -> int:
             f"multiview speedup: {multiview['speedup']:.2f}x "
             f"(naive {multiview['naive_seconds'] * 1e3:.2f} ms, "
             f"planner {multiview['planner_seconds'] * 1e3:.2f} ms)"
+        )
+    service = report.workloads.get("service", {})
+    if "speedup_at_4_workers" in service:
+        print(
+            f"service speedup at 4 workers: "
+            f"{service['speedup_at_4_workers']:.2f}x vs per-request serial "
+            f"({service['requests']} hot requests, "
+            f"{service['groups']} signature groups)"
         )
     print(json.dumps({"parity_failures": failures}))
     return 1 if failures else 0

@@ -66,9 +66,7 @@ from .core import (
     set_equivalent,
     RewriteResult,
     Rewriting,
-    all_rewritings,
     canonical_key,
-    rewrite_iteratively,
     single_view_rewritings,
     try_rewrite_aggregation,
     try_rewrite_conjunctive,
@@ -88,8 +86,102 @@ from .errors import (
     UnsupportedSQLError,
 )
 from .mappings import ColumnMapping, enumerate_mappings
+from . import api
+from .api import (
+    ExplainResponse,
+    explain,
+    rewrite,
+    rewrite_batch,
+)
+from .service import (
+    BatchResult,
+    BatchRewriteService,
+    RewriteRequest,
+    RewriteResponse,
+)
 
 __version__ = "1.0.0"
+
+
+def all_rewritings(
+    query,
+    views,
+    catalog=None,
+    use_set_semantics=False,
+    max_steps=4,
+    include_partial=True,
+    use_planner=True,
+    planner=None,
+    budget=None,
+):
+    """Deprecated: use :func:`repro.api.rewrite` instead.
+
+    Same results as the historical entry point —
+    ``repro.api.rewrite(...).rewritings`` preserves the search's
+    discovery order. The planner escape hatches (``use_planner=False``
+    or an explicit ``planner``) still route to the core search directly;
+    everything else delegates to the facade.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.all_rewritings() is deprecated; use repro.api.rewrite() — "
+        "response.rewritings preserves the old discovery order",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if not use_planner or planner is not None:
+        from .core.multiview import all_rewritings as _impl
+
+        return _impl(
+            query,
+            views,
+            catalog=catalog,
+            use_set_semantics=use_set_semantics,
+            max_steps=max_steps,
+            include_partial=include_partial,
+            use_planner=use_planner,
+            planner=planner,
+            budget=budget,
+        )
+    response = api.rewrite(
+        query,
+        catalog=catalog,
+        views=tuple(views),
+        budget=budget,
+        max_steps=max_steps,
+        use_set_semantics=use_set_semantics,
+        include_partial=include_partial,
+    )
+    return list(response.rewritings)
+
+
+def rewrite_iteratively(
+    query,
+    views,
+    catalog=None,
+    use_set_semantics=False,
+    budget=None,
+):
+    """Deprecated: use :func:`repro.api.rewrite_iterative` instead.
+
+    Thin compatibility shim over the facade; identical results.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.rewrite_iteratively() is deprecated; use "
+        "repro.api.rewrite_iterative()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return api.rewrite_iterative(
+        query,
+        views,
+        catalog=catalog,
+        use_set_semantics=use_set_semantics,
+        budget=budget,
+    )
 
 __all__ = [
     "AggFunc",
@@ -156,5 +248,14 @@ __all__ = [
     "UnsupportedSQLError",
     "ColumnMapping",
     "enumerate_mappings",
+    "api",
+    "rewrite",
+    "rewrite_batch",
+    "explain",
+    "ExplainResponse",
+    "RewriteRequest",
+    "RewriteResponse",
+    "BatchResult",
+    "BatchRewriteService",
     "__version__",
 ]

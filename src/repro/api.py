@@ -1,0 +1,200 @@
+"""The unified public facade: one module, four verbs.
+
+:func:`rewrite`
+    one query, one response — the stable entry point that the CLI, the
+    batch service and the deprecated module-level helpers all reduce to;
+:func:`rewrite_batch`
+    many requests at once through :class:`repro.service.BatchRewriteService`
+    (grouped by view signature, optionally sharded across workers,
+    bounded by a batch deadline);
+:func:`explain`
+    per-condition usability diagnoses for every candidate view;
+:func:`rewrite_iterative`
+    the paper's Section 6 iterative improvement loop, kept for the
+    ``repro.rewrite_iteratively`` compatibility shim.
+
+All responses project to JSON under the versioned ``repro-api/1``
+schema (``to_json_dict()``; see ``docs/api.md``), so CLI output and
+service payloads stay machine-checkable across releases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from .blocks.normalize import parse_query
+from .blocks.query_block import QueryBlock, ViewDef
+from .blocks.to_sql import block_to_sql
+from .catalog.schema import Catalog
+from .cache import QueryCache
+from .core.explain import UsabilityDiagnosis, explain_usability
+from .core.result import Rewriting
+from .obs.budget import BudgetMeter, SearchBudget
+from .service.executor import execute_request
+from .service.pool import BatchRewriteService
+from .service.requests import (
+    API_SCHEMA,
+    BatchResult,
+    RewriteRequest,
+    RewriteResponse,
+)
+
+__all__ = [
+    "API_SCHEMA",
+    "BatchResult",
+    "BatchRewriteService",
+    "ExplainResponse",
+    "RewriteRequest",
+    "RewriteResponse",
+    "explain",
+    "rewrite",
+    "rewrite_batch",
+    "rewrite_iterative",
+]
+
+BudgetLike = Union[SearchBudget, BudgetMeter, None]
+
+
+def rewrite(
+    query: Union[str, QueryBlock],
+    catalog: Optional[Catalog] = None,
+    views: Optional[Sequence[ViewDef]] = None,
+    *,
+    budget: BudgetLike = None,
+    max_steps: int = 3,
+    unfold: bool = False,
+    use_set_semantics: bool = True,
+    include_partial: bool = True,
+    trace: bool = False,
+    request_id: Optional[str] = None,
+) -> RewriteResponse:
+    """Rewrite one query over materialized views.
+
+    With a ``catalog``, textual queries parse against it and results
+    come back cost-ranked (``response.ranked``, ``response.best()``).
+    Without one, ``query`` must be a pre-parsed :class:`QueryBlock` and
+    candidates are reported in discovery order only. ``budget`` accepts
+    a :class:`SearchBudget` or an already-running :class:`BudgetMeter`
+    (to span several calls with one budget). Errors raise
+    :class:`~repro.errors.ReproError`; the batch path instead captures
+    them per request.
+    """
+    request = RewriteRequest(
+        query=query,
+        catalog=catalog,
+        views=tuple(views) if views is not None else None,
+        budget=budget if isinstance(budget, SearchBudget) else None,
+        max_steps=max_steps,
+        unfold=unfold,
+        use_set_semantics=use_set_semantics,
+        include_partial=include_partial,
+        trace=trace,
+        request_id=request_id,
+    )
+    if isinstance(budget, BudgetMeter):
+        # A live meter cannot ride inside the (picklable) request; pass
+        # it as the execution-time overlay instead.
+        return execute_request(request, budget=budget)
+    return execute_request(request)
+
+
+def rewrite_batch(
+    requests: Sequence[RewriteRequest],
+    *,
+    mode: str = "auto",
+    workers: Optional[int] = None,
+    deadline: Optional[float] = None,
+    cache: Optional[QueryCache] = None,
+    service: Optional[BatchRewriteService] = None,
+) -> BatchResult:
+    """Rewrite a whole batch of requests; N requests in, N responses out.
+
+    Requests with equal (catalog, views, semantics) fingerprints share
+    planner warm-up; ``mode`` picks the backend (``serial`` / ``thread``
+    / ``process``, default ``auto`` by batch size), ``deadline`` bounds
+    the batch wall-clock with graceful degradation. Pass a long-lived
+    ``service`` to keep planner/memo warmth across batches; otherwise a
+    fresh one is built per call.
+    """
+    if service is None:
+        service = BatchRewriteService(mode=mode, workers=workers, cache=cache)
+    return service.submit(requests, deadline=deadline)
+
+
+@dataclass(frozen=True)
+class ExplainResponse:
+    """Per-view usability diagnoses for one query."""
+
+    query: QueryBlock
+    diagnoses: tuple[UsabilityDiagnosis, ...]
+
+    @property
+    def usable_views(self) -> tuple[str, ...]:
+        return tuple(
+            d.view.name for d in self.diagnoses if d.usable
+        )
+
+    def summary(self) -> str:
+        return "\n\n".join(d.summary() for d in self.diagnoses)
+
+    def to_json_dict(self) -> dict:
+        """The ``repro-api/1`` projection of the diagnoses."""
+        return {
+            "schema": API_SCHEMA,
+            "kind": "explain",
+            "query": block_to_sql(self.query),
+            "views": [
+                {
+                    "name": d.view.name,
+                    "usable": d.usable,
+                    "scope_failure": d.scope_failure,
+                    "summary": d.summary(),
+                }
+                for d in self.diagnoses
+            ],
+        }
+
+
+def explain(
+    query: Union[str, QueryBlock],
+    catalog: Catalog,
+    view: Optional[str] = None,
+) -> ExplainResponse:
+    """Diagnose why each view is or is not usable for ``query``.
+
+    ``view`` restricts the diagnosis to one registered view by name.
+    """
+    if isinstance(query, str):
+        query = parse_query(query, catalog)
+    if view is not None:
+        views = [catalog.view(view)]
+    else:
+        views = list(catalog.views.values())
+    return ExplainResponse(
+        query=query,
+        diagnoses=tuple(explain_usability(query, v) for v in views),
+    )
+
+
+def rewrite_iterative(
+    query: QueryBlock,
+    views: Sequence[ViewDef],
+    catalog: Optional[Catalog] = None,
+    use_set_semantics: bool = False,
+    budget: BudgetLike = None,
+) -> Optional[Rewriting]:
+    """One best single-view rewriting, or ``None`` (Section 6 loop).
+
+    Facade-level home of the behaviour behind the deprecated
+    ``repro.rewrite_iteratively`` shim.
+    """
+    from .core.multiview import rewrite_iteratively as _impl
+
+    return _impl(
+        query,
+        views,
+        catalog=catalog,
+        use_set_semantics=use_set_semantics,
+        budget=budget,
+    )

@@ -127,6 +127,15 @@ class QueryBlock:
             object.__setattr__(self, "_cached_hash", value)
             return value
 
+    def __getstate__(self) -> dict:
+        # str hashes are salted per process (PYTHONHASHSEED), so a pickled
+        # ``_cached_hash`` would be wrong in any other interpreter and
+        # silently corrupt every dict keyed by blocks there (the planner's
+        # substitution memo shipped to pool workers). Recompute on demand.
+        state = dict(self.__dict__)
+        state.pop("_cached_hash", None)
+        return state
+
     # ------------------------------------------------------------------
     # Paper-notation accessors
     # ------------------------------------------------------------------

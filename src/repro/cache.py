@@ -44,6 +44,79 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "remembered": self.remembered,
+            "budget_exhausted": self.budget_exhausted,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class CacheSnapshot:
+    """A read-only, picklable view of a :class:`QueryCache`'s contents.
+
+    The batch service ships one snapshot per worker so lookups run
+    against a consistent cached-view set without sharing the live cache
+    across processes. ``find_rewriting`` mirrors
+    :meth:`QueryCache.find_rewriting` but never mutates LRU order;
+    per-snapshot :class:`CacheStats` are merged back into the live cache
+    with :meth:`QueryCache.merge_external`.
+    """
+
+    catalog: Catalog
+    views: tuple[ViewDef, ...]
+    use_set_semantics: bool = False
+    budget: Optional[SearchBudget] = None
+
+    def __post_init__(self):
+        self._planner: Optional[RewritePlanner] = None
+        self.stats = CacheStats()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        # The planner rebuilds lazily per process; stats start at zero so
+        # each worker reports only its own lookups.
+        state["_planner"] = None
+        state["stats"] = CacheStats()
+        return state
+
+    def find_rewriting(
+        self,
+        query: Union[str, QueryBlock],
+        budget: Union[SearchBudget, BudgetMeter, None] = None,
+    ) -> Optional[Rewriting]:
+        """A rewriting of ``query`` over the snapshot's cached views."""
+        meter = ensure_meter(budget if budget is not None else self.budget)
+        block = as_block(query, self.catalog)
+        if self._planner is None:
+            self._planner = RewritePlanner(
+                self.views,
+                catalog=self.catalog,
+                use_set_semantics=self.use_set_semantics,
+            )
+        candidates = all_rewritings(
+            block,
+            (),
+            catalog=self.catalog,
+            use_set_semantics=self.use_set_semantics,
+            planner=self._planner,
+            budget=meter,
+        )
+        if meter is not None and meter.exhausted:
+            self.stats.budget_exhausted += 1
+        cached = {view.name for view in self.views}
+        for rewriting in candidates:
+            names = {rel.name for rel in rewriting.query.from_}
+            if names <= cached:
+                self.stats.hits += 1
+                return rewriting
+        self.stats.misses += 1
+        return None
+
 
 @dataclass
 class _Entry:
@@ -152,6 +225,34 @@ class QueryCache:
     @property
     def cached_names(self) -> list[str]:
         return list(self._entries)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> CacheSnapshot:
+        """A read-only, picklable view of the current cached-view set.
+
+        The snapshot owns a catalog copy, so later remember/evict traffic
+        on the live cache cannot race lookups running in pool workers.
+        """
+        return CacheSnapshot(
+            catalog=self._catalog.copy(),
+            views=tuple(entry.view for entry in self._entries.values()),
+            use_set_semantics=self.use_set_semantics,
+            budget=self.budget,
+        )
+
+    def merge_external(
+        self,
+        stats: Union[CacheStats, dict],
+    ) -> None:
+        """Fold lookup counters from a snapshot (or a worker's dict of
+        them) into the live cache's stats, so batch traffic shows up in
+        the same place as direct ``try_answer`` traffic."""
+        if isinstance(stats, CacheStats):
+            stats = stats.as_dict()
+        self.stats.hits += stats.get("hits", 0)
+        self.stats.misses += stats.get("misses", 0)
+        self.stats.budget_exhausted += stats.get("budget_exhausted", 0)
 
     # ------------------------------------------------------------------
 

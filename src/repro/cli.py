@@ -8,6 +8,9 @@ Commands:
 ``explain``
     Diagnose per-condition why each view is or is not usable; with
     ``--trace``, also print where the rewrite search spends its time.
+``batch``
+    Rewrite many queries from a JSON-lines file through the concurrent
+    batch service; one JSON response per line on stdout.
 ``check``
     Empirically compare two queries for multiset-equivalence on random
     databases.
@@ -18,15 +21,18 @@ Commands:
     view-based rewriting.
 
 Schema scripts are ';'-separated statements; a workload file is a script
-whose SELECT statements form the workload.
+whose SELECT statements form the workload. All ``--json`` output carries
+the versioned ``repro-api/1`` schema tag (see ``docs/api.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
+from . import api
 from .blocks.normalize import parse_query
 from .blocks.to_sql import block_to_sql, view_to_sql
 from .catalog.load import load_schema
@@ -35,6 +41,8 @@ from .core.rewriter import RewriteEngine
 from .equivalence import check_equivalent
 from .errors import ReproError
 from .obs import SearchBudget
+from .service import MODES, RewriteRequest
+from .service.requests import API_SCHEMA
 
 
 def _budget_from(args) -> Optional[SearchBudget]:
@@ -84,6 +92,16 @@ def _query_from(args, catalog, queries):
 def cmd_rewrite(args) -> int:
     catalog, queries = _load(args)
     query = _query_from(args, catalog, queries)
+    if args.json:
+        response = api.rewrite(
+            query,
+            catalog=catalog,
+            budget=_budget_from(args),
+            unfold=args.unfold,
+            trace=args.trace,
+        )
+        print(json.dumps(response.to_json_dict(), indent=2))
+        return 0 if response.rewritings else 1
     engine = RewriteEngine(catalog)
     result = engine.rewrite(
         query,
@@ -116,6 +134,10 @@ def cmd_rewrite(args) -> int:
 def cmd_explain(args) -> int:
     catalog, queries = _load(args)
     query = _query_from(args, catalog, queries)
+    if args.json:
+        response = api.explain(query, catalog, view=args.view or None)
+        print(json.dumps(response.to_json_dict(), indent=2))
+        return 0
     views = list(catalog.views.values())
     if args.view:
         views = [catalog.view(args.view)]
@@ -133,6 +155,79 @@ def cmd_explain(args) -> int:
         )
         _print_search_report(result)
     return 0
+
+
+def _parse_batch_line(obj: dict, line_no: int, catalog) -> RewriteRequest:
+    """One JSONL object -> RewriteRequest (see docs/api.md for fields)."""
+    if "query" not in obj:
+        raise ReproError(f"line {line_no}: missing required field 'query'")
+    deadline_ms = obj.get("deadline_ms")
+    max_mappings = obj.get("max_mappings")
+    max_candidates = obj.get("max_candidates")
+    budget = None
+    if (
+        deadline_ms is not None
+        or max_mappings is not None
+        or max_candidates is not None
+    ):
+        budget = SearchBudget(
+            deadline=deadline_ms / 1000.0 if deadline_ms is not None else None,
+            max_mappings=max_mappings,
+            max_candidates=max_candidates,
+        )
+    return RewriteRequest(
+        query=obj["query"],
+        catalog=catalog,
+        budget=budget,
+        max_steps=obj.get("max_steps", 3),
+        unfold=obj.get("unfold", False),
+        request_id=str(obj.get("id", f"line-{line_no}")),
+    )
+
+
+def cmd_batch(args) -> int:
+    catalog, _queries = _load(args)
+    requests = []
+    with open(args.requests) as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ReproError(
+                    f"{args.requests}:{line_no}: not valid JSON ({error})"
+                ) from error
+            if not isinstance(obj, dict):
+                raise ReproError(
+                    f"{args.requests}:{line_no}: expected a JSON object"
+                )
+            requests.append(_parse_batch_line(obj, line_no, catalog))
+    if not requests:
+        raise ReproError(f"{args.requests}: no requests found")
+    result = api.rewrite_batch(
+        requests,
+        mode=args.mode,
+        workers=args.workers,
+        deadline=(
+            args.deadline_ms / 1000.0
+            if args.deadline_ms is not None
+            else None
+        ),
+    )
+    # Responses as JSON lines on stdout (request order); the batch-level
+    # report goes to stderr so stdout stays parseable line by line.
+    for response in result:
+        print(json.dumps(response.to_json_dict()))
+    print(
+        json.dumps(
+            {"schema": API_SCHEMA, "kind": "batch-report",
+             "batch": result.report}
+        ),
+        file=sys.stderr,
+    )
+    return 0 if result.error_count == 0 else 1
 
 
 def cmd_check(args) -> int:
@@ -271,6 +366,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="first unfold conjunctive views in the query's FROM clause",
     )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro-api/1 JSON projection instead of text",
+    )
     search_knobs(p)
     p.set_defaults(func=cmd_rewrite)
 
@@ -278,8 +378,45 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--query", help="the SELECT to diagnose against")
     p.add_argument("--view", help="restrict to one view name")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro-api/1 JSON projection instead of text",
+    )
     search_knobs(p)
     p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "batch",
+        help="rewrite many queries (JSON-lines file) through the service",
+    )
+    common(p)
+    p.add_argument(
+        "requests",
+        help=(
+            "JSON-lines file; each line an object with 'query' plus "
+            "optional id, deadline_ms, max_mappings, max_candidates, "
+            "max_steps, unfold (see docs/api.md)"
+        ),
+    )
+    p.add_argument(
+        "--mode",
+        choices=MODES,
+        default="auto",
+        help="execution backend (default: auto by batch size)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        help="worker count for thread/process modes (default: CPU count)",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="wall-clock budget for the WHOLE batch (milliseconds); "
+        "overflow requests degrade gracefully",
+    )
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("check", help="empirical equivalence check")
     common(p)

@@ -233,6 +233,50 @@ class RewritePlanner:
         return options
 
     # ------------------------------------------------------------------
+    # Memo export/import: worker warm-start for the batch service
+    # ------------------------------------------------------------------
+
+    def export_memo(
+        self, max_entries: Optional[int] = None
+    ) -> list[tuple[tuple[QueryBlock, int], list[Rewriting]]]:
+        """A picklable snapshot of the substitution memo, LRU-newest last.
+
+        The entries are only meaningful for a planner prepared with an
+        equal (views, catalog, use_set_semantics) triple — the batch
+        service keys its memo store by exactly that fingerprint. With
+        ``max_entries`` only the most recently used entries are kept.
+        """
+        items = list(self._substitutions.items())
+        if max_entries is not None and len(items) > max_entries:
+            items = items[-max_entries:]
+        return items
+
+    def import_memo(
+        self,
+        entries: Iterable[tuple[tuple[QueryBlock, int], list[Rewriting]]],
+    ) -> int:
+        """Warm-start the substitution memo from an exported snapshot.
+
+        Existing entries win (they are at least as fresh); the cache cap
+        still applies. Returns the number of entries adopted. Importing a
+        memo exported under a *different* (views, catalog, semantics)
+        triple is undefined — callers must match fingerprints.
+        """
+        adopted = 0
+        for key, options in entries:
+            if key in self._substitutions:
+                continue
+            view_index = key[1]
+            if not 0 <= view_index < len(self.views):
+                continue
+            self._substitutions[key] = options
+            self._substitutions.move_to_end(key, last=False)
+            adopted += 1
+        while len(self._substitutions) > self.SUBSTITUTION_CACHE_MAX:
+            self._substitutions.popitem(last=False)
+        return adopted
+
+    # ------------------------------------------------------------------
 
     def candidate_views(self, block: QueryBlock) -> list[ViewDef]:
         """The views whose signature is contained in ``block``'s FROM."""

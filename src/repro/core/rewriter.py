@@ -58,6 +58,7 @@ class RewriteResult:
         exhausted: bool = False,
         budget: Optional[dict] = None,
         trace: Optional[RewriteTrace] = None,
+        found: tuple[Rewriting, ...] = (),
     ):
         self.query = query
         self.ranked = ranked
@@ -65,6 +66,10 @@ class RewriteResult:
         self.exhausted = exhausted
         self.budget = budget
         self.trace = trace
+        # The candidates in search-discovery order, before ranking; the
+        # repro.api facade exposes this so the deprecated all_rewritings
+        # shim can return the exact legacy list.
+        self.found = found
 
     def __iter__(self):
         return iter(self.ranked)
@@ -157,13 +162,18 @@ class RewriteEngine:
         use_set_semantics: bool = True,
         use_planner: bool = True,
         budget: Optional[SearchBudget] = None,
+        planner: Optional["RewritePlanner"] = None,
     ):
         self.catalog = catalog
         self.use_set_semantics = use_set_semantics
         self.use_planner = use_planner
         # Per-query default budget; rewrite(budget=...) overrides per call.
         self.budget = budget
-        self._planner: Optional["RewritePlanner"] = None
+        # ``planner`` adopts a prepared planner (and its warm substitution
+        # memo) — the batch service constructs one engine per worker and
+        # injects the group's shared planner here. The engine still
+        # replaces it if the view set drifts.
+        self._planner: Optional["RewritePlanner"] = planner
 
     # ------------------------------------------------------------------
 
@@ -206,6 +216,7 @@ class RewriteEngine:
         catalog: Optional[Catalog] = None,
         budget: Union[SearchBudget, BudgetMeter, None] = None,
         trace: bool = False,
+        include_partial: bool = True,
     ) -> RewriteResult:
         """Find all rewritings of ``query`` using the registered views.
 
@@ -262,6 +273,7 @@ class RewriteEngine:
                     catalog=catalog,
                     use_set_semantics=self.use_set_semantics,
                     max_steps=max_steps,
+                    include_partial=include_partial,
                     use_planner=self.use_planner,
                     planner=planner,
                     budget=meter,
@@ -289,6 +301,7 @@ class RewriteEngine:
                 estimate_cost(block, catalog),
                 exhausted=meter.exhausted if meter is not None else False,
                 budget=meter.as_dict() if meter is not None else None,
+                found=tuple(candidates),
             )
 
         if tracer is None:

@@ -21,6 +21,7 @@ from .trace import (
     Tracer,
     add_counter,
     current_tracer,
+    merge_spans,
     span,
     tracing,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "Tracer",
     "add_counter",
     "current_tracer",
+    "merge_spans",
     "span",
     "tracing",
 ]

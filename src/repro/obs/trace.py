@@ -23,14 +23,18 @@ The finished tree is surfaced as a :class:`RewriteTrace` on
 :class:`repro.core.rewriter.RewriteResult` and printed by
 ``repro explain --trace`` / ``repro rewrite --trace``.
 
-The active tracer is a module global: the rewrite path is synchronous
-and single-threaded; concurrent tracing requires one engine per thread.
+The active tracer is thread-local: the rewrite path is synchronous
+within one thread, and the batch service (:mod:`repro.service`) runs one
+engine per worker thread, so traces from concurrent requests never
+interleave. :func:`merge_spans` stitches finished per-request trees into
+one batch-level tree.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Optional
+from typing import Iterable, Optional
 
 
 class Span:
@@ -105,7 +109,7 @@ class _NullContext:
 
 
 _NULL_CONTEXT = _NullContext()
-_ACTIVE: Optional["Tracer"] = None
+_STATE = threading.local()
 
 
 class Tracer:
@@ -140,24 +144,22 @@ class tracing:
         self.tracer = tracer
 
     def __enter__(self) -> Tracer:
-        global _ACTIVE
-        self._previous = _ACTIVE
-        _ACTIVE = self.tracer
+        self._previous = getattr(_STATE, "tracer", None)
+        _STATE.tracer = self.tracer
         return self.tracer
 
     def __exit__(self, *exc) -> bool:
-        global _ACTIVE
-        _ACTIVE = self._previous
+        _STATE.tracer = self._previous
         return False
 
 
 def current_tracer() -> Optional[Tracer]:
-    return _ACTIVE
+    return getattr(_STATE, "tracer", None)
 
 
 def span(name: str):
     """A span context for ``name`` — the shared no-op when tracing is off."""
-    tracer = _ACTIVE
+    tracer = getattr(_STATE, "tracer", None)
     if tracer is None:
         return _NULL_CONTEXT
     return tracer.span(name)
@@ -165,9 +167,34 @@ def span(name: str):
 
 def add_counter(name: str, n: int = 1) -> None:
     """Bump a flat counter on the active tracer (no-op when disabled)."""
-    tracer = _ACTIVE
+    tracer = getattr(_STATE, "tracer", None)
     if tracer is not None:
         tracer.add(name, n)
+
+
+def merge_spans(
+    roots: Iterable[Span], name: str = "batch"
+) -> Span:
+    """Stitch finished span trees into one tree under a fresh root.
+
+    Children merge by name exactly as live spans do — seconds and call
+    counts accumulate — so a batch of traced rewrites reports one
+    stage-shaped tree, not one subtree per request. Inputs are left
+    untouched.
+    """
+    merged = Span(name)
+
+    def fold(target: Span, source: Span) -> None:
+        target.seconds += source.seconds
+        target.count += source.count
+        for child in source.children.values():
+            fold(target.child(child.name), child)
+
+    for root in roots:
+        fold(merged.child(root.name), root)
+        merged.seconds += root.seconds
+        merged.count = 1
+    return merged
 
 
 class RewriteTrace:

@@ -1,0 +1,60 @@
+"""Concurrent batch rewriting service.
+
+The public surface is intentionally small: build the immutable request
+objects (:class:`RewriteRequest`), hand a sequence of them to
+:class:`BatchRewriteService.submit`, and read the positionally aligned
+:class:`BatchResult`. Most callers should go through the
+:mod:`repro.api` facade (``repro.api.rewrite_batch``) instead of
+instantiating the service directly.
+
+Layering, bottom-up:
+
+* :mod:`repro.service.requests` — frozen wire types and the
+  ``repro-api/1`` JSON projection;
+* :mod:`repro.service.batcher` — value-based grouping by planner
+  fingerprint and chunking for dispatch;
+* :mod:`repro.service.executor` — the single-request path every mode
+  shares (this is where batch parity is won);
+* :mod:`repro.service.degradation` — batch-deadline overlays and the
+  graceful-refusal contract;
+* :mod:`repro.service.pool` — the serial/thread/process backends and
+  memo warm-start plumbing.
+"""
+
+from .batcher import (
+    RequestGroup,
+    catalog_fingerprint,
+    chunk_groups,
+    group_requests,
+    request_group_key,
+    view_fingerprint,
+)
+from .degradation import BATCH_DEADLINE, BatchDeadline, refused_response
+from .executor import build_engine, execute_request
+from .pool import MODES, BatchRewriteService
+from .requests import (
+    API_SCHEMA,
+    BatchResult,
+    RewriteRequest,
+    RewriteResponse,
+)
+
+__all__ = [
+    "API_SCHEMA",
+    "BATCH_DEADLINE",
+    "BatchDeadline",
+    "BatchResult",
+    "BatchRewriteService",
+    "MODES",
+    "RequestGroup",
+    "RewriteRequest",
+    "RewriteResponse",
+    "build_engine",
+    "catalog_fingerprint",
+    "chunk_groups",
+    "execute_request",
+    "group_requests",
+    "refused_response",
+    "request_group_key",
+    "view_fingerprint",
+]

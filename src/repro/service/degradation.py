@@ -1,0 +1,99 @@
+"""Graceful degradation under a batch-level deadline.
+
+The service promises N responses for N requests, no matter what. Under a
+batch deadline that means three regimes per request:
+
+run normally
+    enough time remains — the request's own budget applies, tightened by
+    the remaining batch time (so a straggler cannot overrun the batch);
+
+run truncated
+    the overlay deadline trips mid-search — the anytime contract of
+    :mod:`repro.obs.budget` returns partial-but-sound results tagged
+    ``exhausted=True``;
+
+refuse gracefully
+    the deadline was spent before the request was dispatched — a
+    degraded response comes back immediately with ``exhausted=True`` and
+    ``"batch_deadline"`` among the tripped limits. Never dropped, never
+    an exception.
+
+Deadline enforcement across process workers is necessarily approximate:
+monotonic clocks are per-process, so the overlay ships the *remaining
+seconds at dispatch time* and the worker counts from its own start.
+Queue latency can therefore stretch a batch slightly past its deadline —
+by at most one in-flight chunk, since every request dispatched after the
+trip refuses instantly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..obs.budget import SearchBudget
+from .requests import RewriteRequest, RewriteResponse
+
+#: The trip label degraded responses report.
+BATCH_DEADLINE = "batch_deadline"
+
+
+class BatchDeadline:
+    """Wall-clock budget for one whole batch. ``None`` = unlimited."""
+
+    __slots__ = ("seconds", "_expires_at")
+
+    def __init__(self, seconds: Optional[float]):
+        self.seconds = seconds
+        self._expires_at = (
+            None if seconds is None else time.monotonic() + seconds
+        )
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, ``None`` when unlimited, 0.0 once spent."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return self._expires_at is not None and self.remaining() == 0.0
+
+    def overlay(self, request: RewriteRequest) -> Optional[SearchBudget]:
+        """The request's effective budget under this deadline.
+
+        Tightens (never loosens) the request's own budget; with no batch
+        deadline the request budget passes through untouched.
+        """
+        remaining = self.remaining()
+        if remaining is None:
+            return request.budget
+        cap = SearchBudget(deadline=remaining)
+        if request.budget is None:
+            return cap
+        return request.budget.merged_with(cap)
+
+
+def refused_response(request: RewriteRequest) -> RewriteResponse:
+    """The degraded response for a request the deadline refused to run."""
+    return RewriteResponse(
+        query=(
+            request.query
+            if not isinstance(request.query, str)
+            else None
+        ),
+        exhausted=True,
+        degraded=True,
+        budget={
+            "budget": (
+                request.budget.as_dict()
+                if request.budget is not None
+                else SearchBudget().as_dict()
+            ),
+            "exhausted": True,
+            "tripped": [BATCH_DEADLINE],
+            "mappings_enumerated": 0,
+            "candidates_generated": 0,
+        },
+        request_id=request.request_id,
+    )

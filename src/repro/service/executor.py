@@ -1,0 +1,239 @@
+"""Execute one :class:`RewriteRequest` — the shared single-request path.
+
+Every execution mode funnels through :func:`execute_request`: the
+``repro.api`` facade calls it inline, the serial batch mode loops over
+it, and thread/process workers run it once per request in their chunk.
+One code path is what makes the batch-parity guarantee testable at all.
+
+Determinism rule
+    Requests whose budget carries *count* limits (``max_mappings`` /
+    ``max_candidates``) always run against a cold planner, even inside a
+    warm group: a memo hit skips mapping enumeration, so a warm memo
+    would shift the trip point and the result set would depend on batch
+    composition. Unbudgeted and deadline-only requests share the group
+    planner freely — memoization is pure, so their result sets are
+    independent of warm-up (only their latency improves).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Optional, Union
+
+from ..blocks.query_block import QueryBlock
+from ..cache import CacheSnapshot
+from ..catalog.schema import Catalog
+from ..core.cost import estimate_cost
+from ..core.multiview import all_rewritings
+from ..core.planner import RewritePlanner
+from ..core.result import Rewriting
+from ..core.rewriter import RankedRewriting, RewriteEngine
+from ..errors import ReproError
+from ..obs.budget import BudgetMeter, SearchBudget, ensure_meter
+from .requests import RewriteRequest, RewriteResponse
+
+#: Distinguishes "no overlay budget supplied" from an explicit None.
+_UNSET = object()
+
+
+def build_engine(
+    catalog: Catalog,
+    use_set_semantics: bool = True,
+    planner: Optional[RewritePlanner] = None,
+) -> RewriteEngine:
+    """One worker's engine: re-entrant, with an optional warm planner."""
+    return RewriteEngine(
+        catalog, use_set_semantics=use_set_semantics, planner=planner
+    )
+
+
+def execute_request(
+    request: RewriteRequest,
+    *,
+    engine: Optional[RewriteEngine] = None,
+    planner: Optional[RewritePlanner] = None,
+    budget: Union[SearchBudget, BudgetMeter, None, object] = _UNSET,
+    cache_snapshot: Optional[CacheSnapshot] = None,
+    capture_errors: bool = False,
+) -> RewriteResponse:
+    """Run one request and shape the outcome into a `RewriteResponse`.
+
+    ``engine`` is the chunk's shared engine (built once per worker);
+    omitted, a fresh one is constructed — both are equivalent apart from
+    planner warmth. ``budget`` overrides the request's own budget (the
+    batch deadline overlay); the default sentinel means "use the
+    request's". With ``capture_errors`` a :class:`ReproError` becomes an
+    error response instead of propagating — the batch contract.
+    """
+    started = time.perf_counter()
+    try:
+        return _run(request, engine, planner, budget, cache_snapshot, started)
+    except ReproError as error:
+        if not capture_errors:
+            raise
+        return RewriteResponse(
+            query=(
+                request.query
+                if isinstance(request.query, QueryBlock)
+                else None
+            ),
+            request_id=request.request_id,
+            elapsed=time.perf_counter() - started,
+            error=str(error),
+        )
+
+
+def _run(
+    request: RewriteRequest,
+    engine: Optional[RewriteEngine],
+    planner: Optional[RewritePlanner],
+    budget,
+    cache_snapshot: Optional[CacheSnapshot],
+    started: float,
+) -> RewriteResponse:
+    effective = request.budget if budget is _UNSET else budget
+    meter = ensure_meter(effective)
+
+    cache_info: Optional[dict] = None
+    if cache_snapshot is not None:
+        cached = cache_snapshot.find_rewriting(request.query, budget=meter)
+        if cached is not None:
+            return _cache_hit_response(
+                request, cached, cache_snapshot, meter, started
+            )
+        cache_info = {"served_from_cache": False}
+
+    if request.catalog is None:
+        response = _run_bare(request, planner, meter)
+    else:
+        response = _run_engine(request, engine, meter)
+    return replace(
+        response,
+        cache=cache_info if cache_info is not None else response.cache,
+        elapsed=time.perf_counter() - started,
+    )
+
+
+def _run_engine(
+    request: RewriteRequest,
+    engine: Optional[RewriteEngine],
+    meter: Optional[BudgetMeter],
+) -> RewriteResponse:
+    if engine is None:
+        engine = build_engine(request.catalog, request.use_set_semantics)
+    views = request.views
+    if views is not None and list(views) == engine.views:
+        # Explicitly passing the catalog's own view set is the same
+        # search as views=None — normalize so it stays eligible for the
+        # engine's shared (group-warm) planner.
+        views = None
+    if views is None and request.has_count_budget():
+        # Force the explicit-views path: all_rewritings builds a cold
+        # planner, keeping count-budget trip points batch-independent.
+        views = request.effective_views()
+    # The engine's catalog is the request's — or the group's fingerprint-
+    # equal stand-in — so the shared-planner fast path stays eligible.
+    result = engine.rewrite(
+        request.query,
+        views=views,
+        max_steps=request.max_steps,
+        unfold=request.unfold,
+        budget=meter,
+        trace=request.trace,
+        include_partial=request.include_partial,
+    )
+    return RewriteResponse(
+        query=result.query,
+        rewritings=result.found,
+        ranked=tuple(result.ranked),
+        original_cost=result.original_cost,
+        exhausted=result.exhausted,
+        budget=result.budget,
+        trace=result.trace,
+        request_id=request.request_id,
+    )
+
+
+def _run_bare(
+    request: RewriteRequest,
+    planner: Optional[RewritePlanner],
+    meter: Optional[BudgetMeter],
+) -> RewriteResponse:
+    """The catalog-less path (deprecated-shim compatibility).
+
+    No parsing, no unfolding, no cost ranking — candidates come back in
+    discovery order only. Tracing is not supported here.
+    """
+    query = request.query
+    if isinstance(query, str):
+        raise ReproError(
+            "a textual query needs a catalog to parse against; pass "
+            "catalog= or a pre-parsed QueryBlock"
+        )
+    query.validate()
+    views = request.effective_views()
+    if request.has_count_budget():
+        planner = None  # cold search for deterministic trip points
+    candidates = all_rewritings(
+        query,
+        views,
+        catalog=None,
+        use_set_semantics=request.use_set_semantics,
+        max_steps=request.max_steps,
+        include_partial=request.include_partial,
+        planner=planner,
+        budget=meter,
+    )
+    return RewriteResponse(
+        query=query,
+        rewritings=tuple(candidates),
+        exhausted=meter.exhausted if meter is not None else False,
+        budget=meter.as_dict() if meter is not None else None,
+        request_id=request.request_id,
+    )
+
+
+def _cache_hit_response(
+    request: RewriteRequest,
+    rewriting: Rewriting,
+    snapshot: CacheSnapshot,
+    meter: Optional[BudgetMeter],
+    started: float,
+) -> RewriteResponse:
+    # Cost estimation must use the snapshot's catalog: the rewriting
+    # reads a cached view the request's own catalog has never heard of.
+    catalog = snapshot.catalog
+    ranked: tuple[RankedRewriting, ...] = ()
+    original_cost = None
+    if catalog is not None:
+        query_block = (
+            request.query
+            if isinstance(request.query, QueryBlock)
+            else None
+        )
+        ranked = (
+            RankedRewriting(
+                rewriting,
+                estimate_cost(
+                    rewriting.query, catalog, rewriting.aux_views
+                ),
+            ),
+        )
+        if query_block is not None:
+            original_cost = estimate_cost(query_block, catalog)
+    return RewriteResponse(
+        query=(
+            request.query
+            if isinstance(request.query, QueryBlock)
+            else None
+        ),
+        rewritings=(rewriting,),
+        ranked=ranked,
+        original_cost=original_cost,
+        exhausted=meter.exhausted if meter is not None else False,
+        budget=meter.as_dict() if meter is not None else None,
+        cache={"served_from_cache": True},
+        request_id=request.request_id,
+        elapsed=time.perf_counter() - started,
+    )

@@ -1,0 +1,310 @@
+"""The concurrent batch service: grouping, modes, deadlines, warm-up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import QueryCache
+from repro.obs.budget import SearchBudget
+from repro.service import (
+    BATCH_DEADLINE,
+    BatchDeadline,
+    BatchRewriteService,
+    RewriteRequest,
+    catalog_fingerprint,
+    chunk_groups,
+    group_requests,
+    refused_response,
+    request_group_key,
+)
+from repro.workloads.random_queries import random_scenario
+
+
+def scenario_request(seed: int, **overrides) -> RewriteRequest:
+    scenario = random_scenario(seed)
+    defaults = dict(
+        query=scenario.query,
+        catalog=scenario.catalog,
+        views=tuple(scenario.views),
+    )
+    defaults.update(overrides)
+    return RewriteRequest(**defaults)
+
+
+class TestGrouping:
+    def test_equal_but_distinct_catalogs_coalesce(self):
+        # Two scenarios from the same seed build equal catalogs that are
+        # different objects — the value-based fingerprint must coalesce
+        # them (the JSONL deserialization case).
+        a, b = random_scenario(5), random_scenario(5)
+        assert a.catalog is not b.catalog
+        assert catalog_fingerprint(a.catalog) == catalog_fingerprint(b.catalog)
+        requests = [
+            RewriteRequest(query=a.query, catalog=a.catalog,
+                           views=tuple(a.views)),
+            RewriteRequest(query=b.query, catalog=b.catalog,
+                           views=tuple(b.views)),
+        ]
+        groups = group_requests(requests)
+        assert len(groups) == 1
+        assert len(groups[0].members) == 2
+
+    def test_different_view_sets_split(self):
+        a, b = random_scenario(5), random_scenario(6)
+        requests = [
+            RewriteRequest(query=a.query, catalog=a.catalog,
+                           views=tuple(a.views)),
+            RewriteRequest(query=b.query, catalog=b.catalog,
+                           views=tuple(b.views)),
+        ]
+        assert len(group_requests(requests)) == 2
+
+    def test_semantics_splits_groups(self):
+        a = random_scenario(5)
+        requests = [
+            RewriteRequest(query=a.query, catalog=a.catalog,
+                           views=tuple(a.views), use_set_semantics=True),
+            RewriteRequest(query=a.query, catalog=a.catalog,
+                           views=tuple(a.views), use_set_semantics=False),
+        ]
+        assert len(group_requests(requests)) == 2
+
+    def test_group_key_is_hashable_and_stable(self):
+        request = scenario_request(5)
+        assert request_group_key(request) == request_group_key(request)
+        {request_group_key(request): 1}  # hashable
+
+    def test_positions_preserved_in_batch_order(self):
+        requests = [scenario_request(5), scenario_request(6),
+                    scenario_request(5)]
+        groups = group_requests(requests)
+        positions = sorted(
+            p for g in groups for p, _ in g.members
+        )
+        assert positions == [0, 1, 2]
+
+
+class TestChunking:
+    def test_small_groups_stay_whole(self):
+        groups = group_requests([scenario_request(5)] * 3)
+        chunks = chunk_groups(groups, workers=8, min_chunk=4)
+        assert len(chunks) == 1
+        assert len(chunks[0][1]) == 3
+
+    def test_large_group_splits_up_to_workers(self):
+        groups = group_requests([scenario_request(5)] * 20)
+        chunks = chunk_groups(groups, workers=4, min_chunk=4)
+        assert 1 < len(chunks) <= 4
+        total = sum(len(members) for _, members in chunks)
+        assert total == 20
+
+    def test_never_below_min_chunk(self):
+        groups = group_requests([scenario_request(5)] * 10)
+        for _, members in chunk_groups(groups, workers=8, min_chunk=4):
+            assert len(members) >= 4
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_mode_runs_and_agrees_with_serial(self, mode):
+        requests = [scenario_request(seed) for seed in range(8)]
+        baseline = BatchRewriteService(mode="serial").submit(requests)
+        result = BatchRewriteService(mode=mode, workers=2).submit(requests)
+        assert len(result) == len(requests)
+        for got, want in zip(result, baseline):
+            assert got.rewritings == want.rewritings
+            assert got.exhausted == want.exhausted
+        assert result.report["mode"] == mode
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRewriteService(mode="gpu")
+
+    def test_plain_strings_rejected(self):
+        with pytest.raises(TypeError):
+            BatchRewriteService(mode="serial").submit(["SELECT 1"])
+
+    def test_auto_small_batch_is_serial(self):
+        result = BatchRewriteService(mode="auto", workers=4).submit(
+            [scenario_request(5)] * 2
+        )
+        assert result.report["mode"] == "serial"
+
+
+class TestDeadline:
+    def test_spent_deadline_refuses_every_request(self):
+        requests = [scenario_request(seed) for seed in range(4)]
+        result = BatchRewriteService(mode="serial").submit(
+            requests, deadline=0.0
+        )
+        assert len(result) == 4
+        assert result.degraded_count == 4
+        assert result.exhausted_count == 4
+        for response in result:
+            assert BATCH_DEADLINE in response.budget["tripped"]
+            assert response.error is None  # degraded, not failed
+
+    def test_generous_deadline_runs_normally(self):
+        requests = [scenario_request(seed) for seed in range(4)]
+        result = BatchRewriteService(mode="serial").submit(
+            requests, deadline=60.0
+        )
+        assert result.degraded_count == 0
+
+    def test_overlay_tightens_never_loosens(self):
+        deadline = BatchDeadline(10.0)
+        request = scenario_request(
+            5, budget=SearchBudget(deadline=0.001, max_mappings=7)
+        )
+        overlay = deadline.overlay(request)
+        assert overlay.deadline == 0.001  # the tighter of the two
+        assert overlay.max_mappings == 7
+
+    def test_overlay_caps_unbudgeted_requests(self):
+        deadline = BatchDeadline(10.0)
+        overlay = deadline.overlay(scenario_request(5))
+        assert overlay.deadline is not None
+        assert overlay.deadline <= 10.0
+
+    def test_no_deadline_passes_budget_through(self):
+        deadline = BatchDeadline(None)
+        budget = SearchBudget(max_candidates=3)
+        request = scenario_request(5, budget=budget)
+        assert deadline.overlay(request) is budget
+        assert not deadline.expired
+
+    def test_refused_response_shape(self):
+        response = refused_response(scenario_request(5))
+        assert response.degraded and response.exhausted
+        assert response.rewritings == ()
+        assert response.budget["mappings_enumerated"] == 0
+
+
+class TestWarmth:
+    def test_serial_service_reuses_planner_across_batches(self):
+        service = BatchRewriteService(mode="serial")
+        requests = [scenario_request(5)] * 3
+        service.submit(requests)
+        assert len(service._planners) == 1
+        planner = next(iter(service._planners.values()))
+        hits_before = planner.stats.substitution_hits
+        service.submit(requests)
+        assert next(iter(service._planners.values())) is planner
+        assert planner.stats.substitution_hits > hits_before
+
+    def test_process_mode_stores_memo_for_warm_start(self):
+        service = BatchRewriteService(mode="process", workers=2)
+        requests = [scenario_request(5)] * 6
+        service.submit(requests)
+        assert len(service._memo_store) == 1
+        result = service.submit(requests)
+        assert result.report["memo_entries_imported"] > 0
+
+    def test_warm_results_equal_cold_results(self):
+        service = BatchRewriteService(mode="serial")
+        requests = [scenario_request(5)] * 2
+        cold = service.submit(requests)
+        warm = service.submit(requests)
+        for a, b in zip(cold, warm):
+            assert a.rewritings == b.rewritings
+
+    def test_count_budgets_ignore_group_warmth(self):
+        # The determinism rule: a count-budgeted request must report the
+        # same trip point alone or after warm-up traffic.
+        budget = SearchBudget(max_mappings=2, max_candidates=1)
+        alone = BatchRewriteService(mode="serial").submit(
+            [scenario_request(5, budget=budget)]
+        )
+        service = BatchRewriteService(mode="serial")
+        service.submit([scenario_request(5)] * 4)  # warm the group planner
+        after = service.submit([scenario_request(5, budget=budget)])
+        assert alone[0].rewritings == after[0].rewritings
+        assert alone[0].exhausted == after[0].exhausted
+        assert alone[0].budget == after[0].budget
+
+
+class TestCacheIntegration:
+    def test_cache_hit_marks_response(self):
+        scenario = random_scenario(5)
+        cache = QueryCache(scenario.catalog)
+        cache.remember(scenario.query, [])  # the query's own result
+        service = BatchRewriteService(mode="serial", cache=cache)
+        result = service.submit(
+            [RewriteRequest(query=scenario.query, catalog=scenario.catalog)]
+        )
+        response = result[0]
+        assert response.cache == {"served_from_cache": True}
+        assert response.rewritings  # the cached-view rewriting
+
+    def test_cache_miss_is_marked_and_still_searched(self):
+        scenario = random_scenario(5)
+        cache = QueryCache(scenario.catalog)  # nothing remembered
+        service = BatchRewriteService(mode="serial", cache=cache)
+        result = service.submit(
+            [RewriteRequest(query=scenario.query, catalog=scenario.catalog)]
+        )
+        baseline = BatchRewriteService(mode="serial").submit(
+            [RewriteRequest(query=scenario.query, catalog=scenario.catalog)]
+        )
+        assert result[0].cache == {"served_from_cache": False}
+        assert result[0].rewritings == baseline[0].rewritings
+
+    @pytest.mark.parametrize("mode", ["serial", "process"])
+    def test_worker_lookups_merge_into_live_stats(self, mode):
+        scenario = random_scenario(5)
+        cache = QueryCache(scenario.catalog)
+        cache.remember(scenario.query, [])
+        service = BatchRewriteService(mode=mode, workers=2, cache=cache)
+        before = cache.stats.hits + cache.stats.misses
+        service.submit(
+            [RewriteRequest(query=scenario.query, catalog=scenario.catalog)]
+            * 3
+        )
+        assert cache.stats.hits + cache.stats.misses >= before + 3
+
+
+class TestTraceStitching:
+    def test_batch_trace_merges_traced_requests(self):
+        requests = [scenario_request(seed, trace=True) for seed in (3, 4)]
+        result = BatchRewriteService(mode="serial").submit(requests)
+        assert result.trace is not None
+        assert result.trace.counters["traced_requests"] == 2
+        assert result.trace.root.name == "batch"
+
+    def test_untraced_batch_has_no_trace(self):
+        result = BatchRewriteService(mode="serial").submit(
+            [scenario_request(3)]
+        )
+        assert result.trace is None
+
+
+class TestRobustness:
+    def test_unpicklable_chunk_demotes_to_inprocess(self, monkeypatch):
+        # Force every pool submission to fail: the batch must still
+        # return complete, correct results via in-process demotion.
+        from repro.service import pool as pool_module
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, *args, **kwargs):
+                raise RuntimeError("no workers today")
+
+        monkeypatch.setattr(
+            pool_module, "ProcessPoolExecutor", ExplodingPool
+        )
+        requests = [scenario_request(seed) for seed in range(4)]
+        baseline = BatchRewriteService(mode="serial").submit(requests)
+        result = BatchRewriteService(mode="process", workers=2).submit(
+            requests
+        )
+        assert len(result) == 4
+        for got, want in zip(result, baseline):
+            assert got.rewritings == want.rewritings
