@@ -1,0 +1,83 @@
+"""Oracle throughput benchmarks: cross-check and shrink rates.
+
+Two questions about the :mod:`repro.oracle` / :mod:`repro.fuzz` layer,
+written into ``BENCH_rewriting.json``:
+
+1. *How fast does the fuzz loop burn scenarios?* A fixed-size clean run
+   (every profile represented) reports scenarios/sec, checks and
+   rewritings covered. The ISSUE acceptance floor is 300 scenarios in a
+   60-second CI budget; the recorded rate shows the headroom.
+2. *How expensive is delta-debugging a failure?* With a known bug
+   injected, the first few failures are shrunk and the iteration counts
+   and minimized sizes recorded.
+
+Both runs assert their correctness envelope (zero mismatches clean; the
+injected bug caught, and shrunk small), so a soundness regression fails
+the benchmark gate too, mirroring the parity collectors.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.fuzz import FuzzRunner, inject_bug
+
+
+def collect_oracle_metrics(quick: bool = False) -> dict:
+    """The ``oracle`` workload entry for ``BENCH_rewriting.json``."""
+    n_clean = 300 if quick else 1_500
+    n_buggy = 200 if quick else 400
+
+    # -- 1. clean throughput -------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        runner = FuzzRunner(out_dir=Path(tmp))
+        start = time.perf_counter()
+        clean = runner.run(budget_seconds=None, max_scenarios=n_clean)
+        clean_elapsed = time.perf_counter() - start
+    assert clean.failures == 0, (
+        f"clean fuzz run found {clean.failures} mismatches: "
+        f"{[str(p) for p in clean.failure_files]}"
+    )
+    assert clean.rewritings > 0, "vacuous corpus: no rewritings exercised"
+
+    # -- 2. shrink cost under an injected evaluator bug ----------------
+    with tempfile.TemporaryDirectory() as tmp:
+        runner = FuzzRunner(out_dir=Path(tmp))
+        with inject_bug("min-as-max"):
+            buggy = runner.run(
+                budget_seconds=None, max_scenarios=n_buggy, max_failures=3
+            )
+        assert buggy.failures >= 1, "injected bug escaped the fuzzer"
+        shrunk_sizes = []
+        for path in buggy.failure_files:
+            doc = json.loads(Path(path).read_text())
+            shrunk_sizes.append(
+                {
+                    "rows": sum(len(r) for r in doc["instance"].values()),
+                    "views": len(doc["views"]),
+                    "iterations": doc["shrink"]["iterations"],
+                }
+            )
+        assert all(s["rows"] <= 3 and s["views"] <= 2 for s in shrunk_sizes), (
+            f"shrinker missed the acceptance envelope: {shrunk_sizes}"
+        )
+
+    return {
+        "clean_scenarios": clean.scenarios,
+        "clean_checks": clean.checks,
+        "clean_rewritings": clean.rewritings,
+        "clean_seconds": round(clean_elapsed, 3),
+        "scenarios_per_sec": round(clean.scenarios / clean_elapsed, 2),
+        "injected_bug": "min-as-max",
+        "buggy_scenarios_run": buggy.scenarios,
+        "failures_caught": buggy.failures,
+        "shrink_iterations_total": buggy.shrink_iterations,
+        "shrunk_repro_sizes": shrunk_sizes,
+    }
+
+
+if __name__ == "__main__":
+    print(json.dumps(collect_oracle_metrics(quick=True), indent=2))

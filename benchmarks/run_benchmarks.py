@@ -78,6 +78,7 @@ def main(argv: list[str] | None = None) -> int:
         collect_multiview_metrics,
     )
     from bench_obs import collect_obs_metrics
+    from bench_oracle import collect_oracle_metrics
     from bench_service import collect_service_metrics
 
     repeats = 2 if args.quick else 7
@@ -97,6 +98,7 @@ def main(argv: list[str] | None = None) -> int:
                 repeats=repeats, quick=args.quick
             ),
         ),
+        ("oracle", lambda: collect_oracle_metrics(quick=args.quick)),
     ]:
         print(f"== bench: {name} ==", flush=True)
         try:
@@ -116,6 +118,13 @@ def main(argv: list[str] | None = None) -> int:
             f"multiview speedup: {multiview['speedup']:.2f}x "
             f"(naive {multiview['naive_seconds'] * 1e3:.2f} ms, "
             f"planner {multiview['planner_seconds'] * 1e3:.2f} ms)"
+        )
+    oracle = report.workloads.get("oracle", {})
+    if "scenarios_per_sec" in oracle:
+        print(
+            f"oracle throughput: {oracle['scenarios_per_sec']:.0f} "
+            f"scenarios/sec ({oracle['clean_checks']} checks, "
+            f"{oracle['clean_rewritings']} rewritings cross-checked)"
         )
     service = report.workloads.get("service", {})
     if "speedup_at_4_workers" in service:

@@ -21,7 +21,7 @@ from ..sqlparser.ast import (
     SqlExpr,
     TableRef,
 )
-from ..sqlparser.printer import print_create_view, print_select
+from ..sqlparser.printer import ANSI, Dialect, print_create_view, print_select
 from .exprs import Aggregate, Arith, Expr
 from .query_block import QueryBlock, ViewDef
 from .terms import Column, Comparison, Constant
@@ -90,16 +90,16 @@ def block_to_ast(block: QueryBlock) -> SelectStmt:
     )
 
 
-def block_to_sql(block: QueryBlock) -> str:
-    """Render a QueryBlock as SQL text."""
-    return print_select(block_to_ast(block))
+def block_to_sql(block: QueryBlock, dialect: Dialect = ANSI) -> str:
+    """Render a QueryBlock as SQL text in the given dialect."""
+    return print_select(block_to_ast(block), dialect=dialect)
 
 
-def view_to_sql(view: ViewDef) -> str:
+def view_to_sql(view: ViewDef, dialect: Dialect = ANSI) -> str:
     """Render a ViewDef as ``CREATE VIEW ... AS SELECT ...`` text."""
     from ..sqlparser.ast import CreateViewStmt
 
     stmt = CreateViewStmt(
         view.name, tuple(view.output_names), block_to_ast(view.block)
     )
-    return print_create_view(stmt)
+    return print_create_view(stmt, dialect=dialect)

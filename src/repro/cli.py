@@ -19,6 +19,10 @@ Commands:
 ``query``
     Execute a query over CSV data files, optionally through the cheapest
     view-based rewriting.
+``fuzz``
+    Property-based fuzzing of rewrite soundness against the independent
+    SQLite oracle; mismatches are shrunk to replayable JSON repros
+    (``repro fuzz --replay <file>``). See ``docs/oracle.md``.
 
 Schema scripts are ';'-separated statements; a workload file is a script
 whose SELECT statements form the workload. All ``--json`` output carries
@@ -311,6 +315,75 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    import os
+    from pathlib import Path
+
+    from .fuzz import FuzzRunner, inject_bug, replay
+
+    if args.replay:
+        # Honour --inject-bug during replay too, so a repro produced by a
+        # mutation run can be re-examined under the same injected bug.
+        if args.inject_bug:
+            with inject_bug(args.inject_bug):
+                report = replay(Path(args.replay))
+        else:
+            report = replay(Path(args.replay))
+        print(report.describe())
+        return 0 if report.ok else 1
+
+    base_seed = args.seed
+    if args.seed_from_env:
+        # CI rotates the seed per run so the corpus keeps moving; any
+        # failure is still reproducible from the persisted repro file.
+        raw = (
+            os.environ.get("FUZZ_SEED")
+            or os.environ.get("GITHUB_RUN_ID")
+            or "0"
+        )
+        base_seed = int(raw) % 1_000_000_007
+
+    runner = FuzzRunner(out_dir=Path(args.out_dir), base_seed=base_seed)
+
+    def progress(stats, elapsed):
+        print(
+            f"  ... {stats.scenarios} scenarios, "
+            f"{stats.rewritings} rewritings, "
+            f"{stats.failures} failures ({elapsed:.0f}s)",
+            file=sys.stderr,
+        )
+
+    def run():
+        return runner.run(
+            budget_seconds=args.budget,
+            max_scenarios=args.max_scenarios,
+            max_failures=args.max_failures,
+            progress=None if args.json else progress,
+        )
+
+    if args.inject_bug:
+        with inject_bug(args.inject_bug):
+            stats = run()
+    else:
+        stats = run()
+
+    if args.json:
+        doc = {"schema": "repro-fuzz/1", "kind": "fuzz-stats",
+               "base_seed": base_seed}
+        doc.update(stats.as_dict())
+        print(json.dumps(doc, indent=2))
+    else:
+        print(
+            f"fuzz: {stats.scenarios} scenarios "
+            f"({stats.scenarios_per_sec:.0f}/s), {stats.checks} checks, "
+            f"{stats.rewritings} rewritings, {stats.skipped} skipped, "
+            f"{stats.failures} failures"
+        )
+        for path in stats.failure_files:
+            print(f"  repro written: {path}")
+    return 1 if stats.failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -446,6 +519,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--limit", type=int, default=20)
     p.set_defaults(func=cmd_query)
+
+    from .fuzz import BUG_NAMES
+
+    p = sub.add_parser(
+        "fuzz",
+        help="fuzz rewrite soundness against the SQLite cross-oracle",
+    )
+    p.add_argument(
+        "--budget",
+        type=float,
+        default=60.0,
+        help="wall-clock budget in seconds (default: 60)",
+    )
+    p.add_argument(
+        "--max-scenarios",
+        type=int,
+        help="stop after this many scenarios (default: budget-bound only)",
+    )
+    p.add_argument(
+        "--max-failures",
+        type=int,
+        default=5,
+        help="stop after this many distinct failures (default: 5)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="base seed (default: 0)"
+    )
+    p.add_argument(
+        "--seed-from-env",
+        action="store_true",
+        help="derive the base seed from $FUZZ_SEED or $GITHUB_RUN_ID",
+    )
+    p.add_argument(
+        "--out-dir",
+        default="fuzz-failures",
+        help="directory for shrunk repro files (default: fuzz-failures)",
+    )
+    p.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="re-run one persisted repro-fuzz/1 JSON file and exit",
+    )
+    p.add_argument(
+        "--inject-bug",
+        choices=BUG_NAMES,
+        help="mutation-test the oracle: patch a known evaluator bug in "
+        "and require the fuzzer to catch it",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stats report as repro-fuzz/1 JSON",
+    )
+    p.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -123,6 +123,19 @@ def try_rewrite_aggregation(
     if view_n.having:
         view_n = normalize_having(view_n)
 
+    # A GROUP-BY-less aggregation view emits exactly one row even when
+    # its base relations are empty (SQL'92 scalar-aggregate semantics),
+    # while the query core it replaces would be empty. Replacing tables
+    # by such a view is sound only when the view covers the *whole*
+    # query and the query is itself GROUP-BY-less: then both sides emit
+    # exactly one row whose aggregates agree (COUNT is separately
+    # refused below). Found by the SQLite cross-oracle, fuzz seed 4916.
+    if not view_n.group_by:
+        if query_n.group_by:
+            return None
+        if len(mapping.image_table_indexes) != len(query_n.from_):
+            return None
+
     closure_q = closure_of(query_n.where)
     if not closure_q.satisfiable:
         return None

@@ -66,6 +66,13 @@ def try_rewrite_paper_va(
     view_n = view.block
     if view_n.having:
         return None  # keep the literal construction simple: no view HAVING
+    if not view_n.group_by:
+        # A scalar aggregation view has one row even over an empty base,
+        # but the (necessarily grouped, see above) query would then have
+        # no groups — the construction would manufacture them. Same
+        # soundness hole as in try_rewrite_aggregation; see fuzz seed
+        # 4916 in tests/core/test_scalar_view_soundness.py.
+        return None
     closure_q = Closure(query_n.where)
     if not closure_q.satisfiable:
         return None

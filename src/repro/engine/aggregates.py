@@ -1,10 +1,12 @@
 """SQL aggregate function semantics.
 
 Values are Python ints, floats, Fractions or strings. ``None`` models SQL
-NULL only as the result of an aggregate over an empty group (the data model
-itself has no NULLs, matching the paper's setting). AVG over integers is
-exact (a Fraction), so multiset-equivalence checks are never defeated by
-floating-point rounding.
+NULL: base data has no NULLs (matching the paper's setting), but a scalar
+aggregate over an empty input produces one, and queries over such a view
+feed it back into aggregates — so, per SQL'92 (and SQLite, the oracle
+backend), every aggregate *skips* NULL inputs, and MIN/MAX/SUM/AVG over
+nothing but NULLs is NULL. AVG over integers is exact (a Fraction), so
+multiset-equivalence checks are never defeated by floating-point rounding.
 """
 
 from __future__ import annotations
@@ -15,15 +17,22 @@ from typing import Optional, Sequence
 from ..blocks.exprs import AggFunc
 
 
+def _non_null(values: Sequence) -> list:
+    return [v for v in values if v is not None]
+
+
 def agg_min(values: Sequence) -> Optional[object]:
+    values = _non_null(values)
     return min(values) if values else None
 
 
 def agg_max(values: Sequence) -> Optional[object]:
+    values = _non_null(values)
     return max(values) if values else None
 
 
 def agg_sum(values: Sequence) -> Optional[object]:
+    values = _non_null(values)
     if not values:
         return None  # SQL: SUM over an empty group is NULL, not 0.
     total = values[0]
@@ -37,6 +46,7 @@ def agg_count(values: Sequence) -> int:
 
 
 def agg_avg(values: Sequence) -> Optional[object]:
+    values = _non_null(values)
     if not values:
         return None
     total = agg_sum(values)

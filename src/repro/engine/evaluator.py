@@ -52,6 +52,11 @@ def _arith(op, left, right):
     if left is None or right is None:
         return None
     if op.value == "/":
+        if right == 0:
+            # SQLite (the cross-check oracle) yields NULL for x / 0; a
+            # rewriting can hit this via e.g. SUM(S) / SUM(N) over a
+            # group whose counts sum to zero.
+            return None
         if isinstance(left, int) and isinstance(right, int):
             return Fraction(left, right)
         return left / right

@@ -158,13 +158,17 @@ def build_core(
             build: dict[tuple, list[Row]] = {}
             new_key = [rel_positions[c] for c, _b in edges]
             for row in scans[idx]:
-                build.setdefault(
-                    tuple(row[p] for p in new_key), []
-                ).append(row)
+                key = tuple(row[p] for p in new_key)
+                if None in key:
+                    continue  # SQL: NULL = anything is not true
+                build.setdefault(key, []).append(row)
             probe_key = [positions[b] for _c, b in edges]
             joined: list[Row] = []
             for row in current:
-                matches = build.get(tuple(row[p] for p in probe_key))
+                key = tuple(row[p] for p in probe_key)
+                if None in key:
+                    continue
+                matches = build.get(key)
                 if matches:
                     joined.extend(row + other for other in matches)
             current = joined

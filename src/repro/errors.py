@@ -50,6 +50,15 @@ class EvaluationError(ReproError):
     """The multiset engine could not evaluate a query block."""
 
 
+class OracleUnsupported(ReproError):
+    """The independent SQL backend cannot execute this scenario.
+
+    Raised by :mod:`repro.oracle` when the installed ``sqlite3`` lacks a
+    feature the compiled SQL needs; cross-check callers treat it as a
+    skip-with-reason, never as a mismatch.
+    """
+
+
 class RewriteError(ReproError):
     """A rewriting step failed an internal consistency check.
 

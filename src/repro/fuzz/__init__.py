@@ -1,0 +1,29 @@
+"""Property-based fuzzing of rewrite soundness against the SQLite oracle.
+
+``repro fuzz`` drives :func:`repro.fuzz.generate.fuzz_scenario` —
+adversarial (query, views, database) triples beyond what
+``workloads.random_queries`` produces — through the cross-backend oracle
+(:mod:`repro.oracle`). Any mismatch is delta-debugged down to a minimal
+replayable JSON repro (``repro fuzz --replay <file>``); see
+``docs/oracle.md``.
+"""
+
+from .generate import PROFILES, fuzz_scenario
+from .mutations import BUG_NAMES, inject_bug
+from .runner import FuzzRunner, FuzzStats, replay
+from .serialize import scenario_from_json, scenario_to_json
+from .shrink import ShrinkResult, shrink_scenario
+
+__all__ = [
+    "BUG_NAMES",
+    "FuzzRunner",
+    "FuzzStats",
+    "PROFILES",
+    "fuzz_scenario",
+    "inject_bug",
+    "replay",
+    "scenario_from_json",
+    "scenario_to_json",
+    "ShrinkResult",
+    "shrink_scenario",
+]

@@ -1,0 +1,243 @@
+"""Adversarial scenario generation for the fuzzing loop.
+
+``workloads.random_queries.random_scenario`` optimizes for *plausible*
+(query, view) pairs; this module perturbs those scenarios toward the
+regions where evaluator and rewriter bugs hide:
+
+* ``empty_db`` / ``empty_table`` — empty relations (scalar aggregates
+  over nothing, NULL-valued view rows feeding outer aggregates);
+* ``single_row`` — minimal non-empty instances;
+* ``all_dups`` — one distinct row duplicated many times (multiset
+  semantics, COUNT/SUM multiplicity bugs);
+* ``boundary`` — instance values drawn from the constants appearing in
+  the scenario's WHERE/HAVING predicates, ±1 (predicates that straddle);
+* ``empty_groups`` — an extra selective predicate so the core table (and
+  hence every group) is empty or nearly so;
+* ``distinct`` — DISTINCT projection queries (set-semantics path);
+* ``scalar_agg`` — aggregation without GROUP BY (the
+  one-row-even-when-empty rule);
+* ``nulls`` — SQL NULLs sprinkled through the base data (aggregates must
+  skip them, comparisons must be not-true, ``COUNT(c) != COUNT(*)``).
+
+Every profile is deterministic in the seed, and all of them reuse the
+``Scenario`` container so the oracle, shrinker and serializer need no
+special cases.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..blocks.exprs import AggFunc, Aggregate, aggregates_in
+from ..blocks.query_block import QueryBlock, SelectItem
+from ..blocks.terms import Comparison, Constant, Op
+from ..errors import NormalizationError
+from ..workloads.random_queries import Scenario, random_scenario
+
+PROFILES = (
+    "baseline",
+    "empty_db",
+    "empty_table",
+    "single_row",
+    "all_dups",
+    "boundary",
+    "empty_groups",
+    "distinct",
+    "scalar_agg",
+    "nulls",
+)
+
+
+def fuzz_scenario(seed: int) -> Scenario:
+    """A deterministic adversarial scenario; the profile rotates by seed."""
+    profile = PROFILES[seed % len(PROFILES)]
+    return _build(profile, seed)
+
+
+def _build(profile: str, seed: int) -> Scenario:
+    # A str seed hashes deterministically (unaffected by PYTHONHASHSEED),
+    # so repros replay bit-identically in any process.
+    rng = random.Random(f"fuzz:{profile}:{seed}")
+    base = random_scenario(seed)
+    mutate = _MUTATORS[profile]
+    return mutate(base, rng)
+
+
+# ----------------------------------------------------------------------
+# Instance mutators
+# ----------------------------------------------------------------------
+
+
+def _baseline(scenario: Scenario, rng: random.Random) -> Scenario:
+    return scenario
+
+
+def _empty_db(scenario: Scenario, rng: random.Random) -> Scenario:
+    scenario.instance = {name: [] for name in scenario.instance}
+    return scenario
+
+
+def _empty_table(scenario: Scenario, rng: random.Random) -> Scenario:
+    names = sorted(scenario.instance)
+    victim = rng.choice(names)
+    scenario.instance[victim] = []
+    return scenario
+
+
+def _single_row(scenario: Scenario, rng: random.Random) -> Scenario:
+    for name, schema in scenario.catalog.tables.items():
+        scenario.instance[name] = [
+            tuple(rng.randrange(3) for _ in schema.columns)
+        ]
+    return scenario
+
+
+def _all_dups(scenario: Scenario, rng: random.Random) -> Scenario:
+    for name, schema in scenario.catalog.tables.items():
+        row = tuple(rng.randrange(2) for _ in schema.columns)
+        scenario.instance[name] = [row] * rng.randint(2, 6)
+    return scenario
+
+
+def _predicate_constants(scenario: Scenario) -> list[int]:
+    """Every integer constant appearing in any WHERE/HAVING of the scenario."""
+    out: list[int] = []
+    blocks = [scenario.query] + [v.block for v in scenario.views]
+    for block in blocks:
+        for atom in tuple(block.where) + tuple(block.having):
+            for side in (atom.left, atom.right):
+                if isinstance(side, Constant) and isinstance(side.value, int):
+                    out.append(side.value)
+    return out
+
+
+def _boundary(scenario: Scenario, rng: random.Random) -> Scenario:
+    constants = _predicate_constants(scenario) or [0, 1]
+    pool = sorted(
+        {c + delta for c in constants for delta in (-1, 0, 1)} | {0, 1}
+    )
+    for name, schema in scenario.catalog.tables.items():
+        scenario.instance[name] = [
+            tuple(rng.choice(pool) for _ in schema.columns)
+            for _ in range(rng.randrange(7))
+        ]
+    return scenario
+
+
+# ----------------------------------------------------------------------
+# Query mutators
+# ----------------------------------------------------------------------
+
+
+def _empty_groups(scenario: Scenario, rng: random.Random) -> Scenario:
+    """Append a selective predicate so most (often all) rows are filtered."""
+    query = scenario.query
+    columns = [c for rel in query.from_ for c in rel.columns]
+    if not columns:
+        return scenario
+    atom = Comparison(
+        rng.choice(columns),
+        rng.choice([Op.GT, Op.EQ]),
+        Constant(rng.choice([7, 9, 50])),
+    )
+    try:
+        scenario.query = query.with_(where=query.where + (atom,)).validate()
+    except NormalizationError:
+        pass
+    return scenario
+
+
+def _distinct(scenario: Scenario, rng: random.Random) -> Scenario:
+    """Force a DISTINCT projection query (the set-semantics path)."""
+    query = scenario.query
+    columns = [c for rel in query.from_ for c in rel.columns]
+    n_sel = rng.randint(1, min(3, len(columns)))
+    try:
+        scenario.query = QueryBlock(
+            select=tuple(
+                SelectItem(c) for c in rng.sample(columns, n_sel)
+            ),
+            from_=query.from_,
+            where=query.where,
+            distinct=True,
+        ).validate()
+    except NormalizationError:
+        pass
+    return scenario
+
+
+def _scalar_agg(scenario: Scenario, rng: random.Random) -> Scenario:
+    """No GROUP BY: one output row even over an empty core table."""
+    query = scenario.query
+    aggs = [
+        agg
+        for item in query.select
+        for agg in aggregates_in(item.expr)
+    ]
+    if not aggs:
+        columns = [c for rel in query.from_ for c in rel.columns]
+        aggs = [
+            Aggregate(rng.choice(list(_AGG_POOL)), rng.choice(columns))
+        ]
+    select = tuple(
+        SelectItem(agg, alias=f"agg{i}") for i, agg in enumerate(aggs)
+    )
+    try:
+        scenario.query = QueryBlock(
+            select=select,
+            from_=query.from_,
+            where=query.where,
+        ).validate()
+    except NormalizationError:
+        pass
+    if rng.random() < 0.5:
+        # Half the time over a (near-)empty core: the empty-group rule.
+        scenario = _empty_groups(scenario, rng)
+    return scenario
+
+
+def _nulls(scenario: Scenario, rng: random.Random) -> Scenario:
+    """Sprinkle SQL NULLs through the base data (roughly one cell in
+    three), guaranteeing at least one NULL somewhere when any rows exist."""
+    hit = False
+    for name in sorted(scenario.instance):
+        rows = []
+        for row in scenario.instance[name]:
+            row = tuple(
+                None if rng.random() < 0.3 else value for value in row
+            )
+            hit = hit or None in row
+            rows.append(row)
+        scenario.instance[name] = rows
+    if not hit:
+        for name in sorted(scenario.instance):
+            if scenario.instance[name]:
+                first = scenario.instance[name][0]
+                scenario.instance[name][0] = (None,) + tuple(first[1:])
+                break
+    return scenario
+
+
+_AGG_POOL = (AggFunc.SUM, AggFunc.COUNT, AggFunc.MIN, AggFunc.MAX, AggFunc.AVG)
+
+_MUTATORS = {
+    "baseline": _baseline,
+    "empty_db": _empty_db,
+    "empty_table": _empty_table,
+    "single_row": _single_row,
+    "all_dups": _all_dups,
+    "boundary": _boundary,
+    "empty_groups": _empty_groups,
+    "distinct": _distinct,
+    "scalar_agg": _scalar_agg,
+    "nulls": _nulls,
+}
+
+
+def iter_scenarios(base_seed: int) -> Iterator[Scenario]:
+    """Endless deterministic scenario stream starting at ``base_seed``."""
+    seed = base_seed
+    while True:
+        yield fuzz_scenario(seed)
+        seed += 1

@@ -1,0 +1,85 @@
+"""Replayable JSON repros for fuzz failures.
+
+A repro stores the catalog's base tables, the views and query as SQL
+text, and the concrete database instance. Deserialization re-parses the
+SQL through the repo's own parser — legitimate because
+``parse(print(q))`` round-trips structurally (property-pinned in
+``tests/sqlparser/test_roundtrip_fuzz.py``), so the replayed scenario is
+the shrunk scenario.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from ..blocks.normalize import parse_query, parse_view
+from ..blocks.to_sql import block_to_sql, view_to_sql
+from ..catalog.schema import Catalog, table
+from ..workloads.random_queries import Scenario
+
+#: Versioned schema tag, mirroring the repro-api/1 convention.
+FUZZ_SCHEMA = "repro-fuzz/1"
+
+
+def scenario_to_json(scenario: Scenario, **extra) -> dict:
+    """A JSON-able dict fully describing a scenario (plus ``extra`` keys)."""
+    doc = {
+        "schema": FUZZ_SCHEMA,
+        "seed": scenario.seed,
+        "tables": [
+            {
+                "name": schema.name,
+                "columns": list(schema.columns),
+                "keys": [sorted(key) for key in schema.keys],
+                "row_count": schema.row_count,
+            }
+            for schema in scenario.catalog.tables.values()
+        ],
+        "views": [view_to_sql(view) for view in scenario.views],
+        "query": block_to_sql(scenario.query),
+        "instance": {
+            name: [list(row) for row in rows]
+            for name, rows in scenario.instance.items()
+        },
+    }
+    doc.update(extra)
+    return doc
+
+
+def scenario_from_json(doc: Union[dict, str]) -> Scenario:
+    """Rebuild a scenario from :func:`scenario_to_json` output."""
+    if isinstance(doc, str):
+        doc = json.loads(doc)
+    if doc.get("schema") != FUZZ_SCHEMA:
+        raise ValueError(
+            f"not a {FUZZ_SCHEMA} document (schema={doc.get('schema')!r})"
+        )
+    catalog = Catalog(
+        [
+            table(
+                spec["name"],
+                spec["columns"],
+                keys=[tuple(k) for k in spec.get("keys", [])],
+                row_count=spec.get("row_count", 1000),
+            )
+            for spec in doc["tables"]
+        ]
+    )
+    views = []
+    for sql in doc["views"]:
+        view = parse_view(sql, catalog)
+        catalog.add_view(view)
+        views.append(view)
+    query = parse_query(doc["query"], catalog)
+    instance = {
+        name: [tuple(row) for row in rows]
+        for name, rows in doc["instance"].items()
+    }
+    return Scenario(
+        seed=doc.get("seed", 0),
+        catalog=catalog,
+        query=query,
+        views=views,
+        instance=instance,
+    )

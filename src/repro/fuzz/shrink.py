@@ -1,0 +1,211 @@
+"""Delta-debugging shrinker for failing fuzz scenarios.
+
+Greedy fixpoint minimization: drop views, then ddmin the instance rows
+per table, then drop WHERE/HAVING atoms from the query and the views —
+keeping every candidate only if the failure predicate still holds. The
+predicate re-runs the full cross-check (including re-searching for
+rewritings on the shrunk scenario), so a kept candidate is a genuine
+smaller repro, not a stale one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..blocks.query_block import QueryBlock, ViewDef
+from ..catalog.schema import Catalog
+from ..errors import NormalizationError
+from ..workloads.random_queries import Scenario
+
+FailurePredicate = Callable[[Scenario], bool]
+
+
+@dataclass
+class ShrinkResult:
+    scenario: Scenario
+    iterations: int
+    rows_before: int
+    rows_after: int
+    views_before: int
+    views_after: int
+
+
+def _total_rows(scenario: Scenario) -> int:
+    return sum(len(rows) for rows in scenario.instance.values())
+
+
+def _rebuild(
+    base: Scenario,
+    views: Sequence[ViewDef],
+    query: QueryBlock,
+    instance: dict,
+) -> Scenario:
+    """A fresh scenario (own catalog) with the given parts swapped in."""
+    catalog = Catalog(list(base.catalog.tables.values()))
+    for view in views:
+        catalog.add_view(view)
+    return Scenario(
+        seed=base.seed,
+        catalog=catalog,
+        query=query,
+        views=list(views),
+        instance={name: list(rows) for name, rows in instance.items()},
+    )
+
+
+class _Shrinker:
+    def __init__(self, still_fails: FailurePredicate, max_checks: int):
+        self.still_fails = still_fails
+        self.max_checks = max_checks
+        self.checks = 0
+
+    def fails(self, candidate: Scenario) -> bool:
+        if self.checks >= self.max_checks:
+            return False
+        self.checks += 1
+        try:
+            return self.still_fails(candidate)
+        except Exception:
+            # A candidate that crashes the checker is not a usable repro.
+            return False
+
+    # ------------------------------------------------------------------
+
+    def drop_views(self, current: Scenario) -> Scenario:
+        changed = True
+        while changed:
+            changed = False
+            for i in range(len(current.views) - 1, -1, -1):
+                views = current.views[:i] + current.views[i + 1:]
+                candidate = _rebuild(
+                    current, views, current.query, current.instance
+                )
+                if self.fails(candidate):
+                    current = candidate
+                    changed = True
+        return current
+
+    def ddmin_rows(self, current: Scenario) -> Scenario:
+        for name in sorted(current.instance):
+            rows = list(current.instance[name])
+            # Try empty first — the cheapest big win.
+            for subset in ([],):
+                candidate = self._with_rows(current, name, subset)
+                if self.fails(candidate):
+                    current = candidate
+                    rows = subset
+                    break
+            chunk = max(1, len(rows) // 2)
+            while chunk >= 1 and rows:
+                reduced = False
+                start = 0
+                while start < len(rows):
+                    subset = rows[:start] + rows[start + chunk:]
+                    candidate = self._with_rows(current, name, subset)
+                    if self.fails(candidate):
+                        current = candidate
+                        rows = subset
+                        reduced = True
+                    else:
+                        start += chunk
+                if chunk == 1 and not reduced:
+                    break
+                chunk = chunk // 2 if chunk > 1 else (1 if reduced else 0)
+        return current
+
+    @staticmethod
+    def _with_rows(current: Scenario, name: str, rows: list) -> Scenario:
+        instance = {n: list(r) for n, r in current.instance.items()}
+        instance[name] = list(rows)
+        return _rebuild(current, current.views, current.query, instance)
+
+    def drop_atoms(self, current: Scenario) -> Scenario:
+        current = self._drop_query_atoms(current, "having")
+        current = self._drop_query_atoms(current, "where")
+        for i in range(len(current.views)):
+            current = self._drop_view_atoms(current, i)
+        return current
+
+    def _drop_query_atoms(self, current: Scenario, clause: str) -> Scenario:
+        atoms = list(getattr(current.query, clause))
+        for i in range(len(atoms) - 1, -1, -1):
+            reduced = tuple(atoms[:i] + atoms[i + 1:])
+            try:
+                query = current.query.with_(**{clause: reduced}).validate()
+            except NormalizationError:
+                continue
+            candidate = _rebuild(
+                current, current.views, query, current.instance
+            )
+            if self.fails(candidate):
+                current = candidate
+                atoms = list(reduced)
+        return current
+
+    def _drop_view_atoms(self, current: Scenario, index: int) -> Scenario:
+        view = current.views[index]
+        atoms = list(view.block.where)
+        for i in range(len(atoms) - 1, -1, -1):
+            reduced = tuple(atoms[:i] + atoms[i + 1:])
+            try:
+                block = view.block.with_(where=reduced).validate()
+            except NormalizationError:
+                continue
+            new_view = ViewDef(view.name, block, view.output_names)
+            views = (
+                list(current.views[:index])
+                + [new_view]
+                + list(current.views[index + 1:])
+            )
+            candidate = _rebuild(
+                current, views, current.query, current.instance
+            )
+            if self.fails(candidate):
+                current = candidate
+                atoms = list(reduced)
+        return current
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    still_fails: FailurePredicate,
+    max_checks: int = 400,
+    rounds: int = 3,
+) -> ShrinkResult:
+    """Minimize ``scenario`` while ``still_fails`` holds.
+
+    ``max_checks`` caps the number of predicate evaluations (each one is
+    a full cross-check); ``rounds`` repeats the strategy pipeline until a
+    fixpoint or the round limit.
+    """
+    shrinker = _Shrinker(still_fails, max_checks)
+    rows_before = _total_rows(scenario)
+    views_before = len(scenario.views)
+    current = _rebuild(
+        scenario, scenario.views, scenario.query, scenario.instance
+    )
+    for _round in range(rounds):
+        before = (
+            len(current.views),
+            _total_rows(current),
+            len(current.query.where) + len(current.query.having),
+        )
+        current = shrinker.drop_views(current)
+        current = shrinker.ddmin_rows(current)
+        current = shrinker.drop_atoms(current)
+        after = (
+            len(current.views),
+            _total_rows(current),
+            len(current.query.where) + len(current.query.having),
+        )
+        if after == before:
+            break
+    return ShrinkResult(
+        scenario=current,
+        iterations=shrinker.checks,
+        rows_before=rows_before,
+        rows_after=_total_rows(current),
+        views_before=views_before,
+        views_after=len(current.views),
+    )

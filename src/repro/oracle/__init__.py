@@ -1,0 +1,26 @@
+"""Cross-backend execution oracle.
+
+The repro engine (:mod:`repro.engine`) is both the evaluator *and* the
+referee of every soundness check, so a bug shared by the evaluator and
+the rewriter is invisible to the in-repo harnesses. This package lowers
+:class:`~repro.blocks.query_block.QueryBlock`\\ s to standard SQL executed
+on stdlib ``sqlite3`` — an independently implemented backend — and
+asserts multiset-equality of the query, every view materialization and
+every produced rewriting across the two engines (see ``docs/oracle.md``).
+"""
+
+from .crosscheck import CheckReport, CrossChecker, Mismatch, check_scenario
+from .sqlite import SQLiteBackend, compile_block
+from .values import normalize_row, normalize_value, rows_multiset_equal
+
+__all__ = [
+    "CheckReport",
+    "CrossChecker",
+    "Mismatch",
+    "SQLiteBackend",
+    "check_scenario",
+    "compile_block",
+    "normalize_row",
+    "normalize_value",
+    "rows_multiset_equal",
+]

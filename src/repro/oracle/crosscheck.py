@@ -1,0 +1,271 @@
+"""Cross-backend multiset-equality checking of queries and rewritings.
+
+For one scenario (query, views, database instance) the checker runs, on
+both the repro engine and SQLite:
+
+1. every catalog view's materialization,
+2. the query directly over the base tables,
+3. every produced rewriting over the materialized views,
+
+and demands multiset-equality (a) between the two backends for each of
+those, and (b) between each rewriting and the original query *within*
+each backend. Check (b) on SQLite is the fully independent soundness
+oracle: it involves the repro engine nowhere.
+
+One deliberate boundary: when the *base data* contains SQL NULLs, check
+(b) is recorded as skipped rather than enforced. The paper's rewriting
+theorems assume NULL-free base relations — a view's ``COUNT(B)`` output
+is used as the group cardinality, which SQL's NULL-skipping COUNT
+violates the moment B itself is NULL — so a (b)-disagreement there is a
+property of the model, not a bug. Check (a) has no such excuse: the
+engine claims SQL semantics, NULLs included, and is held to them.
+
+Failures never raise — they are collected as :class:`Mismatch` records so
+the fuzzer can shrink and persist them. Only a genuinely unsupported
+backend feature raises :class:`~repro.errors.OracleUnsupported`, which
+callers treat as skip-with-reason.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..blocks.query_block import QueryBlock
+from ..core.multiview import all_rewritings
+from ..core.result import Rewriting
+from ..engine.database import Database
+from ..errors import OracleUnsupported, ReproError
+from ..obs.budget import BudgetMeter, SearchBudget
+from .sqlite import SQLiteBackend, compile_block
+from .values import rows_multiset, rows_multiset_equal
+
+
+@dataclass
+class Mismatch:
+    """One disagreement between backends (or backends and themselves)."""
+
+    context: str
+    left_label: str
+    right_label: str
+    left_rows: list
+    right_rows: list
+    sql: str = ""
+    note: str = ""
+
+    def describe(self) -> str:
+        lines = [f"MISMATCH [{self.context}] {self.left_label} vs {self.right_label}"]
+        if self.note:
+            lines.append(f"  note: {self.note}")
+        if self.sql:
+            lines.append("  sql: " + self.sql.replace("\n", " "))
+        lines.append(f"  {self.left_label}: {sorted(map(str, self.left_rows))}")
+        lines.append(f"  {self.right_label}: {sorted(map(str, self.right_rows))}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one scenario cross-check."""
+
+    mismatches: list[Mismatch] = field(default_factory=list)
+    checks: int = 0
+    rewritings: int = 0
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"ok: {self.checks} checks, {self.rewritings} rewritings, "
+                f"{len(self.skipped)} skipped"
+            )
+        return "\n".join(m.describe() for m in self.mismatches)
+
+
+class CrossChecker:
+    """Runs scenarios through the engine and SQLite and compares."""
+
+    def __init__(self, max_rewritings: Optional[int] = None):
+        #: Cap on rewritings checked per scenario (None = all). The fuzz
+        #: loop uses a cap so one view-rich scenario cannot eat the budget.
+        self.max_rewritings = max_rewritings
+
+    # ------------------------------------------------------------------
+
+    def check(
+        self,
+        scenario,
+        rewritings: Optional[Sequence[Rewriting]] = None,
+        budget: Optional[Union[SearchBudget, BudgetMeter]] = None,
+    ) -> CheckReport:
+        """Cross-check one :class:`~repro.workloads.random_queries.Scenario`.
+
+        ``rewritings`` defaults to the full ``all_rewritings`` search;
+        passing a ``budget`` exercises the degraded search path (partial
+        result sets must still be sound).
+        """
+        report = CheckReport()
+        db = Database(scenario.catalog, scenario.instance)
+        null_base = any(
+            value is None
+            for rows in scenario.instance.values()
+            for row in rows
+            for value in row
+        )
+        with SQLiteBackend() as backend:
+            for name, schema in scenario.catalog.tables.items():
+                backend.create_table(name, schema.columns)
+                backend.load_rows(name, scenario.instance.get(name, []))
+
+            for view in scenario.views:
+                self._check_view(report, db, backend, view)
+
+            engine_q, sqlite_q = self._check_query(
+                report, db, backend, scenario.query
+            )
+            if null_base:
+                engine_q = sqlite_q = None
+                report.skipped.append(
+                    "rewriting-vs-query: NULL base data is outside the "
+                    "rewriting model (backend agreement still enforced)"
+                )
+
+            if rewritings is None:
+                rewritings = self._search(scenario, budget)
+            if self.max_rewritings is not None:
+                rewritings = list(rewritings)[: self.max_rewritings]
+            for i, rewriting in enumerate(rewritings):
+                self._check_rewriting(
+                    report, db, backend, rewriting, i, engine_q, sqlite_q
+                )
+                report.rewritings += 1
+        return report
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _search(scenario, budget) -> list[Rewriting]:
+        meter = budget.start() if isinstance(budget, SearchBudget) else budget
+        return all_rewritings(
+            scenario.query,
+            scenario.views,
+            scenario.catalog,
+            use_planner=True,
+            budget=meter,
+        )
+
+    def _check_view(self, report, db, backend, view) -> None:
+        report.checks += 1
+        context = f"view {view.name}"
+        sql = compile_block(view.block)
+        try:
+            sqlite_rows = backend.materialize_view(view)
+        except sqlite3.Error as error:
+            report.mismatches.append(
+                Mismatch(context, "engine", "sqlite", [], [],
+                         sql=sql, note=f"sqlite error: {error}")
+            )
+            return
+        try:
+            engine_rows = db.materialize(view.name).rows
+        except ReproError as error:
+            report.mismatches.append(
+                Mismatch(context, "engine", "sqlite", [], sqlite_rows,
+                         sql=sql, note=f"engine error: {error}")
+            )
+            return
+        if not rows_multiset_equal(engine_rows, sqlite_rows):
+            report.mismatches.append(
+                Mismatch(context, "engine", "sqlite",
+                         engine_rows, sqlite_rows, sql=sql)
+            )
+
+    def _check_query(
+        self, report, db, backend, query: QueryBlock
+    ) -> tuple[Optional[list], Optional[list]]:
+        report.checks += 1
+        sql = compile_block(query)
+        engine_rows: Optional[list] = None
+        sqlite_rows: Optional[list] = None
+        note = ""
+        try:
+            engine_rows = db.execute(query).rows
+        except ReproError as error:
+            note = f"engine error: {error}"
+        try:
+            sqlite_rows = backend.execute_block(query)
+        except sqlite3.Error as error:
+            note = (note + "; " if note else "") + f"sqlite error: {error}"
+        if note or not rows_multiset_equal(engine_rows or [], sqlite_rows or []):
+            report.mismatches.append(
+                Mismatch("query", "engine", "sqlite",
+                         engine_rows or [], sqlite_rows or [],
+                         sql=sql, note=note)
+            )
+        return engine_rows, sqlite_rows
+
+    def _check_rewriting(
+        self, report, db, backend, rewriting, index, engine_q, sqlite_q
+    ) -> None:
+        context = f"rewriting[{index}] using {','.join(rewriting.view_names)}"
+        sql = rewriting.sql()
+        engine_rows: Optional[list] = None
+        sqlite_rows: Optional[list] = None
+        note = ""
+        try:
+            engine_rows = db.execute(
+                rewriting.query, extra_views=rewriting.extra_views()
+            ).rows
+        except ReproError as error:
+            note = f"engine error: {error}"
+        try:
+            for aux in rewriting.aux_views:
+                backend.create_local_view(aux)
+            sqlite_rows = backend.execute_block(rewriting.query)
+        except sqlite3.Error as error:
+            note = (note + "; " if note else "") + f"sqlite error: {error}"
+        finally:
+            backend.drop_local_views()
+
+        report.checks += 1
+        if note or not rows_multiset_equal(engine_rows or [], sqlite_rows or []):
+            report.mismatches.append(
+                Mismatch(context, "engine", "sqlite",
+                         engine_rows or [], sqlite_rows or [],
+                         sql=sql, note=note)
+            )
+            return
+        # Pure-independent soundness: the rewriting must equal the query
+        # on SQLite alone (the repro engine is not involved at all).
+        report.checks += 1
+        if sqlite_q is not None and sqlite_rows is not None:
+            if not rows_multiset_equal(sqlite_rows, sqlite_q):
+                report.mismatches.append(
+                    Mismatch(f"{context} vs query", "sqlite rewriting",
+                             "sqlite query", sqlite_rows, sqlite_q, sql=sql)
+                )
+        # And within the engine (the existing differential guarantee).
+        report.checks += 1
+        if engine_q is not None and engine_rows is not None:
+            if not rows_multiset_equal(engine_rows, engine_q):
+                report.mismatches.append(
+                    Mismatch(f"{context} vs query", "engine rewriting",
+                             "engine query", engine_rows, engine_q, sql=sql)
+                )
+
+
+def check_scenario(
+    scenario,
+    rewritings: Optional[Sequence[Rewriting]] = None,
+    budget: Optional[Union[SearchBudget, BudgetMeter]] = None,
+    max_rewritings: Optional[int] = None,
+) -> CheckReport:
+    """Convenience wrapper: one-shot :class:`CrossChecker` run."""
+    return CrossChecker(max_rewritings=max_rewritings).check(
+        scenario, rewritings=rewritings, budget=budget
+    )

@@ -1,0 +1,55 @@
+"""Value normalization for cross-backend result comparison.
+
+The repro engine computes exact rationals (AVG and ``/`` over integers
+yield :class:`fractions.Fraction`), while SQLite returns REAL. Comparing
+raw rows would flag ``Fraction(2, 3) != 0.6666…`` as a soundness bug, so
+both sides are normalized before the multiset comparison: every float is
+lifted back to the nearest small-denominator rational.
+
+``limit_denominator(10**9)`` recovers the exact rational whenever the
+true denominator is small — here it is bounded by the group size, a few
+hundred rows at most — so the comparison stays *exact*, not tolerance
+based: two genuinely different aggregate results are never conflated.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+#: Largest denominator recovered from a float; far above any group size
+#: the generators produce, far below where float noise could alias.
+_MAX_DENOMINATOR = 10**9
+
+
+def normalize_value(value: object) -> object:
+    """A backend-independent comparison key for one cell value."""
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return Fraction(int(value))
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            return value
+        return Fraction(value).limit_denominator(_MAX_DENOMINATOR)
+    return value
+
+
+def normalize_row(row: Sequence) -> tuple:
+    return tuple(normalize_value(v) for v in row)
+
+
+def rows_multiset(rows: Iterable[Sequence]) -> Counter:
+    """The multiset of normalized rows."""
+    return Counter(normalize_row(row) for row in rows)
+
+
+def rows_multiset_equal(left: Iterable[Sequence], right: Iterable[Sequence]) -> bool:
+    """Multiset equality of two row collections, up to numeric encoding."""
+    return rows_multiset(left) == rows_multiset(right)

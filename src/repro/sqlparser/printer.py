@@ -1,7 +1,17 @@
 """Render the SQL syntax tree back to text.
 
 ``parse(print(ast)) == ast`` round-trips for every tree the parser can
-produce (property-tested in ``tests/sqlparser``).
+produce (property-tested in ``tests/sqlparser``) when printing in the
+default :data:`ANSI` dialect.
+
+A :class:`Dialect` controls the few rendering decisions that differ
+between SQL engines. The :data:`SQLITE` dialect exists for the
+cross-backend execution oracle (:mod:`repro.oracle`):
+
+* identifiers are double-quoted, so generated names can never collide
+  with SQLite keywords;
+* division casts its left operand to REAL, because SQLite's ``/``
+  truncates integers while the repro engine (and SQL'92) divides exactly.
 """
 
 from __future__ import annotations
@@ -20,56 +30,107 @@ from .ast import (
 )
 
 
-def print_expr(expr: SqlExpr) -> str:
-    if isinstance(expr, (ColumnRef, Literal, Star)):
+class Dialect:
+    """Rendering decisions of the default (ANSI-ish, re-parseable) output."""
+
+    name = "ansi"
+
+    def ident(self, name: str) -> str:
+        return name
+
+    def column(self, ref: ColumnRef) -> str:
+        if ref.qualifier:
+            return f"{self.ident(ref.qualifier)}.{self.ident(ref.name)}"
+        return self.ident(ref.name)
+
+    def division(self, left: str, right: str) -> str:
+        return f"({left} / {right})"
+
+
+class SqliteDialect(Dialect):
+    """SQLite quirks: quoted identifiers and non-truncating division."""
+
+    name = "sqlite"
+
+    def ident(self, name: str) -> str:
+        return '"' + name.replace('"', '""') + '"'
+
+    def division(self, left: str, right: str) -> str:
+        # SQLite's / truncates INTEGER operands; the engine divides
+        # exactly. CAST the numerator so the result is REAL either way.
+        return f"(CAST({left} AS REAL) / {right})"
+
+
+ANSI = Dialect()
+SQLITE = SqliteDialect()
+
+
+def print_expr(expr: SqlExpr, dialect: Dialect = ANSI) -> str:
+    if isinstance(expr, ColumnRef):
+        return dialect.column(expr)
+    if isinstance(expr, (Literal, Star)):
         return str(expr)
     if isinstance(expr, FuncCall):
-        return f"{expr.name}({print_expr(expr.arg)})"
+        return f"{expr.name}({print_expr(expr.arg, dialect)})"
     if isinstance(expr, BinOp):
-        return f"({print_expr(expr.left)} {expr.op} {print_expr(expr.right)})"
+        left = print_expr(expr.left, dialect)
+        right = print_expr(expr.right, dialect)
+        if expr.op == "/":
+            return dialect.division(left, right)
+        return f"({left} {expr.op} {right})"
     raise TypeError(f"not a SQL expression: {expr!r}")
 
 
-def print_comparison(atom: SqlComparison) -> str:
-    return f"{print_expr(atom.left)} {atom.op} {print_expr(atom.right)}"
+def print_comparison(atom: SqlComparison, dialect: Dialect = ANSI) -> str:
+    left = print_expr(atom.left, dialect)
+    right = print_expr(atom.right, dialect)
+    return f"{left} {atom.op} {right}"
 
 
-def print_select(stmt: SelectStmt, indent: str = "") -> str:
+def print_select(
+    stmt: SelectStmt, indent: str = "", dialect: Dialect = ANSI
+) -> str:
     lines: list[str] = []
     head = "SELECT DISTINCT " if stmt.distinct else "SELECT "
     items = []
     for item in stmt.items:
-        rendered = print_expr(item.expr)
+        rendered = print_expr(item.expr, dialect)
         if item.alias:
-            rendered += f" AS {item.alias}"
+            rendered += f" AS {dialect.ident(item.alias)}"
         items.append(rendered)
     lines.append(head + ", ".join(items))
 
     tables = []
     for ref in stmt.from_tables:
         if isinstance(ref, DerivedTable):
-            inner = print_select(ref.select, indent=indent + "      ")
-            tables.append(f"({inner}) AS {ref.alias}")
+            inner = print_select(ref.select, indent=indent + "      ", dialect=dialect)
+            tables.append(f"({inner}) AS {dialect.ident(ref.alias)}")
             continue
-        rendered = ref.name
+        rendered = dialect.ident(ref.name)
         if ref.alias:
-            rendered += f" AS {ref.alias}"
+            rendered += f" AS {dialect.ident(ref.alias)}"
         tables.append(rendered)
     lines.append("FROM " + ", ".join(tables))
 
     if stmt.where:
-        lines.append("WHERE " + " AND ".join(map(print_comparison, stmt.where)))
+        lines.append(
+            "WHERE "
+            + " AND ".join(print_comparison(a, dialect) for a in stmt.where)
+        )
     if stmt.group_by:
-        lines.append("GROUP BY " + ", ".join(map(str, stmt.group_by)))
+        lines.append(
+            "GROUP BY " + ", ".join(dialect.column(c) for c in stmt.group_by)
+        )
     if stmt.having:
         lines.append(
-            "HAVING " + " AND ".join(map(print_comparison, stmt.having))
+            "HAVING "
+            + " AND ".join(print_comparison(a, dialect) for a in stmt.having)
         )
     return ("\n" + indent).join(lines)
 
 
-def print_create_view(stmt: CreateViewStmt) -> str:
-    header = f"CREATE VIEW {stmt.name}"
+def print_create_view(stmt: CreateViewStmt, dialect: Dialect = ANSI) -> str:
+    header = f"CREATE VIEW {dialect.ident(stmt.name)}"
     if stmt.columns:
-        header += " (" + ", ".join(stmt.columns) + ")"
-    return header + " AS\n" + print_select(stmt.select)
+        header += " (" + ", ".join(dialect.ident(c) for c in stmt.columns) + ")"
+    return header + " AS\n" + print_select(stmt.select, dialect=dialect)

@@ -1,0 +1,125 @@
+"""Regression: GROUP-BY-less aggregation views and empty base tables.
+
+Found by the SQLite cross-oracle (fuzz seed 4916, persisted shape in
+``tests/fuzz/test_runner.py``). A scalar aggregation view — one with
+aggregates but no GROUP BY — emits exactly one row even when its base
+relations are empty (SQL'92), while the query core it replaces would be
+empty. Substituting such a view therefore *manufactures* groups:
+
+    V1(o0, o1) = SELECT MAX(T1.c2), COUNT(T1.c3) FROM T1      -- 1 row always
+    Q  = SELECT T0.c1, AVG(T0.c0) FROM T1, T0 GROUP BY T0.c1  -- 0 rows, T1 = {}
+    Q' = SELECT T0.c1, SUM(V1.o1*T0.c0)/SUM(V1.o1) FROM V1, T0 GROUP BY T0.c1
+
+Q' returns a row per T0 group; Q returns none. The only sound regime is
+a scalar view covering the *whole* query FROM with the query itself
+GROUP-BY-less — then both sides emit exactly one row whose aggregates
+agree (COUNT is refused separately: SUM(N) over the empty core would be
+NULL where COUNT is 0).
+"""
+
+import pytest
+
+from repro import (
+    assert_equivalent,
+    enumerate_mappings,
+    parse_query,
+    parse_view,
+    try_rewrite_aggregation,
+)
+from repro.catalog.load import load_schema
+from repro.core.multiview import all_rewritings
+from repro.core.paper_va import try_rewrite_paper_va
+from repro.engine.database import Database
+
+SCHEMA = """
+CREATE TABLE T0 (c0, c1);
+CREATE TABLE T1 (c0, c1, c2, c3);
+"""
+
+SCALAR_VIEW = (
+    "CREATE VIEW V1 (o0, o1) AS "
+    "SELECT MAX(T1.c2) AS agg0, COUNT(T1.c3) AS agg1 FROM T1"
+)
+
+
+@pytest.fixture
+def catalog():
+    catalog, _ = load_schema(SCHEMA)
+    return catalog
+
+
+def attempts(query, view, rewrite=try_rewrite_aggregation):
+    return [
+        r
+        for m in enumerate_mappings(view.block, query)
+        for r in [rewrite(query, view, m)]
+        if r is not None
+    ]
+
+
+def test_scalar_view_rejected_for_grouped_query(catalog):
+    """The fuzz seed 4916 shape: grouped query, scalar view, empty base."""
+    view = parse_view(SCALAR_VIEW, catalog)
+    catalog.add_view(view)
+    query = parse_query(
+        "SELECT T0.c1, AVG(T0.c0) AS out FROM T1, T0 GROUP BY T0.c1",
+        catalog,
+    )
+    assert attempts(query, view) == []
+    assert all_rewritings(query, [view], catalog) == []
+
+    # Document the semantics the guard protects: the query itself has no
+    # groups over the empty T1, while V1 still materializes one row.
+    db = Database(catalog, {"T0": [(1, 1)], "T1": []})
+    assert db.execute(query).rows == []
+    assert db.materialize("V1").rows == [(None, 0)]
+
+
+def test_scalar_view_rejected_with_external_tables(catalog):
+    """Even a GROUP-BY-less query is unsound when other tables remain:
+    SUM(N * T0.c0) over the phantom row gives 0 where the query gives
+    NULL (empty core)."""
+    view = parse_view(SCALAR_VIEW, catalog)
+    query = parse_query(
+        "SELECT SUM(T0.c0) AS out FROM T1, T0", catalog
+    )
+    assert attempts(query, view) == []
+
+
+def test_scalar_view_sound_regime_still_rewrites(catalog):
+    """Full coverage + scalar query: both sides emit exactly one row."""
+    view = parse_view(
+        "CREATE VIEW V2 (s, n) AS "
+        "SELECT SUM(T1.c2) AS s, COUNT(T1.c2) AS n FROM T1",
+        catalog,
+    )
+    catalog.add_view(view)
+    query = parse_query("SELECT SUM(T1.c2) AS out FROM T1", catalog)
+    found = attempts(query, view)
+    assert found, "the sound scalar-over-scalar regime must survive"
+    assert_equivalent(catalog, query, found[0], trials=30, domain=3)
+
+    # The edge the guard exists for: empty base table, on both sides one
+    # row with a NULL sum.
+    db = Database(catalog, {"T0": [], "T1": []})
+    db.materialize("V2")
+    rewriting = found[0]
+    assert db.execute(query).rows == [(None,)]
+    assert (
+        db.execute(rewriting.query, extra_views=rewriting.extra_views()).rows
+        == [(None,)]
+    )
+
+
+def test_paper_va_rejects_scalar_view(catalog):
+    """The literal S4'/S5' construction has the same hole; same guard."""
+    view = parse_view(
+        "CREATE VIEW V3 (s, n) AS "
+        "SELECT SUM(T1.c2) AS s, COUNT(T1.c2) AS n FROM T1",
+        catalog,
+    )
+    query = parse_query(
+        "SELECT T0.c1, SUM(T0.c0) AS out FROM T1, T0 GROUP BY T0.c1",
+        catalog,
+    )
+    assert attempts(query, view, rewrite=try_rewrite_paper_va) == []

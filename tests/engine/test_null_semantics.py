@@ -1,0 +1,96 @@
+"""Regressions for SQL NULL semantics the cross-oracle surfaced.
+
+Both fixes were found by running the engine against stdlib sqlite3
+(:mod:`repro.oracle`): aggregates must *skip* NULLs (an all-NULL input
+behaves like an empty one), and division by zero yields NULL rather than
+raising — rewritings routinely build ``SUM(S) / SUM(N)`` where a group's
+counts can sum to zero.
+"""
+
+from fractions import Fraction
+
+from repro.blocks.exprs import AggFunc
+from repro.blocks.normalize import parse_query
+from repro.catalog.load import load_schema
+from repro.engine.aggregates import apply_aggregate
+from repro.engine.database import Database
+
+
+class TestNullSkippingAggregates:
+    def test_all_null_input_behaves_as_empty(self):
+        values = [None, None]
+        assert apply_aggregate(AggFunc.SUM, values) is None
+        assert apply_aggregate(AggFunc.MIN, values) is None
+        assert apply_aggregate(AggFunc.MAX, values) is None
+        assert apply_aggregate(AggFunc.AVG, values) is None
+        assert apply_aggregate(AggFunc.COUNT, values) == 0
+
+    def test_nulls_are_skipped_not_propagated(self):
+        values = [1, None, 2]
+        assert apply_aggregate(AggFunc.SUM, values) == 3
+        assert apply_aggregate(AggFunc.COUNT, values) == 2
+        assert apply_aggregate(AggFunc.MIN, values) == 1
+        assert apply_aggregate(AggFunc.MAX, values) == 2
+        assert apply_aggregate(AggFunc.AVG, values) == Fraction(3, 2)
+
+    def test_null_column_through_a_query(self):
+        catalog, _ = load_schema("CREATE TABLE R (a, b);")
+        db = Database(catalog, {"R": [(1, None), (2, None)]})
+        query = parse_query(
+            "SELECT SUM(R.b) AS s, COUNT(R.b) AS n FROM R", catalog
+        )
+        assert db.execute(query).rows == [(None, 0)]
+
+
+class TestNullJoinKeys:
+    def test_hash_join_never_matches_null(self):
+        # SQL: NULL = NULL is not true. The hash-join planner used to
+        # match None build/probe keys (found by the nulls fuzz profile).
+        catalog, _ = load_schema("CREATE TABLE R (a); CREATE TABLE S (b);")
+        db = Database(catalog, {"R": [(None,), (1,)], "S": [(None,), (1,)]})
+        query = parse_query(
+            "SELECT R.a, S.b FROM R, S WHERE R.a = S.b", catalog
+        )
+        assert db.execute(query).rows == [(1, 1)]
+
+    def test_null_join_key_in_grouped_view(self):
+        catalog, _ = load_schema("CREATE TABLE R (a, b); CREATE TABLE S (c);")
+        db = Database(catalog, {"R": [(None, 5)], "S": [(None,)]})
+        query = parse_query(
+            "SELECT R.a, COUNT(R.b) AS n FROM R, S WHERE R.a = S.c "
+            "GROUP BY R.a",
+            catalog,
+        )
+        # Empty join -> no groups at all (not a NULL-keyed group).
+        assert db.execute(query).rows == []
+
+    def test_self_join_on_null_columns(self):
+        catalog, _ = load_schema("CREATE TABLE R (a, b);")
+        db = Database(catalog, {"R": [(2, None), (None, 1)]})
+        query = parse_query(
+            "SELECT MIN(r1.a) AS out FROM R AS r1, R AS r2 "
+            "WHERE r1.a = r2.b",
+            catalog,
+        )
+        assert db.execute(query).rows == [(None,)]
+
+
+class TestDivisionByZero:
+    def test_zero_denominator_yields_null(self):
+        # The AVG decomposition SUM(N*A)/SUM(N) with all counts zero —
+        # exactly what a rewriting evaluates over NULL-bearing view rows.
+        catalog, _ = load_schema("CREATE TABLE R (a, n);")
+        db = Database(catalog, {"R": [(5, 0), (7, 0)]})
+        query = parse_query(
+            "SELECT SUM(R.n * R.a) / SUM(R.n) AS avg FROM R", catalog
+        )
+        assert db.execute(query).rows == [(None,)]
+
+    def test_row_level_division_by_zero(self):
+        catalog, _ = load_schema("CREATE TABLE R (a, n);")
+        db = Database(catalog, {"R": [(6, 0), (6, 3)]})
+        query = parse_query("SELECT R.a / R.n AS q FROM R", catalog)
+        assert sorted(db.execute(query).rows, key=str) == [
+            (Fraction(2),),
+            (None,),
+        ]

@@ -1,0 +1,116 @@
+"""The fuzz loop end to end: mutation testing, shrinking, replay.
+
+The acceptance property for the whole oracle subsystem lives here: an
+intentionally injected evaluator bug must be *caught* by the loop and
+*shrunk* to a tiny repro (≤ 3 rows, ≤ 2 views) that replays.
+"""
+
+import json
+
+import pytest
+
+from repro.blocks.exprs import AggFunc
+from repro.engine import aggregates
+from repro.fuzz import (
+    BUG_NAMES,
+    FuzzRunner,
+    inject_bug,
+    replay,
+    scenario_from_json,
+)
+from repro.oracle import check_scenario
+
+
+def _total_rows(doc):
+    return sum(len(rows) for rows in doc["instance"].values())
+
+
+def test_clean_run_is_clean(tmp_path):
+    stats = FuzzRunner(out_dir=tmp_path).run(
+        budget_seconds=None, max_scenarios=150
+    )
+    assert stats.failures == 0, stats.as_dict()
+    assert stats.scenarios == 150
+    assert stats.rewritings > 0, "a vacuous corpus would prove nothing"
+    assert not list(tmp_path.iterdir())
+
+
+@pytest.mark.parametrize("bug", BUG_NAMES)
+def test_injected_bug_caught_and_shrunk(tmp_path, bug):
+    """Mutation test: every known-bad evaluator variant is detected and
+    the repro is minimized below the acceptance thresholds."""
+    out = tmp_path / bug
+    with inject_bug(bug):
+        stats = FuzzRunner(out_dir=out).run(
+            budget_seconds=None, max_scenarios=400, max_failures=1
+        )
+        assert stats.failures >= 1, f"{bug}: fuzzer missed the injected bug"
+        assert stats.shrink_iterations > 0
+
+        doc = json.loads(stats.failure_files[0].read_text())
+        assert _total_rows(doc) <= 3, doc
+        assert len(doc["views"]) <= 2, doc
+        assert doc["mismatches"], doc
+
+        # The persisted repro replays to a failure while the bug is in.
+        report = replay(stats.failure_files[0])
+        assert not report.ok
+
+    # ... and is clean again once the bug is reverted: the failure was
+    # the injected mutation, not the corpus.
+    report = replay(stats.failure_files[0])
+    assert report.ok, report.describe()
+
+
+def test_inject_bug_restores_dispatch():
+    original = dict(aggregates._DISPATCH)
+    with inject_bug("min-as-max"):
+        assert aggregates._DISPATCH[AggFunc.MIN] is not original[AggFunc.MIN]
+    assert aggregates._DISPATCH == original
+
+
+def test_inject_unknown_bug_rejected():
+    with pytest.raises(ValueError):
+        with inject_bug("no-such-bug"):
+            pass
+
+
+def test_tight_budget_scenarios_included(tmp_path):
+    """Every 5th seed runs under a tight SearchBudget; partial search
+    results must be checked too (they appear in the rewriting count)."""
+    stats = FuzzRunner(out_dir=tmp_path).run(
+        budget_seconds=None, max_scenarios=50
+    )
+    assert stats.failures == 0
+    assert stats.scenarios == 50
+
+
+SEED_4916_REPRO = {
+    "schema": "repro-fuzz/1",
+    "seed": 4916,
+    "tables": [
+        {"name": "T0", "columns": ["c0", "c1"], "keys": [], "row_count": 100},
+        {
+            "name": "T1",
+            "columns": ["c0", "c1", "c2", "c3"],
+            "keys": [],
+            "row_count": 100,
+        },
+    ],
+    "views": [
+        "CREATE VIEW V1 (o0, o1) AS\n"
+        "SELECT MAX(T1.c2) AS agg0, COUNT(T1.c3) AS agg1\nFROM T1"
+    ],
+    "query": "SELECT T0.c1, AVG(T0.c0) AS out\nFROM T1, T0\nGROUP BY T0.c1",
+    "instance": {"T0": [[1, 1]], "T1": []},
+}
+
+
+def test_seed_4916_regression():
+    """The first real bug the oracle found: a scalar aggregation view
+    replacing an empty base table manufactured a group (fixed in
+    repro.core.aggregate; see tests/core/test_scalar_view_soundness.py).
+    The shrunk repro must stay clean forever."""
+    scenario = scenario_from_json(SEED_4916_REPRO)
+    report = check_scenario(scenario)
+    assert report.ok, report.describe()

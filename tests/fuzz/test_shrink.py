@@ -1,0 +1,98 @@
+"""The delta-debugging shrinker, against synthetic failure predicates.
+
+Synthetic predicates make minimality assertions exact: when "fails"
+means "table R still has a row with a = 1", the minimum is one row, and
+the shrinker must find it regardless of where the row starts out.
+"""
+
+from repro import Catalog, parse_query, parse_view, table
+from repro.fuzz import shrink_scenario
+from repro.workloads.random_queries import Scenario
+
+
+def make_scenario(rows, n_views=3, where="R.a > 0 AND R.b > 0"):
+    catalog = Catalog([table("R", ["a", "b"]), table("S", ["c"])])
+    views = []
+    for i in range(n_views):
+        view = parse_view(
+            f"CREATE VIEW V{i} (a, n) AS "
+            "SELECT R.a, COUNT(R.b) FROM R GROUP BY R.a",
+            catalog,
+        )
+        catalog.add_view(view)
+        views.append(view)
+    query = parse_query(
+        f"SELECT R.a, SUM(R.b) AS s FROM R WHERE {where} GROUP BY R.a",
+        catalog,
+    )
+    return Scenario(
+        seed=0,
+        catalog=catalog,
+        query=query,
+        views=views,
+        instance={"R": rows, "S": [(9,)] * 4},
+    )
+
+
+def test_shrinks_rows_to_minimum():
+    rows = [(i % 3, i) for i in range(12)] + [(1, 99)]
+    scenario = make_scenario(rows)
+
+    def still_fails(candidate):
+        return any(r[0] == 1 and r[1] == 99 for r in candidate.instance["R"])
+
+    result = shrink_scenario(scenario, still_fails)
+    assert still_fails(result.scenario)
+    assert len(result.scenario.instance["R"]) == 1
+    assert result.scenario.instance["S"] == []
+    assert result.rows_after < result.rows_before
+    assert result.iterations > 0
+
+
+def test_drops_irrelevant_views():
+    scenario = make_scenario([(1, 99)])
+
+    def still_fails(candidate):
+        return bool(candidate.instance["R"])
+
+    result = shrink_scenario(scenario, still_fails)
+    assert result.views_after == 0
+    # The shrunk scenario's catalog must match its view list (the repro
+    # file is rebuilt from the catalog).
+    assert len(result.scenario.catalog.views) == 0
+
+
+def test_drops_redundant_predicates():
+    scenario = make_scenario([(1, 99)], where="R.a > 0 AND R.b > 7")
+
+    def still_fails(candidate):
+        return bool(candidate.instance["R"])
+
+    result = shrink_scenario(scenario, still_fails)
+    assert result.scenario.query.where == ()
+
+
+def test_respects_check_cap():
+    scenario = make_scenario([(i % 3, i) for i in range(40)])
+    calls = {"n": 0}
+
+    def still_fails(candidate):
+        calls["n"] += 1
+        return bool(candidate.instance["R"])
+
+    result = shrink_scenario(scenario, still_fails, max_checks=5)
+    assert result.iterations <= 5
+    assert calls["n"] <= 5
+
+
+def test_crashing_candidates_are_rejected():
+    scenario = make_scenario([(1, 99), (2, 5)])
+
+    def still_fails(candidate):
+        if len(candidate.instance["R"]) < 2:
+            raise RuntimeError("checker crash on this candidate")
+        return True
+
+    result = shrink_scenario(scenario, still_fails)
+    # The crash is treated as "does not fail", so both rows survive.
+    assert len(result.scenario.instance["R"]) == 2

@@ -23,7 +23,9 @@ from repro.core.canonical import canonical_key
 from repro.core.multiview import all_rewritings
 from repro.core.planner import RewritePlanner
 from repro.engine.database import Database
+from repro.errors import OracleUnsupported
 from repro.obs import SearchBudget
+from repro.oracle import check_scenario
 from repro.workloads.random_queries import random_scenario
 
 #: Seeded triples per sweep (the acceptance floor is 200+).
@@ -37,7 +39,13 @@ TIGHT_BUDGETS = (
     SearchBudget(deadline=5e-4),
 )
 
-FOUND_COUNTER = {"scenarios": 0, "rewritings": 0, "budget_trips": 0}
+FOUND_COUNTER = {
+    "scenarios": 0,
+    "rewritings": 0,
+    "budget_trips": 0,
+    "oracle_checks": 0,
+    "oracle_rewritings": 0,
+}
 
 
 def pytest_generate_tests(metafunc):
@@ -126,9 +134,27 @@ def test_budgeted_search_stays_sound(diff_seed):
                 _assert_sound(scenario, db, baseline, rewriting, context)
 
 
+def test_sqlite_cross_oracle(diff_seed):
+    """The same seeds through the *independent* backend: SQLite
+    materializes every view, runs the query and every rewriting itself,
+    and each rewriting must equal the query on SQLite alone. A bug
+    shared by the engine's evaluator and the rewriter is invisible to
+    the engine-only sweeps above; it is not invisible here."""
+    scenario = random_scenario(diff_seed)
+    try:
+        report = check_scenario(scenario)
+    except OracleUnsupported as reason:
+        pytest.skip(f"sqlite backend cannot run this scenario: {reason}")
+    FOUND_COUNTER["oracle_checks"] += report.checks
+    FOUND_COUNTER["oracle_rewritings"] += report.rewritings
+    assert report.ok, f"seed={diff_seed}\n{report.describe()}"
+
+
 def test_harness_not_vacuous():
     """Runs last in this module: the sweeps above must have produced a
     healthy number of rewritings and actually tripped some budgets."""
     assert FOUND_COUNTER["scenarios"] >= N_SCENARIOS, FOUND_COUNTER
     assert FOUND_COUNTER["rewritings"] >= 80, FOUND_COUNTER
     assert FOUND_COUNTER["budget_trips"] >= 20, FOUND_COUNTER
+    assert FOUND_COUNTER["oracle_checks"] >= 3 * N_SCENARIOS, FOUND_COUNTER
+    assert FOUND_COUNTER["oracle_rewritings"] >= 80, FOUND_COUNTER

@@ -1,0 +1,55 @@
+"""Exact cross-backend value normalization (floats back to rationals)."""
+
+import math
+from fractions import Fraction
+
+from repro.oracle import (
+    normalize_row,
+    normalize_value,
+    rows_multiset_equal,
+)
+
+
+class TestNormalizeValue:
+    def test_passthrough(self):
+        assert normalize_value(None) is None
+        assert normalize_value("x") == "x"
+
+    def test_integers_and_bools_become_fractions(self):
+        assert normalize_value(3) == Fraction(3)
+        assert normalize_value(True) == Fraction(1)
+        assert normalize_value(False) == Fraction(0)
+
+    def test_floats_recover_exact_rationals(self):
+        # SQLite's AVG of [1, 2] is 1.5; the engine computes Fraction(3, 2).
+        assert normalize_value(1.5) == Fraction(3, 2)
+        assert normalize_value(2 / 3) == Fraction(2, 3)
+        assert normalize_value(1 / 7) == Fraction(1, 7)
+
+    def test_exactness_not_tolerance(self):
+        # Two genuinely different aggregate results must stay different.
+        assert normalize_value(1 / 3) != normalize_value(0.3334)
+
+    def test_nonfinite_floats_survive(self):
+        assert math.isnan(normalize_value(float("nan")))
+        assert normalize_value(float("inf")) == float("inf")
+
+
+class TestRowsMultisetEqual:
+    def test_order_insensitive(self):
+        assert rows_multiset_equal([(1, 2), (3, 4)], [(3, 4), (1, 2)])
+
+    def test_multiplicity_sensitive(self):
+        assert not rows_multiset_equal([(1,), (1,)], [(1,)])
+
+    def test_cross_backend_numeric_encoding(self):
+        engine = [(Fraction(3, 2), 2)]
+        sqlite = [(1.5, 2)]
+        assert rows_multiset_equal(engine, sqlite)
+
+    def test_normalize_row(self):
+        assert normalize_row((1, None, 0.5)) == (
+            Fraction(1),
+            None,
+            Fraction(1, 2),
+        )

@@ -1,0 +1,68 @@
+"""Property: ``parse(print(q))`` round-trips for fuzz-generated blocks.
+
+The fuzz repro format (:mod:`repro.fuzz.serialize`) stores queries and
+views as SQL *text* and re-parses them on replay. That is only a
+faithful persistence format if printing then parsing yields a
+structurally equal block — equal up to the global renaming and FROM
+order that :func:`repro.core.canonical.canonical_key` quotients away.
+This module pins that property over the adversarial fuzz corpus itself
+(every profile: empty databases, DISTINCT, scalar aggregation, boundary
+constants, ...), including the queries produced *by the rewriter*.
+"""
+
+import pytest
+
+from repro.blocks.normalize import parse_query, parse_view
+from repro.blocks.to_sql import block_to_sql, view_to_sql
+from repro.core.canonical import canonical_key
+from repro.core.multiview import all_rewritings
+from repro.fuzz import fuzz_scenario
+
+N_SEEDS = 120
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_query_roundtrip(seed):
+    scenario = fuzz_scenario(seed)
+    sql = block_to_sql(scenario.query)
+    reparsed = parse_query(sql, scenario.catalog)
+    assert canonical_key(reparsed) == canonical_key(scenario.query), (
+        f"seed={seed}: parse(print(q)) changed the query\n{sql}"
+    )
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_view_roundtrip(seed):
+    scenario = fuzz_scenario(seed)
+    for view in scenario.views:
+        sql = view_to_sql(view)
+        reparsed = parse_view(sql, scenario.catalog)
+        assert reparsed.output_names == view.output_names, (
+            f"seed={seed}: output names drifted\n{sql}"
+        )
+        assert canonical_key(reparsed.block) == canonical_key(view.block), (
+            f"seed={seed}: parse(print(v)) changed view {view.name}\n{sql}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(0, N_SEEDS * 4, 4))
+def test_rewriting_roundtrip(seed):
+    """Rewriter output (weighted sums, AVG quotients, Va joins) is the
+    hard case: it exercises arithmetic-over-aggregate printing that
+    hand-written queries rarely do."""
+    scenario = fuzz_scenario(seed)
+    rewritings = all_rewritings(
+        scenario.query, scenario.views, scenario.catalog, use_planner=True
+    )
+    for rewriting in rewritings:
+        catalog = scenario.catalog
+        for aux in rewriting.aux_views:
+            # Va views read the base view; register them so the reparse
+            # can resolve their names.
+            if aux.name not in catalog.views:
+                catalog.add_view(aux)
+        sql = block_to_sql(rewriting.query)
+        reparsed = parse_query(sql, catalog)
+        assert canonical_key(reparsed) == canonical_key(rewriting.query), (
+            f"seed={seed}: parse(print(q')) changed the rewriting\n{sql}"
+        )

@@ -180,3 +180,82 @@ class TestAdvise:
     def test_empty_workload_errors(self, schema_file, capsys):
         code = main(["advise", "--schema", schema_file])
         assert code == 2
+
+
+class TestFuzz:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--max-scenarios",
+                "40",
+                "--seed",
+                "7",
+                "--out-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        assert "0 failures" in capsys.readouterr().out
+        assert not (tmp_path / "out").exists()
+
+    def test_injected_bug_caught_and_replayable(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        code = main(
+            [
+                "fuzz",
+                "--inject-bug",
+                "min-as-max",
+                "--max-scenarios",
+                "400",
+                "--max-failures",
+                "1",
+                "--out-dir",
+                str(out_dir),
+            ]
+        )
+        assert code == 1
+        repros = sorted(out_dir.glob("*.json"))
+        assert len(repros) == 1
+        capsys.readouterr()
+
+        # The repro passes on the healthy engine...
+        assert main(["fuzz", "--replay", str(repros[0])]) == 0
+        assert capsys.readouterr().out.startswith("ok:")
+        # ...and still fails with the same bug injected at replay time.
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--replay",
+                    str(repros[0]),
+                    "--inject-bug",
+                    "min-as-max",
+                ]
+            )
+            == 1
+        )
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_json_stats_document(self, tmp_path, capsys):
+        import json as jsonlib
+
+        code = main(
+            [
+                "fuzz",
+                "--max-scenarios",
+                "25",
+                "--seed",
+                "3",
+                "--json",
+                "--out-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        doc = jsonlib.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-fuzz/1"
+        assert doc["kind"] == "fuzz-stats"
+        assert doc["base_seed"] == 3
+        assert doc["scenarios"] == 25
+        assert doc["failures"] == 0
