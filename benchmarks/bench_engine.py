@@ -59,6 +59,20 @@ def test_throughput_series(benchmark):
     benchmark(lambda: db.execute(wl.query))
 
 
+def test_multiset_equal_large(benchmark):
+    # Micro-benchmark for the single-pass Counter compare referenced by
+    # Table.multiset_equal's docstring: the old implementation built two
+    # Counters (materializing both row lists twice); the drain loop
+    # builds one and short-circuits on the first missing row.
+    from repro.engine.table import Table
+
+    rows = [(i % 1_000, i % 37, f"v{i % 11}") for i in range(50_000)]
+    left = Table(("A", "B", "C"), rows)
+    right = Table(("A", "B", "C"), list(reversed(rows)))
+    assert left.multiset_equal(right)
+    benchmark(lambda: left.multiset_equal(right))
+
+
 def test_star_materialization(benchmark):
     wl = star.generate(n_sales=3_000)
     db = wl.database()

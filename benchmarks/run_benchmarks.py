@@ -73,6 +73,7 @@ def main(argv: list[str] | None = None) -> int:
 
     from bench_cache import collect_cache_metrics
     from bench_closure import collect_closure_metrics
+    from bench_columnar import collect_columnar_metrics
     from bench_multiview import (
         collect_church_rosser_metrics,
         collect_multiview_metrics,
@@ -99,6 +100,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
         ),
         ("oracle", lambda: collect_oracle_metrics(quick=args.quick)),
+        ("columnar", lambda: collect_columnar_metrics(quick=args.quick)),
     ]:
         print(f"== bench: {name} ==", flush=True)
         try:
@@ -133,6 +135,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{service['speedup_at_4_workers']:.2f}x vs per-request serial "
             f"({service['requests']} hot requests, "
             f"{service['groups']} signature groups)"
+        )
+    columnar = report.workloads.get("columnar", {})
+    if "min_speedup_at_floor" in columnar:
+        print(
+            f"columnar speedup at {columnar['floor_rows']} rows: "
+            f"{columnar['min_speedup_at_floor']:.1f}x – "
+            f"{columnar['max_speedup_at_floor']:.1f}x vs row engine "
+            f"(floor {columnar['speedup_floor']:.0f}x; parity sweep "
+            f"{columnar['parity_sweep']['scenarios']} scenarios, "
+            f"{columnar['parity_sweep']['checks']} checks, 0 mismatches)"
         )
     print(json.dumps({"parity_failures": failures}))
     return 1 if failures else 0

@@ -308,7 +308,7 @@ def cmd_query(args) -> int:
         if result.used_views:
             used = "rewritten over " + ", ".join(result.used_views)
     start = time.perf_counter()
-    table = db.execute(plan, extra_views=extra)
+    table = db.execute(plan, extra_views=extra, engine=args.engine)
     elapsed = time.perf_counter() - start
     print(table.to_text(limit=args.limit))
     print(f"\n({len(table)} rows in {elapsed * 1000:.2f} ms, {used})")
@@ -324,11 +324,13 @@ def cmd_fuzz(args) -> int:
     if args.replay:
         # Honour --inject-bug during replay too, so a repro produced by a
         # mutation run can be re-examined under the same injected bug.
+        # When --engine is not given (None), replay() falls back to the
+        # mode recorded in the repro document itself.
         if args.inject_bug:
             with inject_bug(args.inject_bug):
-                report = replay(Path(args.replay))
+                report = replay(Path(args.replay), engine=args.engine)
         else:
-            report = replay(Path(args.replay))
+            report = replay(Path(args.replay), engine=args.engine)
         print(report.describe())
         return 0 if report.ok else 1
 
@@ -343,7 +345,11 @@ def cmd_fuzz(args) -> int:
         )
         base_seed = int(raw) % 1_000_000_007
 
-    runner = FuzzRunner(out_dir=Path(args.out_dir), base_seed=base_seed)
+    runner = FuzzRunner(
+        out_dir=Path(args.out_dir),
+        base_seed=base_seed,
+        engine=args.engine or "auto",
+    )
 
     def progress(stats, elapsed):
         print(
@@ -518,6 +524,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate through the cheapest view rewriting when one wins",
     )
     p.add_argument("--limit", type=int, default=20)
+    p.add_argument(
+        "--engine",
+        choices=["row", "columnar", "auto"],
+        default="auto",
+        help="execution engine (default: auto — columnar for large inputs)",
+    )
     p.set_defaults(func=cmd_query)
 
     from .fuzz import BUG_NAMES
@@ -566,6 +578,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BUG_NAMES,
         help="mutation-test the oracle: patch a known evaluator bug in "
         "and require the fuzzer to catch it",
+    )
+    p.add_argument(
+        "--engine",
+        choices=["row", "columnar", "both", "auto"],
+        default=None,
+        help="execution engine per scenario; 'both' cross-checks row vs "
+        "columnar on every evaluation (three-way oracle with SQLite). "
+        "Default: auto for fuzzing, the recorded mode for --replay",
     )
     p.add_argument(
         "--json",

@@ -1,8 +1,23 @@
-"""In-memory multiset relational engine (the evaluation substrate)."""
+"""In-memory multiset relational engine (the evaluation substrate).
 
-from .aggregates import apply_aggregate
+Two executors share one semantics: the row-at-a-time interpreter
+(:mod:`repro.engine.evaluator`) and the vectorized columnar engine
+(:mod:`repro.engine.columnar`). The ``engine=`` mode switch on
+:func:`evaluate_block` / :meth:`Database.execute` selects between them
+(``"row"``, ``"columnar"``, ``"auto"``); see ``docs/engine.md``.
+"""
+
+from .aggregates import accumulate_by_group, apply_aggregate
 from .database import Database
-from .evaluator import evaluate_block
+from .evaluator import COLUMNAR_AUTO_THRESHOLD, ENGINES, evaluate_block
 from .table import Table
 
-__all__ = ["apply_aggregate", "Database", "evaluate_block", "Table"]
+__all__ = [
+    "COLUMNAR_AUTO_THRESHOLD",
+    "ENGINES",
+    "accumulate_by_group",
+    "apply_aggregate",
+    "Database",
+    "evaluate_block",
+    "Table",
+]

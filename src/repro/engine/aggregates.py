@@ -67,3 +67,85 @@ _DISPATCH = {
 def apply_aggregate(func: AggFunc, values: Sequence) -> object:
     """Apply an aggregate function to the multiset of argument values."""
     return _DISPATCH[func](values)
+
+
+# ----------------------------------------------------------------------
+# Per-group accumulation kernels (the columnar engine's grouped path)
+# ----------------------------------------------------------------------
+#
+# Each kernel folds one aggregate over a whole argument column in a
+# single pass, indexed by dense group ids, instead of gathering a value
+# list per group and calling the scalar functions above. NULL-skipping
+# semantics are identical: a group whose inputs are all NULL gets NULL
+# (COUNT gets 0), exactly as the scalar functions produce.
+
+
+def sum_by_group(gids: Sequence, values: Sequence, ngroups: int) -> list:
+    out: list = [None] * ngroups
+    for g, v in zip(gids, values):
+        if v is not None:
+            cur = out[g]
+            out[g] = v if cur is None else cur + v
+    return out
+
+
+def count_by_group(gids: Sequence, values: Sequence, ngroups: int) -> list:
+    out = [0] * ngroups
+    for g, v in zip(gids, values):
+        if v is not None:
+            out[g] += 1
+    return out
+
+
+def min_by_group(gids: Sequence, values: Sequence, ngroups: int) -> list:
+    out: list = [None] * ngroups
+    for g, v in zip(gids, values):
+        if v is not None:
+            cur = out[g]
+            if cur is None or v < cur:
+                out[g] = v
+    return out
+
+
+def max_by_group(gids: Sequence, values: Sequence, ngroups: int) -> list:
+    out: list = [None] * ngroups
+    for g, v in zip(gids, values):
+        if v is not None:
+            cur = out[g]
+            if cur is None or v > cur:
+                out[g] = v
+    return out
+
+
+def avg_by_group(gids: Sequence, values: Sequence, ngroups: int) -> list:
+    sums = sum_by_group(gids, values, ngroups)
+    counts = count_by_group(gids, values, ngroups)
+    out: list = [None] * ngroups
+    for g in range(ngroups):
+        total, count = sums[g], counts[g]
+        if count:
+            if isinstance(total, int):
+                out[g] = Fraction(total, count)
+            else:
+                out[g] = total / count
+    return out
+
+
+_GROUP_DISPATCH = {
+    AggFunc.MIN: min_by_group,
+    AggFunc.MAX: max_by_group,
+    AggFunc.SUM: sum_by_group,
+    AggFunc.COUNT: count_by_group,
+    AggFunc.AVG: avg_by_group,
+}
+
+
+def accumulate_by_group(
+    func: AggFunc, gids: Sequence, values: Sequence, ngroups: int
+) -> list:
+    """Fold ``func`` over ``values`` per group in one pass.
+
+    ``gids`` assigns each value a dense group id in ``range(ngroups)``;
+    the result list holds one aggregate value per group.
+    """
+    return _GROUP_DISPATCH[func](gids, values, ngroups)

@@ -1,0 +1,249 @@
+"""Column-level kernels: compile expressions and predicates once per block.
+
+The row engine compiles an expression into a ``row -> value`` closure
+and pays a Python call per row per node. Here an expression compiles to
+a *column kernel* — a ``Batch -> list`` function evaluated once per
+query block over whole columns — and a predicate compiles to a
+*selection kernel* — ``Batch -> list[int]`` returning the indices of the
+rows it keeps. All kernels preserve the engine's SQL semantics exactly:
+
+* comparisons with NULL are not true (the row never passes a filter);
+* arithmetic propagates NULL, and division by zero yields NULL;
+* integer division produces exact :class:`fractions.Fraction` values,
+  matching the row engine and the Fraction-normalized oracle comparison.
+"""
+
+from __future__ import annotations
+
+import operator
+from fractions import Fraction
+from typing import Callable
+
+from ...blocks.exprs import Arith, ArithOp, Expr
+from ...blocks.terms import Column, Comparison, Constant, Op
+from ...errors import EvaluationError
+from .batch import Batch
+
+#: A compiled expression: whole-column evaluation over a batch.
+ValueKernel = Callable[[Batch], list]
+#: A compiled predicate: the selection vector of rows it keeps.
+FilterKernel = Callable[[Batch], list]
+
+_OP_FUNCS = {
+    Op.LT: operator.lt,
+    Op.LE: operator.le,
+    Op.EQ: operator.eq,
+    Op.GE: operator.ge,
+    Op.GT: operator.gt,
+    Op.NE: operator.ne,
+}
+
+
+def _comparison_error(op: Op) -> EvaluationError:
+    return EvaluationError(f"cannot compare values under {op}")
+
+
+# ----------------------------------------------------------------------
+# Value kernels (row-level expressions, vectorized)
+# ----------------------------------------------------------------------
+
+
+def compile_value_kernel(expr: Expr) -> ValueKernel:
+    """Compile a row-level expression into a whole-column kernel."""
+    if isinstance(expr, Column):
+        return lambda batch: batch.column(expr)
+    if isinstance(expr, Constant):
+        value = expr.value
+        return lambda batch: [value] * batch.length
+    if isinstance(expr, Arith):
+        left = compile_value_kernel(expr.left)
+        right = compile_value_kernel(expr.right)
+        cell = _ARITH_CELLS[expr.op]
+        return lambda batch: cell(left(batch), right(batch))
+    raise EvaluationError(f"not a row-level expression: {expr}")
+
+
+def _add_cells(left: list, right: list) -> list:
+    return [
+        None if a is None or b is None else a + b
+        for a, b in zip(left, right)
+    ]
+
+
+def _sub_cells(left: list, right: list) -> list:
+    return [
+        None if a is None or b is None else a - b
+        for a, b in zip(left, right)
+    ]
+
+
+def _mul_cells(left: list, right: list) -> list:
+    return [
+        None if a is None or b is None else a * b
+        for a, b in zip(left, right)
+    ]
+
+
+def _div_cells(left: list, right: list) -> list:
+    # SQL / SQLite: x / 0 is NULL; int / int is exact (Fraction).
+    out = []
+    append = out.append
+    for a, b in zip(left, right):
+        if a is None or b is None or b == 0:
+            append(None)
+        elif isinstance(a, int) and isinstance(b, int):
+            append(Fraction(a, b))
+        else:
+            append(a / b)
+    return out
+
+
+_ARITH_CELLS = {
+    ArithOp.ADD: _add_cells,
+    ArithOp.SUB: _sub_cells,
+    ArithOp.MUL: _mul_cells,
+    ArithOp.DIV: _div_cells,
+}
+
+
+# ----------------------------------------------------------------------
+# Selection kernels (WHERE predicates, vectorized)
+# ----------------------------------------------------------------------
+
+
+def compile_filter_kernel(atom: Comparison) -> FilterKernel:
+    """Compile ``left op right`` into a selection-vector kernel.
+
+    WHERE sides are columns or constants (enforced by
+    :meth:`QueryBlock.validate`); each of the four shapes gets a
+    specialized tight loop.
+    """
+    left, op, right = atom.left, atom.op, atom.right
+    op_fn = _OP_FUNCS[op]
+
+    if isinstance(left, Column) and isinstance(right, Column):
+
+        def kernel(batch: Batch) -> list:
+            lv = batch.column(left)
+            rv = batch.column(right)
+            try:
+                return [
+                    i
+                    for i, (a, b) in enumerate(zip(lv, rv))
+                    if a is not None and b is not None and op_fn(a, b)
+                ]
+            except TypeError:
+                raise _comparison_error(op) from None
+
+        return kernel
+
+    if isinstance(left, Constant) and isinstance(right, Column):
+        # Normalize to column-op-constant so the specialized loops below
+        # cover both orientations.
+        return compile_filter_kernel(atom.flipped)
+
+    if isinstance(left, Column) and isinstance(right, Constant):
+        const = right.value
+        maker = _COL_CONST_KERNELS[op]
+        return maker(left, const, op)
+
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        decided = op.holds(left.value, right.value)
+
+        def kernel(batch: Batch) -> list:
+            return list(range(batch.length)) if decided else []
+
+        return kernel
+
+    raise EvaluationError(f"not a WHERE-level predicate: {atom}")
+
+
+# The column-vs-constant loops are the hottest kernels in the engine, so
+# each operator gets its own closure with the comparison inlined (no
+# per-row dispatch through ``operator``). EQ needs no NULL guard:
+# ``None == const`` is False for every legal constant and ``==`` never
+# raises across types.
+
+
+def _make_eq(col: Column, const, op: Op) -> FilterKernel:
+    def kernel(batch: Batch) -> list:
+        return [i for i, v in enumerate(batch.column(col)) if v == const]
+
+    return kernel
+
+
+def _make_ne(col: Column, const, op: Op) -> FilterKernel:
+    def kernel(batch: Batch) -> list:
+        return [
+            i
+            for i, v in enumerate(batch.column(col))
+            if v is not None and v != const
+        ]
+
+    return kernel
+
+
+def _make_lt(col: Column, const, op: Op) -> FilterKernel:
+    def kernel(batch: Batch) -> list:
+        try:
+            return [
+                i
+                for i, v in enumerate(batch.column(col))
+                if v is not None and v < const
+            ]
+        except TypeError:
+            raise _comparison_error(op) from None
+
+    return kernel
+
+
+def _make_le(col: Column, const, op: Op) -> FilterKernel:
+    def kernel(batch: Batch) -> list:
+        try:
+            return [
+                i
+                for i, v in enumerate(batch.column(col))
+                if v is not None and v <= const
+            ]
+        except TypeError:
+            raise _comparison_error(op) from None
+
+    return kernel
+
+
+def _make_ge(col: Column, const, op: Op) -> FilterKernel:
+    def kernel(batch: Batch) -> list:
+        try:
+            return [
+                i
+                for i, v in enumerate(batch.column(col))
+                if v is not None and v >= const
+            ]
+        except TypeError:
+            raise _comparison_error(op) from None
+
+    return kernel
+
+
+def _make_gt(col: Column, const, op: Op) -> FilterKernel:
+    def kernel(batch: Batch) -> list:
+        try:
+            return [
+                i
+                for i, v in enumerate(batch.column(col))
+                if v is not None and v > const
+            ]
+        except TypeError:
+            raise _comparison_error(op) from None
+
+    return kernel
+
+
+_COL_CONST_KERNELS = {
+    Op.EQ: _make_eq,
+    Op.NE: _make_ne,
+    Op.LT: _make_lt,
+    Op.LE: _make_le,
+    Op.GE: _make_ge,
+    Op.GT: _make_gt,
+}

@@ -20,14 +20,22 @@ from .table import Table
 
 
 class Database:
-    """Catalog + data. The executable substrate for equivalence checks."""
+    """Catalog + data. The executable substrate for equivalence checks.
+
+    ``engine`` is the default execution mode for every evaluation this
+    database runs (``"row"``, ``"columnar"`` or ``"auto"``; see
+    :func:`repro.engine.evaluator.evaluate_block` and
+    ``docs/engine.md``); :meth:`execute` can override it per call.
+    """
 
     def __init__(
         self,
         catalog: Catalog,
         tables: Optional[Mapping[str, Union[Table, Iterable]]] = None,
+        engine: str = "auto",
     ):
         self.catalog = catalog
+        self.engine = engine
         self._tables: dict[str, Table] = {}
         self._view_cache: dict[str, Table] = {}
         if tables:
@@ -70,6 +78,7 @@ class Database:
                     f"{width} columns"
                 )
             table.rows.append(row)
+        table.invalidate_columns()
         self._view_cache.clear()
 
     def remove_rows(self, name: str, rows: Iterable) -> None:
@@ -90,6 +99,7 @@ class Database:
                 f"table {name}: rows not present: {dict(missing)}"
             )
         table.rows[:] = kept
+        table.invalidate_columns()
         self._view_cache.clear()
 
     # ------------------------------------------------------------------
@@ -99,7 +109,12 @@ class Database:
         if view_name not in self._view_cache:
             view = self.catalog.view(view_name)
             result = self.execute(view.block)
-            self._view_cache[view_name] = Table(view.output_names, result.rows)
+            # Rows come straight from an executor: correctly shaped by
+            # construction, so skip the validating copy (views can be
+            # millions of rows).
+            self._view_cache[view_name] = Table.from_rows(
+                view.output_names, result.rows
+            )
             self.catalog.set_row_count(view_name, len(result.rows))
         return self._view_cache[view_name]
 
@@ -107,6 +122,7 @@ class Database:
         self,
         query: Union[str, QueryBlock, "NestedQuery"],
         extra_views: Optional[Mapping[str, ViewDef]] = None,
+        engine: Optional[str] = None,
     ) -> Table:
         """Evaluate SQL text, a block or a nested query.
 
@@ -115,10 +131,12 @@ class Database:
         this evaluation. A :class:`~repro.blocks.nested.NestedQuery`
         contributes its derived-table definitions the same way. SQL text
         containing FROM-clause subqueries is normalized via
-        ``parse_nested_query`` automatically.
+        ``parse_nested_query`` automatically. ``engine`` overrides the
+        database's default execution mode for this call only.
         """
         from ..blocks.nested import NestedQuery
 
+        mode = engine if engine is not None else self.engine
         local = dict(extra_views or {})
         if isinstance(query, str):
             from ..blocks.nested import parse_nested_query
@@ -138,12 +156,12 @@ class Database:
                 resolving.add(name)
                 try:
                     view = local[name]
-                    result = evaluate_block(view.block, resolve)
-                    return Table(view.output_names, result.rows)
+                    result = evaluate_block(view.block, resolve, engine=mode)
+                    return Table.from_rows(view.output_names, result.rows)
                 finally:
                     resolving.discard(name)
             if self.catalog.is_view(name):
                 return self.materialize(name)
             return self.table(name)
 
-        return evaluate_block(block, resolve)
+        return evaluate_block(block, resolve, engine=mode)

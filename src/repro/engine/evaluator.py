@@ -28,6 +28,15 @@ from .table import Row, Table
 #: Resolves a FROM-clause relation name to its data.
 RelationResolver = Callable[[str], Table]
 
+#: Recognized values of the ``engine=`` mode switch.
+ENGINES = ("row", "columnar", "auto")
+
+#: ``engine="auto"`` picks the columnar executor once any FROM-clause
+#: input reaches this many rows; below it, per-block kernel compilation
+#: and column gathering cost more than they save and the row engine
+#: wins. Chosen from the crossover region in ``bench_columnar.py``.
+COLUMNAR_AUTO_THRESHOLD = 4096
+
 
 def _compile_row_expr(expr: Expr, index: Mapping[Column, int]):
     """Compile a row-level expression to a row -> value function."""
@@ -123,14 +132,55 @@ class _GroupEvaluator:
 def evaluate_block(
     block: QueryBlock,
     resolve: RelationResolver,
+    engine: str = "auto",
 ) -> Table:
     """Evaluate ``block``; FROM names are resolved through ``resolve``.
 
-    The core table comes from the hash-join planner
+    ``engine`` selects the execution strategy (see ``docs/engine.md``):
+
+    * ``"row"`` — the original row-at-a-time interpreter below, kept as
+      the parity oracle for the vectorized path;
+    * ``"columnar"`` — the vectorized executor of
+      :mod:`repro.engine.columnar` (identical answer multisets);
+    * ``"auto"`` (default) — columnar once any input relation reaches
+      :data:`COLUMNAR_AUTO_THRESHOLD` rows, row below it.
+
+    The core table of the row path comes from the hash-join planner
     (:mod:`repro.engine.planner`); the naive product-then-filter path
     (:func:`_build_core`) is retained for the delta-maintenance module
     and as a reference implementation.
     """
+    if engine not in ENGINES:
+        raise EvaluationError(
+            f"unknown engine {engine!r}: expected one of {ENGINES}"
+        )
+    if engine != "row":
+        # Resolve each FROM name once, whichever executor then runs:
+        # re-resolving would re-evaluate query-local views per occurrence.
+        cache: dict[str, Table] = {}
+        raw_resolve = resolve
+
+        def cached_resolve(name: str) -> Table:
+            table = cache.get(name)
+            if table is None:
+                table = cache[name] = raw_resolve(name)
+            return table
+
+        if engine == "auto":
+            sizes = [
+                len(cached_resolve(rel.name).rows) for rel in block.from_
+            ]
+            engine = (
+                "columnar"
+                if sizes and max(sizes) >= COLUMNAR_AUTO_THRESHOLD
+                else "row"
+            )
+        resolve = cached_resolve
+        if engine == "columnar":
+            from .columnar import evaluate_block_columnar
+
+            return evaluate_block_columnar(block, resolve)
+
     from .planner import build_core
 
     core_rows, index = build_core(block, resolve)

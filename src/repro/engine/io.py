@@ -44,7 +44,11 @@ def read_table_csv(path: str, expected_columns=None) -> Table:
                 f"{tuple(expected_columns)}"
             )
         rows = [tuple(_parse_value(cell) for cell in row) for row in reader]
-    return Table(header, rows)
+    table = Table(header, rows)
+    # CSV-backed tables are load-once-query-many: prime the columnar
+    # transposition now so the first columnar query doesn't pay for it.
+    table.as_columns()
+    return table
 
 
 def write_table_csv(path: str, table: Table) -> None:

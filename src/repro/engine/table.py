@@ -17,17 +17,62 @@ Row = tuple
 class Table:
     """A named header plus a multiset of rows."""
 
-    __slots__ = ("columns", "rows")
+    __slots__ = ("columns", "rows", "_col_cache")
 
     def __init__(self, columns: Sequence[str], rows: Iterable[Sequence] = ()):
         self.columns: tuple[str, ...] = tuple(columns)
         self.rows: list[Row] = [tuple(r) for r in rows]
+        self._col_cache: Optional[tuple[int, list[list]]] = None
         width = len(self.columns)
         for row in self.rows:
             if len(row) != width:
                 raise EvaluationError(
                     f"row {row!r} has {len(row)} values for {width} columns"
                 )
+
+    @classmethod
+    def from_rows(
+        cls, columns: Sequence[str], rows: list[Row]
+    ) -> "Table":
+        """Adopt an already-validated list of row tuples (no copying).
+
+        Internal fast path for the executors, which produce correctly
+        shaped tuples by construction; external callers should use the
+        validating constructor.
+        """
+        table = cls.__new__(cls)
+        table.columns = tuple(columns)
+        table.rows = rows
+        table._col_cache = None
+        return table
+
+    # ------------------------------------------------------------------
+    # Columnar representation
+    # ------------------------------------------------------------------
+
+    def as_columns(self) -> list[list]:
+        """The table transposed: one value list per column (cached).
+
+        The columnar engine reads these lists in place and selects into
+        them with position vectors, so they must be treated as
+        immutable. The cache is guarded by row count and invalidated by
+        the :class:`~repro.engine.database.Database` mutators; code that
+        mutates ``rows`` in place directly must call
+        :meth:`invalidate_columns`.
+        """
+        cached = self._col_cache
+        if cached is not None and cached[0] == len(self.rows):
+            return cached[1]
+        if self.rows:
+            data = [list(col) for col in zip(*self.rows)]
+        else:
+            data = [[] for _ in self.columns]
+        self._col_cache = (len(self.rows), data)
+        return data
+
+    def invalidate_columns(self) -> None:
+        """Drop the cached columnar transposition after a row mutation."""
+        self._col_cache = None
 
     # ------------------------------------------------------------------
 
@@ -77,10 +122,25 @@ class Table:
 
     def multiset_equal(self, other: "Table") -> bool:
         """Multiset equality of rows (headers may differ: equivalence of
-        queries is about the multiset of answers, not output names)."""
+        queries is about the multiset of answers, not output names).
+
+        Builds a single Counter over ``self`` and drains it with one
+        pass over ``other`` — rather than materializing both counters —
+        with an early exit on the first row of ``other`` that ``self``
+        cannot supply. On large disagreeing tables this returns after
+        touching a fraction of the data (micro-benchmark:
+        ``benchmarks/bench_engine.py::test_multiset_equal_large``).
+        """
         if len(self.rows) != len(other.rows):
             return False
-        return self.as_counter() == other.as_counter()
+        counts = self.as_counter()
+        for row in other.rows:
+            remaining = counts.get(row, 0)
+            if not remaining:
+                return False
+            counts[row] = remaining - 1
+        # Equal lengths and every decrement succeeded: the multisets match.
+        return True
 
     def set_equal(self, other: "Table") -> bool:
         """Set equality of rows (Section 5 set-semantics comparisons)."""

@@ -42,6 +42,7 @@ class FuzzStats:
     skipped: int = 0
     shrink_iterations: int = 0
     elapsed: float = 0.0
+    engine: str = "auto"
     by_profile: dict = field(default_factory=dict)
     failure_files: list = field(default_factory=list)
 
@@ -59,6 +60,7 @@ class FuzzStats:
             "shrink_iterations": self.shrink_iterations,
             "elapsed_seconds": round(self.elapsed, 3),
             "scenarios_per_sec": round(self.scenarios_per_sec, 2),
+            "engine": self.engine,
             "by_profile": dict(self.by_profile),
             "failure_files": [str(p) for p in self.failure_files],
         }
@@ -73,11 +75,17 @@ class FuzzRunner:
         base_seed: int = 0,
         max_rewritings_per_scenario: int = 8,
         shrink_checks: int = 300,
+        engine: str = "auto",
     ):
         self.out_dir = Path(out_dir)
         self.base_seed = base_seed
+        #: Execution-engine mode for every scenario evaluation:
+        #: ``row``/``columnar``/``auto`` run that engine against SQLite;
+        #: ``both`` additionally cross-checks row vs columnar per
+        #: evaluation (three-way agreement).
+        self.engine = engine
         self.checker = CrossChecker(
-            max_rewritings=max_rewritings_per_scenario
+            max_rewritings=max_rewritings_per_scenario, engine=engine
         )
         self.shrink_checks = shrink_checks
 
@@ -91,7 +99,7 @@ class FuzzRunner:
         progress=None,
     ) -> FuzzStats:
         """Fuzz until the time budget, scenario count or failure cap."""
-        stats = FuzzStats()
+        stats = FuzzStats(engine=self.engine)
         start = time.perf_counter()
         index = 0
         while True:
@@ -162,6 +170,7 @@ class FuzzRunner:
         doc = scenario_to_json(
             result.scenario,
             profile=profile,
+            engine=self.engine,
             budget=budget.as_dict() if budget is not None else None,
             mismatches=[m.describe() for m in report.mismatches],
             shrink={
@@ -175,8 +184,17 @@ class FuzzRunner:
         return path
 
 
-def replay(path: Path, budget: Optional[SearchBudget] = None):
-    """Re-run a persisted repro; returns the fresh :class:`CheckReport`."""
+def replay(
+    path: Path,
+    budget: Optional[SearchBudget] = None,
+    engine: Optional[str] = None,
+):
+    """Re-run a persisted repro; returns the fresh :class:`CheckReport`.
+
+    ``engine`` defaults to the mode recorded in the repro document, so a
+    failure found by the ``both`` cross-engine sweep replays under the
+    same three-way check.
+    """
     from .serialize import scenario_from_json
 
     doc = json.loads(Path(path).read_text())
@@ -188,4 +206,6 @@ def replay(path: Path, budget: Optional[SearchBudget] = None):
             max_mappings=saved.get("max_mappings"),
             max_candidates=saved.get("max_candidates"),
         )
-    return CrossChecker().check(scenario, budget=budget)
+    if engine is None:
+        engine = doc.get("engine", "auto")
+    return CrossChecker(engine=engine).check(scenario, budget=budget)

@@ -9,13 +9,20 @@ asserts multiset-equality of the query, every view materialization and
 every produced rewriting across the two engines (see ``docs/oracle.md``).
 """
 
-from .crosscheck import CheckReport, CrossChecker, Mismatch, check_scenario
+from .crosscheck import (
+    ENGINE_MODES,
+    CheckReport,
+    CrossChecker,
+    Mismatch,
+    check_scenario,
+)
 from .sqlite import SQLiteBackend, compile_block
 from .values import normalize_row, normalize_value, rows_multiset_equal
 
 __all__ = [
     "CheckReport",
     "CrossChecker",
+    "ENGINE_MODES",
     "Mismatch",
     "SQLiteBackend",
     "check_scenario",

@@ -12,6 +12,11 @@ those, and (b) between each rewriting and the original query *within*
 each backend. Check (b) on SQLite is the fully independent soundness
 oracle: it involves the repro engine nowhere.
 
+With ``engine="both"`` every repro-engine evaluation additionally runs
+on *both* the row and the columnar executors and their agreement is
+enforced too, making each scenario a three-way oracle
+(row engine = columnar engine = SQLite).
+
 One deliberate boundary: when the *base data* contains SQL NULLs, check
 (b) is recorded as skipped rather than enforced. The paper's rewriting
 theorems assume NULL-free base relations — a view's ``COUNT(B)`` output
@@ -87,13 +92,56 @@ class CheckReport:
         return "\n".join(m.describe() for m in self.mismatches)
 
 
+#: Engine modes the checker accepts: the evaluator's modes plus
+#: ``"both"``, which runs row *and* columnar per evaluation and adds
+#: their agreement as a third oracle axis (three-way agreement:
+#: row engine vs columnar engine vs SQLite).
+ENGINE_MODES = ("row", "columnar", "auto", "both")
+
+
 class CrossChecker:
     """Runs scenarios through the engine and SQLite and compares."""
 
-    def __init__(self, max_rewritings: Optional[int] = None):
+    def __init__(
+        self,
+        max_rewritings: Optional[int] = None,
+        engine: str = "auto",
+    ):
         #: Cap on rewritings checked per scenario (None = all). The fuzz
         #: loop uses a cap so one view-rich scenario cannot eat the budget.
         self.max_rewritings = max_rewritings
+        if engine not in ENGINE_MODES:
+            raise ValueError(
+                f"unknown engine mode {engine!r}: expected one of "
+                f"{ENGINE_MODES}"
+            )
+        #: Which repro engine executes scenario evaluations; ``"both"``
+        #: cross-checks the row and columnar engines against each other
+        #: on every evaluation (see :func:`_engine_rows`).
+        self.engine = engine
+
+    def _engine_rows(
+        self, report, db, query, extra_views, context: str, sql: str
+    ) -> list:
+        """Evaluate on the configured engine(s), recording row/columnar
+        disagreements as mismatches in ``both`` mode."""
+        if self.engine != "both":
+            return db.execute(
+                query, extra_views=extra_views, engine=self.engine
+            ).rows
+        row_rows = db.execute(
+            query, extra_views=extra_views, engine="row"
+        ).rows
+        col_rows = db.execute(
+            query, extra_views=extra_views, engine="columnar"
+        ).rows
+        report.checks += 1
+        if not rows_multiset_equal(row_rows, col_rows):
+            report.mismatches.append(
+                Mismatch(context, "engine-row", "engine-columnar",
+                         row_rows, col_rows, sql=sql)
+            )
+        return row_rows
 
     # ------------------------------------------------------------------
 
@@ -172,7 +220,12 @@ class CrossChecker:
             )
             return
         try:
-            engine_rows = db.materialize(view.name).rows
+            if self.engine == "both":
+                engine_rows = self._engine_rows(
+                    report, db, view.block, None, context, sql
+                )
+            else:
+                engine_rows = db.materialize(view.name).rows
         except ReproError as error:
             report.mismatches.append(
                 Mismatch(context, "engine", "sqlite", [], sqlite_rows,
@@ -194,7 +247,9 @@ class CrossChecker:
         sqlite_rows: Optional[list] = None
         note = ""
         try:
-            engine_rows = db.execute(query).rows
+            engine_rows = self._engine_rows(
+                report, db, query, None, "query", sql
+            )
         except ReproError as error:
             note = f"engine error: {error}"
         try:
@@ -218,9 +273,10 @@ class CrossChecker:
         sqlite_rows: Optional[list] = None
         note = ""
         try:
-            engine_rows = db.execute(
-                rewriting.query, extra_views=rewriting.extra_views()
-            ).rows
+            engine_rows = self._engine_rows(
+                report, db, rewriting.query, rewriting.extra_views(),
+                context, sql,
+            )
         except ReproError as error:
             note = f"engine error: {error}"
         try:
@@ -264,8 +320,9 @@ def check_scenario(
     rewritings: Optional[Sequence[Rewriting]] = None,
     budget: Optional[Union[SearchBudget, BudgetMeter]] = None,
     max_rewritings: Optional[int] = None,
+    engine: str = "auto",
 ) -> CheckReport:
     """Convenience wrapper: one-shot :class:`CrossChecker` run."""
-    return CrossChecker(max_rewritings=max_rewritings).check(
+    return CrossChecker(max_rewritings=max_rewritings, engine=engine).check(
         scenario, rewritings=rewritings, budget=budget
     )

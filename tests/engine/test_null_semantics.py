@@ -94,3 +94,100 @@ class TestDivisionByZero:
             (Fraction(2),),
             (None,),
         ]
+
+
+def _three_way(schema_sql, instance, sql):
+    """Assert row engine = columnar engine = SQLite on ``sql``.
+
+    The columnar kernels reimplement every NULL rule from scratch
+    (selection loops, arithmetic cells, group-key hashing), so each rule
+    is pinned against both the row engine and the independent backend.
+    Returns the columnar rows.
+    """
+    from repro.oracle import SQLiteBackend, rows_multiset_equal
+
+    catalog, _ = load_schema(schema_sql)
+    query = parse_query(sql, catalog)
+    db = Database(catalog, instance)
+    row_rows = db.execute(query, engine="row").rows
+    col_rows = db.execute(query, engine="columnar").rows
+    with SQLiteBackend() as backend:
+        for name, schema in catalog.tables.items():
+            backend.create_table(name, schema.columns)
+            backend.load_rows(name, instance.get(name, []))
+        sqlite_rows = backend.execute_block(query)
+    assert rows_multiset_equal(row_rows, col_rows), (
+        f"row vs columnar on {sql!r}: {row_rows} != {col_rows}"
+    )
+    assert rows_multiset_equal(col_rows, sqlite_rows), (
+        f"columnar vs sqlite on {sql!r}: {col_rows} != {sqlite_rows}"
+    )
+    return col_rows
+
+
+class TestColumnarNullSemantics:
+    """NULL rules in the vectorized kernels, pinned three ways."""
+
+    def test_null_comparison_filters(self):
+        rows = [(None,), (1,), (5,), (None,)]
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            result = _three_way(
+                "CREATE TABLE R (a);",
+                {"R": rows},
+                f"SELECT R.a FROM R WHERE R.a {op} 3",
+            )
+            assert None not in [v for (v,) in result], op
+
+    def test_null_arithmetic_propagates(self):
+        assert sorted(
+            _three_way(
+                "CREATE TABLE R (a, b);",
+                {"R": [(1, None), (None, 2), (3, 4)]},
+                "SELECT R.a + R.b AS s FROM R",
+            ),
+            key=str,
+        ) == [(7,), (None,), (None,)]
+
+    def test_division_by_zero_is_null(self):
+        assert sorted(
+            _three_way(
+                "CREATE TABLE R (a, n);",
+                {"R": [(6, 0), (6, 3), (None, 2)]},
+                "SELECT R.a / R.n AS q FROM R",
+            ),
+            key=str,
+        ) == [(2,), (None,), (None,)]
+
+    def test_null_group_keys_group_together(self):
+        assert sorted(
+            _three_way(
+                "CREATE TABLE R (k, v);",
+                {"R": [(None, 1), (None, 2), (1, 3), (None, 4)]},
+                "SELECT R.k, COUNT(R.v) AS n FROM R GROUP BY R.k",
+            ),
+            key=str,
+        ) == [(1, 1), (None, 3)]
+
+    def test_aggregates_skip_nulls_per_group(self):
+        assert sorted(
+            _three_way(
+                "CREATE TABLE R (k, v);",
+                {"R": [(1, None), (1, 4), (2, None)]},
+                "SELECT R.k, SUM(R.v) AS s, COUNT(R.v) AS n "
+                "FROM R GROUP BY R.k",
+            )
+        ) == [(1, 4, 1), (2, None, 0)]
+
+    def test_null_join_keys_never_match(self):
+        assert _three_way(
+            "CREATE TABLE R (a); CREATE TABLE S (b);",
+            {"R": [(None,), (1,)], "S": [(None,), (1,)]},
+            "SELECT R.a, S.b FROM R, S WHERE R.a = S.b",
+        ) == [(1, 1)]
+
+    def test_scalar_aggregate_over_all_nulls(self):
+        assert _three_way(
+            "CREATE TABLE R (v);",
+            {"R": [(None,), (None,)]},
+            "SELECT SUM(R.v) AS s, COUNT(R.v) AS n FROM R",
+        ) == [(None, 0)]
