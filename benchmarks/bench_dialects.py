@@ -1,0 +1,121 @@
+"""Dialect + federation benchmarks: conformance and the N-way sweep.
+
+The ``dialects`` workload entry for ``BENCH_rewriting.json`` answers:
+
+1. *Does every dialect emit a correct corpus?* Each conformance case is
+   emitted in every registered dialect, and the SQLite document is
+   executed on a live ``sqlite3`` database against the engine's answer
+   (DuckDB too when the driver is installed).
+2. *Does the N-way oracle stay clean at scale?* A fuzz sweep with
+   ``engine="both"`` (row = columnar on every evaluation) over every
+   installed live backend; the full run covers >= 5000 scenarios and
+   asserts zero mismatches. This is the cross-backend soundness budget
+   the CI dialects job re-runs on every push (with DuckDB installed).
+
+Like the other collectors, correctness failures raise AssertionError so
+the benchmark gate doubles as a soundness gate.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import tempfile
+import time
+from pathlib import Path
+
+from repro.dialects import DIALECT_NAMES
+from repro.dialects.conformance import CASES, CORPUS_VERSION, emit_corpus
+from repro.engine.database import Database
+from repro.fuzz import FuzzRunner
+from repro.oracle import available_backends, rows_multiset_equal
+
+#: Version tag of the ``dialects`` workload schema in
+#: ``BENCH_rewriting.json``; bump when fields change meaning.
+DIALECTS_BENCH_VERSION = "dialects-bench/1"
+
+
+def _engine_rows(case):
+    catalog = case.catalog()
+    db = Database(
+        catalog, {name: list(rows) for name, rows in case.instance.items()}
+    )
+    return db.execute(case.query(catalog)).rows
+
+
+def _execute_case_on_sqlite(case) -> bool:
+    connection = sqlite3.connect(":memory:")
+    for name, columns in case.tables.items():
+        quoted = ", ".join('"' + c.replace('"', '""') + '"' for c in columns)
+        tname = '"' + name.replace('"', '""') + '"'
+        connection.execute(f"CREATE TABLE {tname} ({quoted})")
+        marks = ", ".join("?" for _ in columns)
+        connection.executemany(
+            f"INSERT INTO {tname} VALUES ({marks})",
+            case.instance.get(name, []),
+        )
+    rows = [
+        tuple(r) for r in connection.execute(case.emit("sqlite")).fetchall()
+    ]
+    return rows_multiset_equal(rows, _engine_rows(case))
+
+
+def collect_dialects_metrics(quick: bool = False) -> dict:
+    """The ``dialects`` workload entry for ``BENCH_rewriting.json``."""
+    # -- 1. conformance corpus, every dialect --------------------------
+    corpus = {}
+    for name in DIALECT_NAMES:
+        document = emit_corpus(name)
+        corpus[name] = {
+            "cases": len(CASES),
+            "bytes": len(document.encode()),
+        }
+    executed = sum(1 for case in CASES if _execute_case_on_sqlite(case))
+    assert executed == len(CASES), (
+        f"only {executed}/{len(CASES)} sqlite conformance cases "
+        "execute to engine parity"
+    )
+
+    # -- 2. the N-way fuzz sweep ---------------------------------------
+    backends = tuple(available_backends())
+    n_scenarios = 400 if quick else 5_000
+    with tempfile.TemporaryDirectory() as tmp:
+        runner = FuzzRunner(
+            out_dir=Path(tmp), engine="both", backends=backends
+        )
+        start = time.perf_counter()
+        stats = runner.run(budget_seconds=None, max_scenarios=n_scenarios)
+        elapsed = time.perf_counter() - start
+    assert stats.failures == 0, (
+        f"N-way sweep over {backends} found {stats.failures} mismatches: "
+        f"{[str(p) for p in stats.failure_files]}"
+    )
+    assert stats.rewritings > 0, "vacuous sweep: no rewritings exercised"
+
+    return {
+        "version": DIALECTS_BENCH_VERSION,
+        "corpus_version": CORPUS_VERSION,
+        "dialects": list(DIALECT_NAMES),
+        "conformance": corpus,
+        "conformance_executed_sqlite": executed,
+        "nway": {
+            "backends": list(backends),
+            "engine": "both",
+            "scenarios": stats.scenarios,
+            "checks": stats.checks,
+            "rewritings": stats.rewritings,
+            "skipped": stats.skipped,
+            "mismatches": stats.failures,
+            "scenarios_per_sec": round(stats.scenarios / elapsed, 1)
+            if elapsed
+            else None,
+            "seconds": round(elapsed, 2),
+        },
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import json
+    import sys
+
+    quick = "--quick" in sys.argv
+    print(json.dumps(collect_dialects_metrics(quick=quick), indent=2))

@@ -74,6 +74,7 @@ def main(argv: list[str] | None = None) -> int:
     from bench_cache import collect_cache_metrics
     from bench_closure import collect_closure_metrics
     from bench_columnar import collect_columnar_metrics
+    from bench_dialects import collect_dialects_metrics
     from bench_multiview import (
         collect_church_rosser_metrics,
         collect_multiview_metrics,
@@ -101,6 +102,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
         ("oracle", lambda: collect_oracle_metrics(quick=args.quick)),
         ("columnar", lambda: collect_columnar_metrics(quick=args.quick)),
+        ("dialects", lambda: collect_dialects_metrics(quick=args.quick)),
     ]:
         print(f"== bench: {name} ==", flush=True)
         try:
@@ -145,6 +147,15 @@ def main(argv: list[str] | None = None) -> int:
             f"(floor {columnar['speedup_floor']:.0f}x; parity sweep "
             f"{columnar['parity_sweep']['scenarios']} scenarios, "
             f"{columnar['parity_sweep']['checks']} checks, 0 mismatches)"
+        )
+    dialects = report.workloads.get("dialects", {})
+    if "nway" in dialects:
+        nway = dialects["nway"]
+        print(
+            f"dialects N-way sweep [{', '.join(nway['backends'])}]: "
+            f"{nway['scenarios']} scenarios, {nway['checks']} checks, "
+            f"{nway['mismatches']} mismatches "
+            f"({nway['scenarios_per_sec']:.0f}/s)"
         )
     print(json.dumps({"parity_failures": failures}))
     return 1 if failures else 0

@@ -1,8 +1,13 @@
-"""Render a QueryBlock back to standard SQL text.
+"""Render a QueryBlock back to SQL text, in any registered dialect.
 
 The unique column names of the normalized form are translated back to
 ``alias.base_column`` references; each FROM occurrence gets an alias when
 its relation name is not already unique in the FROM clause.
+
+``dialect`` accepts a :class:`~repro.dialects.Dialect` instance or a
+registry name (``"ansi"``, ``"sqlite"``, ``"duckdb"``, ``"postgres"``):
+
+>>> block_to_sql(block, dialect="postgres")   # doctest: +SKIP
 """
 
 from __future__ import annotations
@@ -21,7 +26,8 @@ from ..sqlparser.ast import (
     SqlExpr,
     TableRef,
 )
-from ..sqlparser.printer import ANSI, Dialect, print_create_view, print_select
+from ..dialects import ANSI, DialectLike, get_dialect
+from ..sqlparser.printer import print_create_view, print_select
 from .exprs import Aggregate, Arith, Expr
 from .query_block import QueryBlock, ViewDef
 from .terms import Column, Comparison, Constant
@@ -90,16 +96,16 @@ def block_to_ast(block: QueryBlock) -> SelectStmt:
     )
 
 
-def block_to_sql(block: QueryBlock, dialect: Dialect = ANSI) -> str:
-    """Render a QueryBlock as SQL text in the given dialect."""
-    return print_select(block_to_ast(block), dialect=dialect)
+def block_to_sql(block: QueryBlock, dialect: DialectLike = ANSI) -> str:
+    """Render a QueryBlock as SQL text in the given dialect (or name)."""
+    return print_select(block_to_ast(block), dialect=get_dialect(dialect))
 
 
-def view_to_sql(view: ViewDef, dialect: Dialect = ANSI) -> str:
+def view_to_sql(view: ViewDef, dialect: DialectLike = ANSI) -> str:
     """Render a ViewDef as ``CREATE VIEW ... AS SELECT ...`` text."""
     from ..sqlparser.ast import CreateViewStmt
 
     stmt = CreateViewStmt(
         view.name, tuple(view.output_names), block_to_ast(view.block)
     )
-    return print_create_view(stmt, dialect=dialect)
+    return print_create_view(stmt, dialect=get_dialect(dialect))

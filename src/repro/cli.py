@@ -20,9 +20,20 @@ Commands:
     Execute a query over CSV data files, optionally through the cheapest
     view-based rewriting.
 ``fuzz``
-    Property-based fuzzing of rewrite soundness against the independent
-    SQLite oracle; mismatches are shrunk to replayable JSON repros
-    (``repro fuzz --replay <file>``). See ``docs/oracle.md``.
+    Property-based fuzzing of rewrite soundness against independent
+    live backends (``--backend sqlite|duckdb|all``); mismatches are
+    shrunk to replayable JSON repros (``repro fuzz --replay <file>``).
+    See ``docs/oracle.md``.
+``emit``
+    Print a query — or the whole conformance corpus — as SQL text in a
+    chosen dialect (``--dialect sqlite|duckdb|postgres|ansi``).
+``rewrite-sql``
+    Federation middleware, one-shot: take SQL text, rewrite it against a
+    schema script or a live SQLite database file, print dialect-correct
+    SQL (optionally ``--execute`` and ``--verify`` on the live file).
+``serve-sql``
+    The same middleware as a JSON-lines loop on stdin/stdout; per-line
+    errors are reported in-band, never fatal. See ``docs/dialects.md``.
 
 Schema scripts are ';'-separated statements; a workload file is a script
 whose SELECT statements form the workload. All ``--json`` output carries
@@ -315,12 +326,192 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_emit(args) -> int:
+    from .dialects import get_dialect
+    from .dialects.conformance import emit_corpus
+
+    dialect = get_dialect(args.dialect)
+    if args.conformance:
+        text = emit_corpus(dialect)
+        if args.json:
+            print(
+                json.dumps(
+                    {"schema": API_SCHEMA, "kind": "conformance",
+                     "dialect": dialect.name, "corpus": text},
+                    indent=2,
+                )
+            )
+        else:
+            print(text)
+        return 0
+    if not args.schema:
+        raise ReproError(
+            "nothing to emit: pass --schema (and --query) or --conformance"
+        )
+    catalog, queries = _load(args)
+    query = _query_from(args, catalog, queries)
+    views = [
+        view_to_sql(view, dialect=dialect) + ";"
+        for view in catalog.views.values()
+    ]
+    sql = block_to_sql(query, dialect=dialect)
+    if args.json:
+        doc = {"schema": API_SCHEMA, "kind": "emit",
+               "dialect": dialect.name, "sql": sql}
+        if args.views:
+            doc["views"] = views
+        print(json.dumps(doc, indent=2))
+        return 0
+    if args.views:
+        for statement in views:
+            print(statement)
+            print()
+    print(sql + ";")
+    return 0
+
+
+def _materialized_from(args) -> dict:
+    """--materialized NAME=SELECT... (repeatable) -> {name: sql}."""
+    materialized = {}
+    for entry in args.materialized or ():
+        name, sep, sql = entry.partition("=")
+        if not sep or not name.strip() or not sql.strip():
+            raise ReproError(
+                f"--materialized {entry!r}: expected NAME=SELECT ..."
+            )
+        materialized[name.strip()] = sql.strip()
+    return materialized
+
+
+def _federation_from(args):
+    """(SqlRewriter-like, connection-or-None) from --schema / --db."""
+    import sqlite3
+
+    from .federation import FederationSession, SqlRewriter
+
+    materialized = _materialized_from(args)
+    if args.db:
+        connection = sqlite3.connect(args.db)
+        session = FederationSession(
+            connection,
+            dialect=args.dialect,
+            materialized=materialized,
+            budget=_budget_from(args),
+            only_improving=not args.force_rewrite,
+        )
+        return session, connection
+    if not args.schema:
+        raise ReproError("pass --schema SCRIPT or --db FILE")
+    catalog, _queries = _load(args)
+    if materialized:
+        from .federation import parse_materialized_views
+
+        parse_materialized_views(catalog, materialized)
+    rewriter = SqlRewriter(
+        catalog,
+        dialect=args.dialect,
+        budget=_budget_from(args),
+        only_improving=not args.force_rewrite,
+    )
+    return rewriter, None
+
+
+def cmd_rewrite_sql(args) -> int:
+    middleware, connection = _federation_from(args)
+    if (args.execute or args.verify) and connection is None:
+        raise ReproError("--execute/--verify require --db FILE")
+    if args.execute or args.verify:
+        result = middleware.execute(args.sql, verify=args.verify)
+        if args.json:
+            print(json.dumps(result.to_json_dict(), indent=2))
+        else:
+            outcome = result.outcome
+            for statement in outcome.statements:
+                print(statement + ";")
+            for row in result.rows:
+                print(tuple(row))
+            if result.verified is not None:
+                print(f"-- verified: {result.verified}")
+        if args.verify and result.verified is False:
+            return 1
+        return 0
+    outcome = middleware.rewrite_sql(args.sql)
+    if args.json:
+        print(json.dumps(outcome.to_json_dict(), indent=2))
+    else:
+        for statement in outcome.statements:
+            print(statement + ";")
+        if outcome.rewritten:
+            print(
+                f"-- rewritten over {', '.join(outcome.used_views)} "
+                f"(cost {outcome.cost_original:,.0f} -> "
+                f"{outcome.cost_rewritten:,.0f})"
+            )
+        else:
+            print("-- passed through unchanged")
+    return 0
+
+
+def cmd_serve_sql(args) -> int:
+    middleware, connection = _federation_from(args)
+    for line_no, line in enumerate(sys.stdin, 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            obj = json.loads(line)
+            if isinstance(obj, str):
+                obj = {"sql": obj}
+            if not isinstance(obj, dict) or "sql" not in obj:
+                raise ReproError(
+                    f"line {line_no}: expected an object with 'sql'"
+                )
+            execute = bool(obj.get("execute")) or bool(obj.get("verify"))
+            if execute and connection is None:
+                raise ReproError(
+                    f"line {line_no}: execute/verify require --db FILE"
+                )
+            if execute:
+                result = middleware.execute(
+                    obj["sql"], verify=bool(obj.get("verify"))
+                )
+                doc = result.to_json_dict()
+            else:
+                doc = middleware.rewrite_sql(obj["sql"]).to_json_dict()
+        except (ReproError, json.JSONDecodeError) as error:
+            doc = {"schema": API_SCHEMA, "kind": "error",
+                   "error": str(error)}
+        if isinstance(obj, dict) and "id" in obj:
+            doc["id"] = obj["id"]
+        print(json.dumps(doc), flush=True)
+    return 0
+
+
+def _fuzz_backends(args) -> Optional[tuple]:
+    from .oracle import available_backends, backend_available
+
+    if args.backend is None:
+        return None
+    if args.backend == "all":
+        return tuple(available_backends())
+    if args.backend == "duckdb":
+        if not backend_available("duckdb"):
+            raise ReproError(
+                "oracle backend 'duckdb' requires the duckdb package "
+                "(pip install duckdb)"
+            )
+        # N-way: the engine vs sqlite vs duckdb, never duckdb alone.
+        return ("sqlite", "duckdb")
+    return ("sqlite",)
+
+
 def cmd_fuzz(args) -> int:
     import os
     from pathlib import Path
 
     from .fuzz import FuzzRunner, inject_bug, replay
 
+    backends = _fuzz_backends(args)
     if args.replay:
         # Honour --inject-bug during replay too, so a repro produced by a
         # mutation run can be re-examined under the same injected bug.
@@ -328,9 +519,13 @@ def cmd_fuzz(args) -> int:
         # mode recorded in the repro document itself.
         if args.inject_bug:
             with inject_bug(args.inject_bug):
-                report = replay(Path(args.replay), engine=args.engine)
+                report = replay(
+                    Path(args.replay), engine=args.engine, backends=backends
+                )
         else:
-            report = replay(Path(args.replay), engine=args.engine)
+            report = replay(
+                Path(args.replay), engine=args.engine, backends=backends
+            )
         print(report.describe())
         return 0 if report.ok else 1
 
@@ -349,6 +544,7 @@ def cmd_fuzz(args) -> int:
         out_dir=Path(args.out_dir),
         base_seed=base_seed,
         engine=args.engine or "auto",
+        backends=backends or ("sqlite",),
     )
 
     def progress(stats, elapsed):
@@ -532,11 +728,118 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_query)
 
+    from .dialects import DIALECT_NAMES
+
+    def dialect_flag(p, default="sqlite"):
+        p.add_argument(
+            "--dialect",
+            default=default,
+            metavar="NAME",
+            help=(
+                "target SQL dialect: one of "
+                + ", ".join(DIALECT_NAMES)
+                + f" (default: {default})"
+            ),
+        )
+
+    p = sub.add_parser(
+        "emit",
+        help="print a query (or the conformance corpus) in a dialect",
+    )
+    dialect_flag(p)
+    p.add_argument(
+        "--schema",
+        help="SQL script with CREATE TABLE / CREATE VIEW statements",
+    )
+    p.add_argument("--query", help="the SELECT to emit")
+    p.add_argument(
+        "--views",
+        action="store_true",
+        help="also emit every catalog view as CREATE VIEW",
+    )
+    p.add_argument(
+        "--conformance",
+        action="store_true",
+        help="emit the built-in conformance corpus instead of a query",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro-api/1 JSON projection instead of text",
+    )
+    p.set_defaults(func=cmd_emit)
+
+    def federation_flags(p):
+        dialect_flag(p)
+        p.add_argument(
+            "--schema",
+            help="SQL script with CREATE TABLE / CREATE VIEW statements",
+        )
+        p.add_argument(
+            "--db",
+            help="SQLite database file to ingest the catalog from "
+            "(and to execute on)",
+        )
+        p.add_argument(
+            "--materialized",
+            action="append",
+            metavar="NAME=SQL",
+            help="declare a table as materializing the given SELECT "
+            "(repeatable); it becomes a rewriting candidate",
+        )
+        p.add_argument(
+            "--force-rewrite",
+            action="store_true",
+            help="use the best rewriting even when its estimated cost "
+            "does not beat direct evaluation",
+        )
+        search_knobs(p)
+
+    p = sub.add_parser(
+        "rewrite-sql",
+        help="rewrite one SQL statement through the federation middleware",
+    )
+    federation_flags(p)
+    p.add_argument("--sql", required=True, help="the SELECT to rewrite")
+    p.add_argument(
+        "--execute",
+        action="store_true",
+        help="execute the (rewritten) statement on --db and print rows",
+    )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the original query on --db and demand "
+        "multiset-equality (exit 1 on disagreement)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro-api/1 JSON projection instead of text",
+    )
+    p.set_defaults(func=cmd_rewrite_sql)
+
+    p = sub.add_parser(
+        "serve-sql",
+        help="federation middleware as a JSON-lines loop on stdin/stdout",
+    )
+    federation_flags(p)
+    p.set_defaults(func=cmd_serve_sql)
+
     from .fuzz import BUG_NAMES
 
     p = sub.add_parser(
         "fuzz",
-        help="fuzz rewrite soundness against the SQLite cross-oracle",
+        help="fuzz rewrite soundness against live backend cross-oracles",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["sqlite", "duckdb", "all"],
+        default=None,
+        help="live oracle backends: 'duckdb' means the N-way "
+        "engine=sqlite=duckdb oracle; 'all' uses every installed "
+        "driver. Default: sqlite for fuzzing, the recorded set for "
+        "--replay",
     )
     p.add_argument(
         "--budget",

@@ -1,0 +1,72 @@
+"""Dialect-aware SQL emission: one emitter, many engines.
+
+The printer in :mod:`repro.sqlparser.printer` renders syntax trees;
+*how* identifiers, literals and division are spelled is delegated to a
+:class:`Dialect`. This package owns the dialects:
+
+>>> from repro.dialects import get_dialect
+>>> get_dialect("postgres").division("x", "y")
+'(CAST(x AS DOUBLE PRECISION) / NULLIF(y, 0))'
+
+Everywhere a dialect is accepted — ``blocks.to_sql(dialect=...)``,
+``repro emit --dialect``, the execution backends — either a registry
+name or a :class:`Dialect` instance works. The golden corpus
+(:mod:`repro.dialects.conformance`) pins every printable construct per
+dialect so emitter drift fails tests instead of surprising users.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..errors import ReproError
+from .base import Dialect
+from .rules import DuckDBDialect, PostgresDialect, SqliteDialect
+
+ANSI = Dialect()
+SQLITE = SqliteDialect()
+DUCKDB = DuckDBDialect()
+POSTGRES = PostgresDialect()
+
+#: Registry of every known dialect, keyed by ``Dialect.name``.
+DIALECTS: dict[str, Dialect] = {
+    d.name: d for d in (ANSI, SQLITE, DUCKDB, POSTGRES)
+}
+
+#: The names ``repro emit --dialect`` (and friends) accept.
+DIALECT_NAMES: tuple[str, ...] = tuple(DIALECTS)
+
+DialectLike = Union[str, Dialect]
+
+
+def get_dialect(dialect: DialectLike) -> Dialect:
+    """Resolve a dialect name (or pass an instance through).
+
+    Raises :class:`~repro.errors.ReproError` for unknown names, listing
+    the valid ones — this is the error surfaced by ``--dialect`` flags.
+    """
+    if isinstance(dialect, Dialect):
+        return dialect
+    try:
+        return DIALECTS[dialect]
+    except (KeyError, TypeError):
+        raise ReproError(
+            f"unknown dialect {dialect!r}: expected one of "
+            f"{', '.join(DIALECT_NAMES)}"
+        ) from None
+
+
+__all__ = [
+    "ANSI",
+    "DIALECTS",
+    "DIALECT_NAMES",
+    "DUCKDB",
+    "Dialect",
+    "DialectLike",
+    "DuckDBDialect",
+    "POSTGRES",
+    "PostgresDialect",
+    "SQLITE",
+    "SqliteDialect",
+    "get_dialect",
+]

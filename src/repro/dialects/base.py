@@ -1,0 +1,125 @@
+"""The dialect contract: every rendering decision that differs per DBMS.
+
+A :class:`Dialect` gathers the genuinely engine-specific choices —
+identifier quoting, literal spelling, division semantics, CAST target
+types, LIMIT syntax — behind one object that the printer
+(:mod:`repro.sqlparser.printer`), the SQL emitter
+(:mod:`repro.blocks.to_sql`) and the execution backends
+(:mod:`repro.oracle.backends`) all consume. Concrete dialects live in
+:mod:`repro.dialects.rules`; the registry in
+:mod:`repro.dialects.__init__` resolves them by name.
+
+The base class *is* the ANSI dialect: bare identifiers whenever the
+lexer can re-read them (quoted otherwise, so ``parse(print(q))`` still
+round-trips for adversarial names), plain ``/`` division, standard
+literals. Subclasses override only what their engine actually does
+differently.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Optional
+
+#: Names the lexer re-reads unquoted: ASCII letter/underscore head, then
+#: letters, digits, underscores. ``$`` is lexable but quoted anyway for
+#: portability (Postgres only allows it in non-initial positions).
+_BARE_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+#: Words that lex as something other than a plain IDENT token (reserved
+#: keywords plus the aggregate names the parser special-cases). Resolved
+#: lazily: ``repro.dialects`` and ``repro.sqlparser`` import each other
+#: at module level only through this indirection.
+_RESERVED: Optional[frozenset] = None
+
+
+def _reserved() -> frozenset:
+    global _RESERVED
+    if _RESERVED is None:
+        from ..sqlparser.tokens import AGG_NAMES, KEYWORDS
+
+        _RESERVED = frozenset(KEYWORDS) | frozenset(AGG_NAMES)
+    return _RESERVED
+
+
+class Dialect:
+    """Rendering rules of the default (ANSI-ish, re-parseable) output."""
+
+    #: Registry key and display name.
+    name = "ansi"
+    #: Quote every identifier, not just the ones that need it.
+    always_quote = False
+    #: CAST target for exact (non-truncating) division.
+    real_type = "REAL"
+    #: Whether the engine has real TRUE/FALSE literals.
+    boolean_literals = True
+
+    # -- identifiers ---------------------------------------------------
+
+    def quote_ident(self, name: str) -> str:
+        """Force-quote one identifier (`""` escaping, all dialects)."""
+        return '"' + name.replace('"', '""') + '"'
+
+    def needs_quoting(self, name: str) -> bool:
+        return not _BARE_IDENT.match(name) or name.upper() in _reserved()
+
+    def ident(self, name: str) -> str:
+        if self.always_quote or self.needs_quoting(name):
+            return self.quote_ident(name)
+        return name
+
+    def column(self, ref) -> str:
+        """Render a :class:`~repro.sqlparser.ast.ColumnRef`."""
+        if ref.qualifier:
+            return f"{self.ident(ref.qualifier)}.{self.ident(ref.name)}"
+        return self.ident(ref.name)
+
+    # -- literals ------------------------------------------------------
+
+    def null(self) -> str:
+        return "NULL"
+
+    def boolean(self, value: bool) -> str:
+        if self.boolean_literals:
+            return "TRUE" if value else "FALSE"
+        return "1" if value else "0"
+
+    def string(self, value: str) -> str:
+        return "'" + value.replace("'", "''") + "'"
+
+    def literal(self, value: object) -> str:
+        if value is None:
+            return self.null()
+        if isinstance(value, bool):
+            return self.boolean(value)
+        if isinstance(value, str):
+            return self.string(value)
+        if isinstance(value, Fraction):
+            if value.denominator == 1:
+                return str(value.numerator)
+            return self.division(
+                str(value.numerator), str(value.denominator)
+            )
+        return str(value)
+
+    # -- expressions ---------------------------------------------------
+
+    def cast(self, expr: str, type_name: str) -> str:
+        return f"CAST({expr} AS {type_name})"
+
+    def division(self, left: str, right: str) -> str:
+        """Exact division, matching the engine's rational semantics.
+
+        The ANSI form is the plain operator: this output is re-parsed by
+        the repro toolchain itself (repro files, equivalence checks),
+        where ``/`` already divides exactly and ``x / 0`` is NULL. Real
+        engines override this — see :mod:`repro.dialects.rules`.
+        """
+        return f"({left} / {right})"
+
+    # -- clauses -------------------------------------------------------
+
+    def limit(self, count: int) -> str:
+        """A row-limit clause (SQL:2008 fetch-first by default)."""
+        return f"FETCH FIRST {count} ROWS ONLY"

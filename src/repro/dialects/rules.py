@@ -1,0 +1,87 @@
+"""Concrete dialects: SQLite, DuckDB, PostgreSQL.
+
+Each subclass records what that engine genuinely does differently from
+the ANSI base; everything left untouched is a deliberate statement that
+the engine agrees with the default. The table in ``docs/dialects.md``
+mirrors these rules; the golden corpus in ``tests/dialects/goldens/``
+pins every rendered construct per dialect.
+
+Division is the subtle one. The repro engine divides exactly and maps
+``x / 0`` to NULL, so each dialect must emit whatever incantation makes
+*that* engine agree:
+
+* SQLite ``/`` truncates INTEGER operands (``1 / 2 = 0``) but already
+  yields NULL on a zero divisor — CAST the numerator to REAL, done.
+* DuckDB ``/`` is float division, but what a zero divisor does has
+  changed across releases (error vs NULL) — ``NULLIF`` the divisor so
+  the result is NULL by construction on every version.
+* PostgreSQL ``/`` truncates integers AND raises ``division_by_zero`` —
+  both the CAST and the ``NULLIF`` guard are required.
+"""
+
+from __future__ import annotations
+
+from .base import Dialect
+
+
+class SqliteDialect(Dialect):
+    """SQLite: quoted identifiers and non-truncating division.
+
+    ``x / 0`` is natively NULL in SQLite, so no divisor guard is needed;
+    historic SQLite (< 3.23) has no TRUE/FALSE keywords, so booleans are
+    emitted as ``1`` / ``0``.
+    """
+
+    name = "sqlite"
+    always_quote = True
+    real_type = "REAL"
+    boolean_literals = False
+
+    def division(self, left: str, right: str) -> str:
+        # SQLite's / truncates INTEGER operands; the engine divides
+        # exactly. CAST the numerator so the result is REAL either way.
+        return f"({self.cast(left, self.real_type)} / {right})"
+
+    def limit(self, count: int) -> str:
+        return f"LIMIT {count}"
+
+
+class DuckDBDialect(Dialect):
+    """DuckDB: quoted identifiers, guarded float division."""
+
+    name = "duckdb"
+    always_quote = True
+    real_type = "DOUBLE"
+
+    def division(self, left: str, right: str) -> str:
+        # DuckDB's / is float division already, but a zero divisor has
+        # been an error in some releases and NULL in others; NULLIF
+        # forces the engine's x / 0 -> NULL semantics everywhere.
+        return (
+            f"({self.cast(left, self.real_type)} / NULLIF({right}, 0))"
+        )
+
+    def limit(self, count: int) -> str:
+        return f"LIMIT {count}"
+
+
+class PostgresDialect(Dialect):
+    """PostgreSQL: quoted identifiers, guarded exact division.
+
+    Unquoted names fold to lowercase in Postgres, so quoting everything
+    is not just keyword-proofing — it preserves the catalog's case.
+    """
+
+    name = "postgres"
+    always_quote = True
+    real_type = "DOUBLE PRECISION"
+
+    def division(self, left: str, right: str) -> str:
+        # Integer / truncates and a zero divisor raises division_by_zero;
+        # CAST for exactness, NULLIF to turn the error into NULL.
+        return (
+            f"({self.cast(left, self.real_type)} / NULLIF({right}, 0))"
+        )
+
+    def limit(self, count: int) -> str:
+        return f"LIMIT {count}"

@@ -1,0 +1,32 @@
+"""Live-database federation: rewriting middleware over DB-API connections.
+
+:func:`ingest_catalog` introspects a live database into a repro
+:class:`~repro.catalog.schema.Catalog`; :class:`SqlRewriter` turns SQL
+text into dialect-correct rewritten SQL text; :class:`FederationSession`
+binds both to one connection and can execute and verify on it. See
+``docs/dialects.md`` for the quickstart.
+"""
+
+from .catalog import (
+    IngestedRelation,
+    IngestReport,
+    ingest_catalog,
+    parse_materialized_views,
+)
+from .middleware import (
+    FederationResult,
+    FederationSession,
+    SqlRewriteOutcome,
+    SqlRewriter,
+)
+
+__all__ = [
+    "FederationResult",
+    "FederationSession",
+    "IngestReport",
+    "IngestedRelation",
+    "SqlRewriteOutcome",
+    "SqlRewriter",
+    "ingest_catalog",
+    "parse_materialized_views",
+]

@@ -1,0 +1,290 @@
+"""Ingest a live database's catalog over a DB-API connection.
+
+The federation entry point: point repro at a real DBMS and come back
+with a :class:`~repro.catalog.schema.Catalog` describing its base
+tables, its views (parsed back through repro's own SQL front end so they
+become rewriting candidates), and any *materialized* views — tables the
+operator declares to hold the result of a defining query, the Hasura
+deployment shape where summary tables sit next to the facts they
+summarize.
+
+Introspection is dialect-aware but deliberately lowest-common-
+denominator: SQLite's ``sqlite_master`` + ``PRAGMA table_info``, and
+``information_schema`` for DuckDB/Postgres. View definitions that fall
+outside the paper's query class (OR, subqueries, outer joins, ...) are
+skipped with a reason, never fatal — a federation over a big schema
+should use every view it *can* parse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..blocks.normalize import normalize_select, parse_view
+from ..blocks.query_block import ViewDef
+from ..catalog.schema import Catalog, table
+from ..dialects import DialectLike, get_dialect
+from ..errors import ReproError
+from ..sqlparser.ast import CreateViewStmt, SelectStmt
+from ..sqlparser.parser import parse_statement
+
+
+@dataclass(frozen=True)
+class IngestedRelation:
+    """One live relation as discovered: name, columns, primary key."""
+
+    name: str
+    columns: tuple[str, ...]
+    primary_key: tuple[str, ...] = ()
+
+
+@dataclass
+class IngestReport:
+    """What :func:`ingest_catalog` found, kept, and had to skip."""
+
+    dialect: str = "sqlite"
+    tables: list[str] = field(default_factory=list)
+    views: list[str] = field(default_factory=list)
+    materialized: list[str] = field(default_factory=list)
+    #: (relation name, reason) for every view left out of the catalog.
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "dialect": self.dialect,
+            "tables": list(self.tables),
+            "views": list(self.views),
+            "materialized": list(self.materialized),
+            "skipped": [list(pair) for pair in self.skipped],
+        }
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.tables)} table(s)",
+            f"{len(self.views)} view(s)",
+        ]
+        if self.materialized:
+            parts.append(f"{len(self.materialized)} materialized")
+        if self.skipped:
+            parts.append(f"{len(self.skipped)} skipped")
+        return f"ingested [{self.dialect}]: " + ", ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Introspection
+# ----------------------------------------------------------------------
+
+
+def _sqlite_relations(connection) -> tuple[list, list]:
+    """(tables, views-with-sql) from ``sqlite_master``."""
+    cursor = connection.cursor()
+    cursor.execute(
+        "SELECT name, type, sql FROM sqlite_master "
+        "WHERE type IN ('table', 'view') AND name NOT LIKE 'sqlite_%' "
+        "ORDER BY name"
+    )
+    tables: list[IngestedRelation] = []
+    views: list[tuple[str, str, tuple[str, ...]]] = []
+    for name, kind, sql in cursor.fetchall():
+        info = connection.cursor()
+        quoted = '"' + name.replace('"', '""') + '"'
+        info.execute(f"PRAGMA table_info({quoted})")
+        rows = info.fetchall()
+        columns = tuple(row[1] for row in rows)
+        pk = tuple(
+            row[1] for row in sorted(rows, key=lambda r: r[5]) if row[5]
+        )
+        if kind == "table":
+            tables.append(IngestedRelation(name, columns, pk))
+        else:
+            views.append((name, sql or "", columns))
+    return tables, views
+
+
+def _information_schema_relations(connection) -> tuple[list, list]:
+    """(tables, views-with-sql) from ``information_schema``."""
+    hidden = ("information_schema", "pg_catalog")
+    cursor = connection.cursor()
+    cursor.execute(
+        "SELECT table_schema, table_name, table_type "
+        "FROM information_schema.tables "
+        "ORDER BY table_schema, table_name"
+    )
+    relations = [
+        (schema, name, kind)
+        for schema, name, kind in cursor.fetchall()
+        if schema not in hidden
+    ]
+
+    def quote_str(value: str) -> str:
+        # Inline literals instead of placeholders: paramstyle differs
+        # across drivers (qmark vs format) but '' escaping does not.
+        return "'" + value.replace("'", "''") + "'"
+
+    def columns_of(schema: str, name: str) -> tuple[str, ...]:
+        info = connection.cursor()
+        info.execute(
+            "SELECT column_name FROM information_schema.columns "
+            f"WHERE table_schema = {quote_str(schema)} "
+            f"AND table_name = {quote_str(name)} "
+            "ORDER BY ordinal_position"
+        )
+        return tuple(row[0] for row in info.fetchall())
+
+    tables: list[IngestedRelation] = []
+    views: list[tuple[str, str, tuple[str, ...]]] = []
+    for schema, name, kind in relations:
+        columns = columns_of(schema, name)
+        if kind == "VIEW":
+            defn = connection.cursor()
+            defn.execute(
+                "SELECT view_definition FROM information_schema.views "
+                f"WHERE table_schema = {quote_str(schema)} "
+                f"AND table_name = {quote_str(name)}"
+            )
+            row = defn.fetchone()
+            views.append((name, (row[0] or "") if row else "", columns))
+        else:
+            tables.append(IngestedRelation(name, columns, ()))
+    return tables, views
+
+
+def _parse_view_sql(
+    name: str, sql: str, columns: tuple[str, ...], catalog: Catalog
+) -> ViewDef:
+    """Parse a stored view definition into a ViewDef against ``catalog``.
+
+    Accepts both full ``CREATE VIEW`` text (sqlite_master) and a bare
+    ``SELECT`` (information_schema ``view_definition``); the introspected
+    column names win when the definition carries no explicit list.
+    """
+    text = sql.strip().rstrip(";").strip()
+    if not text:
+        raise ReproError(f"view {name}: no stored definition")
+    if text.upper().startswith("CREATE"):
+        stmt = parse_statement(text)
+        if not isinstance(stmt, CreateViewStmt):
+            raise ReproError(f"view {name}: not a CREATE VIEW statement")
+        select: SelectStmt = stmt.select
+        declared = stmt.columns
+    else:
+        stmt = parse_statement(text)
+        if not isinstance(stmt, SelectStmt):
+            raise ReproError(f"view {name}: not a SELECT definition")
+        select = stmt
+        declared = ()
+    block = normalize_select(select, catalog)
+    output_names = declared or columns or block.output_names()
+    return ViewDef(name, block, tuple(output_names))
+
+
+# ----------------------------------------------------------------------
+# The entry point
+# ----------------------------------------------------------------------
+
+
+def ingest_catalog(
+    connection,
+    dialect: DialectLike = "sqlite",
+    materialized: Optional[Mapping[str, str]] = None,
+    row_counts: bool = False,
+) -> tuple[Catalog, IngestReport]:
+    """Build a :class:`Catalog` from a live DB-API connection.
+
+    ``materialized`` maps table names to the SQL of the query each table
+    materializes; those tables are registered as views (rewriting
+    candidates) rather than base tables, so emitted rewritings reference
+    the summary table directly. ``row_counts=True`` additionally runs
+    ``SELECT COUNT(*)`` per relation so the cost model ranks rewritings
+    with live cardinalities.
+
+    Views whose stored SQL falls outside the supported query class are
+    recorded in ``report.skipped`` and left out of the catalog.
+    """
+    resolved = get_dialect(dialect)
+    materialized = dict(materialized or {})
+    report = IngestReport(dialect=resolved.name)
+
+    if resolved.name in ("ansi", "sqlite"):
+        raw_tables, raw_views = _sqlite_relations(connection)
+    else:
+        raw_tables, raw_views = _information_schema_relations(connection)
+
+    catalog = Catalog()
+    deferred_tables = []
+    for relation in raw_tables:
+        if relation.name in materialized:
+            deferred_tables.append(relation)
+            continue
+        catalog.add_table(
+            table(
+                relation.name,
+                relation.columns,
+                key=relation.primary_key or None,
+            )
+        )
+        report.tables.append(relation.name)
+
+    # Views may reference each other; retry until a fixpoint so
+    # dependency order never matters.
+    pending: list[tuple[str, str, tuple[str, ...], str]] = [
+        (name, sql, columns, "view") for name, sql, columns in raw_views
+    ] + [
+        (rel.name, materialized[rel.name], rel.columns, "materialized")
+        for rel in deferred_tables
+    ]
+    reasons: dict[str, str] = {}
+    while pending:
+        progressed = False
+        still_pending = []
+        for name, sql, columns, kind in pending:
+            try:
+                view = _parse_view_sql(name, sql, columns, catalog)
+                catalog.add_view(view)
+            except ReproError as error:
+                reasons[name] = str(error)
+                still_pending.append((name, sql, columns, kind))
+                continue
+            progressed = True
+            (report.views if kind == "view" else report.materialized).append(
+                name
+            )
+        pending = still_pending
+        if not progressed:
+            break
+    for name, _sql, _columns, _kind in pending:
+        report.skipped.append((name, reasons.get(name, "unparseable")))
+
+    if row_counts:
+        for name in report.tables:
+            cursor = connection.cursor()
+            cursor.execute(
+                f'SELECT COUNT(*) FROM {resolved.quote_ident(name)}'
+            )
+            catalog.set_table_row_count(name, cursor.fetchone()[0])
+        for name in report.views + report.materialized:
+            cursor = connection.cursor()
+            cursor.execute(
+                f'SELECT COUNT(*) FROM {resolved.quote_ident(name)}'
+            )
+            catalog.set_row_count(name, cursor.fetchone()[0])
+    return catalog, report
+
+
+def parse_materialized_views(
+    catalog: Catalog, definitions: Mapping[str, str]
+) -> list[ViewDef]:
+    """Register extra materialized-view definitions on a built catalog.
+
+    For deployments where the summary tables live in the database but
+    their defining SQL lives in configuration (the common case): each
+    ``name -> SELECT`` entry becomes a catalog view named after the
+    table the rewritten SQL should reference.
+    """
+    views = []
+    for name, sql in definitions.items():
+        view = parse_view(sql, catalog, name=name)
+        catalog.add_view(view)
+        views.append(view)
+    return views

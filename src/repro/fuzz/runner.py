@@ -19,6 +19,7 @@ from typing import Optional
 from ..errors import OracleUnsupported
 from ..obs.budget import SearchBudget
 from ..oracle import CrossChecker
+from ..oracle.backends import available_backends
 from ..workloads.random_queries import Scenario
 from .generate import PROFILES, fuzz_scenario
 from .serialize import scenario_to_json
@@ -43,6 +44,7 @@ class FuzzStats:
     shrink_iterations: int = 0
     elapsed: float = 0.0
     engine: str = "auto"
+    backends: tuple = ("sqlite",)
     by_profile: dict = field(default_factory=dict)
     failure_files: list = field(default_factory=list)
 
@@ -61,6 +63,7 @@ class FuzzStats:
             "elapsed_seconds": round(self.elapsed, 3),
             "scenarios_per_sec": round(self.scenarios_per_sec, 2),
             "engine": self.engine,
+            "backends": list(self.backends),
             "by_profile": dict(self.by_profile),
             "failure_files": [str(p) for p in self.failure_files],
         }
@@ -76,16 +79,22 @@ class FuzzRunner:
         max_rewritings_per_scenario: int = 8,
         shrink_checks: int = 300,
         engine: str = "auto",
+        backends: tuple = ("sqlite",),
     ):
         self.out_dir = Path(out_dir)
         self.base_seed = base_seed
         #: Execution-engine mode for every scenario evaluation:
-        #: ``row``/``columnar``/``auto`` run that engine against SQLite;
-        #: ``both`` additionally cross-checks row vs columnar per
-        #: evaluation (three-way agreement).
+        #: ``row``/``columnar``/``auto`` run that engine against the live
+        #: backends; ``both`` additionally cross-checks row vs columnar
+        #: per evaluation (N-way agreement).
         self.engine = engine
+        #: Live backend names every scenario executes on (the N-way
+        #: oracle: row = columnar = SQLite = DuckDB = ...).
+        self.backends = tuple(backends)
         self.checker = CrossChecker(
-            max_rewritings=max_rewritings_per_scenario, engine=engine
+            max_rewritings=max_rewritings_per_scenario,
+            engine=engine,
+            backends=self.backends,
         )
         self.shrink_checks = shrink_checks
 
@@ -99,7 +108,7 @@ class FuzzRunner:
         progress=None,
     ) -> FuzzStats:
         """Fuzz until the time budget, scenario count or failure cap."""
-        stats = FuzzStats(engine=self.engine)
+        stats = FuzzStats(engine=self.engine, backends=self.backends)
         start = time.perf_counter()
         index = 0
         while True:
@@ -171,6 +180,7 @@ class FuzzRunner:
             result.scenario,
             profile=profile,
             engine=self.engine,
+            backends=list(self.backends),
             budget=budget.as_dict() if budget is not None else None,
             mismatches=[m.describe() for m in report.mismatches],
             shrink={
@@ -188,12 +198,15 @@ def replay(
     path: Path,
     budget: Optional[SearchBudget] = None,
     engine: Optional[str] = None,
+    backends: Optional[tuple] = None,
 ):
     """Re-run a persisted repro; returns the fresh :class:`CheckReport`.
 
-    ``engine`` defaults to the mode recorded in the repro document, so a
-    failure found by the ``both`` cross-engine sweep replays under the
-    same three-way check.
+    ``engine`` and ``backends`` default to the modes recorded in the
+    repro document, so a failure found by an N-way sweep replays under
+    the same cross-checks. Recorded backends whose driver is absent on
+    this machine are dropped (with SQLite always retained), so a repro
+    from the CI DuckDB job still replays locally.
     """
     from .serialize import scenario_from_json
 
@@ -208,4 +221,10 @@ def replay(
         )
     if engine is None:
         engine = doc.get("engine", "auto")
-    return CrossChecker(engine=engine).check(scenario, budget=budget)
+    if backends is None:
+        backends = tuple(doc.get("backends", ("sqlite",)))
+    installed = set(available_backends())
+    backends = tuple(b for b in backends if b in installed) or ("sqlite",)
+    return CrossChecker(engine=engine, backends=backends).check(
+        scenario, budget=budget
+    )

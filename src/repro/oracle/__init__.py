@@ -3,12 +3,23 @@
 The repro engine (:mod:`repro.engine`) is both the evaluator *and* the
 referee of every soundness check, so a bug shared by the evaluator and
 the rewriter is invisible to the in-repo harnesses. This package lowers
-:class:`~repro.blocks.query_block.QueryBlock`\\ s to standard SQL executed
-on stdlib ``sqlite3`` — an independently implemented backend — and
-asserts multiset-equality of the query, every view materialization and
-every produced rewriting across the two engines (see ``docs/oracle.md``).
+:class:`~repro.blocks.query_block.QueryBlock`\\ s to dialect-correct SQL
+(:mod:`repro.dialects`) executed on independently implemented backends —
+stdlib ``sqlite3`` always, DuckDB when installed — and asserts
+multiset-equality of the query, every view materialization and every
+produced rewriting across all of them (see ``docs/oracle.md`` and
+``docs/dialects.md``).
 """
 
+from .backends import (
+    BACKEND_NAMES,
+    DBAPIBackend,
+    DuckDBBackend,
+    SQLiteBackend,
+    available_backends,
+    backend_available,
+    create_backend,
+)
 from .crosscheck import (
     ENGINE_MODES,
     CheckReport,
@@ -16,17 +27,23 @@ from .crosscheck import (
     Mismatch,
     check_scenario,
 )
-from .sqlite import SQLiteBackend, compile_block
+from .sqlite import compile_block
 from .values import normalize_row, normalize_value, rows_multiset_equal
 
 __all__ = [
+    "BACKEND_NAMES",
     "CheckReport",
     "CrossChecker",
+    "DBAPIBackend",
+    "DuckDBBackend",
     "ENGINE_MODES",
     "Mismatch",
     "SQLiteBackend",
+    "available_backends",
+    "backend_available",
     "check_scenario",
     "compile_block",
+    "create_backend",
     "normalize_row",
     "normalize_value",
     "rows_multiset_equal",

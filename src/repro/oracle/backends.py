@@ -1,0 +1,229 @@
+"""Execution backends: one live DBMS per installed driver.
+
+:class:`DBAPIBackend` runs compiled QueryBlocks on any DB-API 2.0
+connection whose engine one of the :mod:`repro.dialects` describes; the
+cross-checker (:mod:`repro.oracle.crosscheck`) treats every backend as
+one more axis of the N-way oracle (row engine = columnar engine =
+SQLite = DuckDB = ...).
+
+SQLite is always available (stdlib ``sqlite3``); DuckDB joins the
+registry when the ``duckdb`` package is importable. Postgres has a
+dialect (for emission) but no in-process backend — there is no server
+to connect to in tests or CI — so it deliberately does not appear here.
+
+Views are **materialized** into tables (``CREATE TABLE …; INSERT …
+SELECT``) from the backend's own evaluation of the view body, never from
+engine-computed rows, so each backend stays fully independent of the
+repro engine. Auxiliary views of a rewriting (the ``Va`` of steps
+S4'/S5') are created as real views with an explicit column list.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..blocks.query_block import QueryBlock, ViewDef
+from ..blocks.to_sql import block_to_sql
+from ..dialects import DUCKDB, SQLITE, Dialect
+from ..errors import OracleUnsupported
+
+#: CREATE VIEW name (columns) AS … needs SQLite 3.9.0 (2015-10).
+_SQLITE_VIEW_COLUMNS_MIN_VERSION = (3, 9, 0)
+
+
+class DBAPIBackend:
+    """One in-memory database mirroring a catalog instance.
+
+    Subclasses bind a concrete driver: they provide the connection, the
+    emission :class:`~repro.dialects.Dialect` and the driver's error
+    type(s). Everything else — DDL, loading, materialization, block
+    execution — is the shared DB-API choreography below.
+    """
+
+    #: Registry key (matches the dialect name).
+    name: str = "dbapi"
+    #: Dialect used both for DDL identifiers and compiled SELECTs.
+    dialect: Dialect
+    #: Exception classes the driver raises for rejected SQL.
+    error_types: tuple = ()
+    #: DB-API parameter placeholder (qmark for sqlite3 and duckdb).
+    placeholder: str = "?"
+
+    def __init__(self, connection) -> None:
+        self.connection = connection
+        self._local_views: list[str] = []
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "DBAPIBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def compile_block(self, block: QueryBlock) -> str:
+        """Lower a QueryBlock to this backend's SQL text."""
+        return block_to_sql(block, dialect=self.dialect)
+
+    def _quote(self, name: str) -> str:
+        return self.dialect.quote_ident(name)
+
+    def _execute(self, sql: str, parameters: Optional[Sequence] = None):
+        cursor = self.connection.cursor()
+        if parameters is None:
+            cursor.execute(sql)
+        else:
+            cursor.execute(sql, parameters)
+        return cursor
+
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[str]) -> None:
+        cols = ", ".join(self._quote(c) for c in columns)
+        self._execute(f"CREATE TABLE {self._quote(name)} ({cols})")
+
+    def load_rows(self, name: str, rows: Iterable[Sequence]) -> None:
+        rows = [tuple(r) for r in rows]
+        if not rows:
+            return
+        placeholders = ", ".join(self.placeholder for _ in rows[0])
+        cursor = self.connection.cursor()
+        cursor.executemany(
+            f"INSERT INTO {self._quote(name)} VALUES ({placeholders})",
+            rows,
+        )
+
+    def materialize_view(self, view: ViewDef) -> list[tuple]:
+        """Evaluate a view with the backend itself and store it as a table.
+
+        Returns the materialized rows (for cross-checking against the
+        engine's own materialization).
+        """
+        self.create_table(view.name, view.output_names)
+        select = self.compile_block(view.block)
+        self._execute(f"INSERT INTO {self._quote(view.name)}\n{select}")
+        return self.fetch_table(view.name)
+
+    def create_local_view(self, view: ViewDef) -> None:
+        """Create an auxiliary (rewriting-local) view as a real view."""
+        cols = ", ".join(self._quote(c) for c in view.output_names)
+        select = self.compile_block(view.block)
+        self._execute(
+            f"CREATE VIEW {self._quote(view.name)} ({cols}) AS\n{select}"
+        )
+        self._local_views.append(view.name)
+
+    def drop_local_views(self) -> None:
+        while self._local_views:
+            name = self._local_views.pop()
+            self._execute(f"DROP VIEW IF EXISTS {self._quote(name)}")
+
+    # ------------------------------------------------------------------
+
+    def execute_block(self, block: QueryBlock) -> list[tuple]:
+        """Run a compiled QueryBlock and return its rows."""
+        sql = self.compile_block(block)
+        try:
+            cursor = self._execute(sql)
+        except self.error_types as error:  # pragma: no cover - upstream
+            raise OracleUnsupported(
+                f"{self.name} rejected compiled SQL ({error}):\n{sql}"
+            ) from error
+        return [tuple(row) for row in cursor.fetchall()]
+
+    def fetch_table(self, name: str) -> list[tuple]:
+        cursor = self._execute(f"SELECT * FROM {self._quote(name)}")
+        return [tuple(row) for row in cursor.fetchall()]
+
+
+class SQLiteBackend(DBAPIBackend):
+    """The always-available backend: stdlib ``sqlite3`` in memory."""
+
+    name = "sqlite"
+    dialect = SQLITE
+    error_types = (sqlite3.Error,)
+
+    def __init__(self, connection: Optional[sqlite3.Connection] = None):
+        super().__init__(connection or sqlite3.connect(":memory:"))
+
+    def create_local_view(self, view: ViewDef) -> None:
+        version = tuple(
+            int(part) for part in sqlite3.sqlite_version.split(".")
+        )
+        if version < _SQLITE_VIEW_COLUMNS_MIN_VERSION:
+            raise OracleUnsupported(
+                "CREATE VIEW with a column list needs SQLite >= 3.9 "
+                f"(found {sqlite3.sqlite_version})"
+            )
+        super().create_local_view(view)
+
+
+class DuckDBBackend(DBAPIBackend):
+    """DuckDB in memory; registered only when the driver is installed."""
+
+    name = "duckdb"
+    dialect = DUCKDB
+
+    def __init__(self, connection=None):
+        duckdb = _import_duckdb()
+        self.error_types = (duckdb.Error,)
+        super().__init__(connection or duckdb.connect(":memory:"))
+
+
+def _import_duckdb():
+    try:
+        import duckdb
+    except ImportError:
+        raise OracleUnsupported(
+            "the duckdb package is not installed; "
+            "`pip install duckdb` enables the DuckDB oracle backend"
+        ) from None
+    return duckdb
+
+
+#: Every backend the checker can be asked for, installed or not.
+BACKEND_NAMES: tuple[str, ...] = ("sqlite", "duckdb")
+
+_FACTORIES: dict[str, Callable[[], DBAPIBackend]] = {
+    "sqlite": SQLiteBackend,
+    "duckdb": DuckDBBackend,
+}
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``create_backend(name)`` would succeed right now."""
+    if name == "sqlite":
+        return True
+    if name == "duckdb":
+        try:
+            _import_duckdb()
+        except OracleUnsupported:
+            return False
+        return True
+    return False
+
+
+def available_backends() -> tuple[str, ...]:
+    """The subset of :data:`BACKEND_NAMES` with an installed driver."""
+    return tuple(n for n in BACKEND_NAMES if backend_available(n))
+
+
+def create_backend(name: str) -> DBAPIBackend:
+    """Instantiate a fresh in-memory backend by registry name.
+
+    Unknown names raise :class:`ValueError`; a known backend whose
+    driver is missing raises :class:`~repro.errors.OracleUnsupported`
+    (callers treat that as skip-with-reason).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown oracle backend {name!r}: expected one of "
+            f"{', '.join(BACKEND_NAMES)}"
+        ) from None
+    return factory()

@@ -1,21 +1,22 @@
 """Cross-backend multiset-equality checking of queries and rewritings.
 
 For one scenario (query, views, database instance) the checker runs, on
-both the repro engine and SQLite:
+the repro engine and on every configured live backend (SQLite always,
+DuckDB when installed — see :mod:`repro.oracle.backends`):
 
 1. every catalog view's materialization,
 2. the query directly over the base tables,
 3. every produced rewriting over the materialized views,
 
-and demands multiset-equality (a) between the two backends for each of
-those, and (b) between each rewriting and the original query *within*
-each backend. Check (b) on SQLite is the fully independent soundness
-oracle: it involves the repro engine nowhere.
+and demands multiset-equality (a) between the engine and each backend
+for each of those, and (b) between each rewriting and the query *within*
+each backend. Check (b) on a live backend is the fully independent
+soundness oracle: it involves the repro engine nowhere.
 
 With ``engine="both"`` every repro-engine evaluation additionally runs
 on *both* the row and the columnar executors and their agreement is
-enforced too, making each scenario a three-way oracle
-(row engine = columnar engine = SQLite).
+enforced too. Together with multiple backends each scenario becomes an
+N-way oracle (row engine = columnar engine = SQLite = DuckDB = ...).
 
 One deliberate boundary: when the *base data* contains SQL NULLs, check
 (b) is recorded as skipped rather than enforced. The paper's rewriting
@@ -33,7 +34,7 @@ callers treat as skip-with-reason.
 
 from __future__ import annotations
 
-import sqlite3
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
@@ -41,10 +42,10 @@ from ..blocks.query_block import QueryBlock
 from ..core.multiview import all_rewritings
 from ..core.result import Rewriting
 from ..engine.database import Database
-from ..errors import OracleUnsupported, ReproError
+from ..errors import ReproError
 from ..obs.budget import BudgetMeter, SearchBudget
-from .sqlite import SQLiteBackend, compile_block
-from .values import rows_multiset, rows_multiset_equal
+from .backends import BACKEND_NAMES, DBAPIBackend, create_backend
+from .values import rows_multiset_equal
 
 
 @dataclass
@@ -78,6 +79,7 @@ class CheckReport:
     checks: int = 0
     rewritings: int = 0
     skipped: list[str] = field(default_factory=list)
+    backends: tuple[str, ...] = ("sqlite",)
 
     @property
     def ok(self) -> bool:
@@ -87,25 +89,26 @@ class CheckReport:
         if self.ok:
             return (
                 f"ok: {self.checks} checks, {self.rewritings} rewritings, "
-                f"{len(self.skipped)} skipped"
+                f"{len(self.skipped)} skipped "
+                f"[backends: {', '.join(self.backends)}]"
             )
         return "\n".join(m.describe() for m in self.mismatches)
 
 
 #: Engine modes the checker accepts: the evaluator's modes plus
 #: ``"both"``, which runs row *and* columnar per evaluation and adds
-#: their agreement as a third oracle axis (three-way agreement:
-#: row engine vs columnar engine vs SQLite).
+#: their agreement as one more oracle axis.
 ENGINE_MODES = ("row", "columnar", "auto", "both")
 
 
 class CrossChecker:
-    """Runs scenarios through the engine and SQLite and compares."""
+    """Runs scenarios through the engine and live backends and compares."""
 
     def __init__(
         self,
         max_rewritings: Optional[int] = None,
         engine: str = "auto",
+        backends: Sequence[str] = ("sqlite",),
     ):
         #: Cap on rewritings checked per scenario (None = all). The fuzz
         #: loop uses a cap so one view-rich scenario cannot eat the budget.
@@ -119,6 +122,18 @@ class CrossChecker:
         #: cross-checks the row and columnar engines against each other
         #: on every evaluation (see :func:`_engine_rows`).
         self.engine = engine
+        for name in backends:
+            if name not in BACKEND_NAMES:
+                raise ValueError(
+                    f"unknown oracle backend {name!r}: expected a subset "
+                    f"of {BACKEND_NAMES}"
+                )
+        if not backends:
+            raise ValueError("at least one oracle backend is required")
+        #: Live backends each scenario executes on, in order. Asking for
+        #: a backend whose driver is missing raises
+        #: :class:`~repro.errors.OracleUnsupported` per check() call.
+        self.backends = tuple(backends)
 
     def _engine_rows(
         self, report, db, query, extra_views, context: str, sql: str
@@ -157,7 +172,7 @@ class CrossChecker:
         passing a ``budget`` exercises the degraded search path (partial
         result sets must still be sound).
         """
-        report = CheckReport()
+        report = CheckReport(backends=self.backends)
         db = Database(scenario.catalog, scenario.instance)
         null_base = any(
             value is None
@@ -165,19 +180,27 @@ class CrossChecker:
             for row in rows
             for value in row
         )
-        with SQLiteBackend() as backend:
-            for name, schema in scenario.catalog.tables.items():
-                backend.create_table(name, schema.columns)
-                backend.load_rows(name, scenario.instance.get(name, []))
+        with ExitStack() as stack:
+            backends = [
+                stack.enter_context(create_backend(name))
+                for name in self.backends
+            ]
+            for backend in backends:
+                for name, schema in scenario.catalog.tables.items():
+                    backend.create_table(name, schema.columns)
+                    backend.load_rows(
+                        name, scenario.instance.get(name, [])
+                    )
 
             for view in scenario.views:
-                self._check_view(report, db, backend, view)
+                self._check_view(report, db, backends, view)
 
-            engine_q, sqlite_q = self._check_query(
-                report, db, backend, scenario.query
+            engine_q, backend_q = self._check_query(
+                report, db, backends, scenario.query
             )
             if null_base:
-                engine_q = sqlite_q = None
+                engine_q = None
+                backend_q = {}
                 report.skipped.append(
                     "rewriting-vs-query: NULL base data is outside the "
                     "rewriting model (backend agreement still enforced)"
@@ -189,7 +212,7 @@ class CrossChecker:
                 rewritings = list(rewritings)[: self.max_rewritings]
             for i, rewriting in enumerate(rewritings):
                 self._check_rewriting(
-                    report, db, backend, rewriting, i, engine_q, sqlite_q
+                    report, db, backends, rewriting, i, engine_q, backend_q
                 )
                 report.rewritings += 1
         return report
@@ -207,104 +230,130 @@ class CrossChecker:
             budget=meter,
         )
 
-    def _check_view(self, report, db, backend, view) -> None:
-        report.checks += 1
+    def _check_view(self, report, db, backends, view) -> None:
         context = f"view {view.name}"
-        sql = compile_block(view.block)
-        try:
-            sqlite_rows = backend.materialize_view(view)
-        except sqlite3.Error as error:
-            report.mismatches.append(
-                Mismatch(context, "engine", "sqlite", [], [],
-                         sql=sql, note=f"sqlite error: {error}")
-            )
-            return
         try:
             if self.engine == "both":
                 engine_rows = self._engine_rows(
-                    report, db, view.block, None, context, sql
+                    report, db, view.block, None, context,
+                    backends[0].compile_block(view.block),
                 )
             else:
                 engine_rows = db.materialize(view.name).rows
         except ReproError as error:
+            report.checks += 1
             report.mismatches.append(
-                Mismatch(context, "engine", "sqlite", [], sqlite_rows,
-                         sql=sql, note=f"engine error: {error}")
+                Mismatch(context, "engine", "any-backend", [], [],
+                         note=f"engine error: {error}")
             )
             return
-        if not rows_multiset_equal(engine_rows, sqlite_rows):
-            report.mismatches.append(
-                Mismatch(context, "engine", "sqlite",
-                         engine_rows, sqlite_rows, sql=sql)
-            )
+        for backend in backends:
+            report.checks += 1
+            sql = backend.compile_block(view.block)
+            try:
+                backend_rows = backend.materialize_view(view)
+            except backend.error_types as error:
+                report.mismatches.append(
+                    Mismatch(context, "engine", backend.name, [], [],
+                             sql=sql, note=f"{backend.name} error: {error}")
+                )
+                continue
+            if not rows_multiset_equal(engine_rows, backend_rows):
+                report.mismatches.append(
+                    Mismatch(context, "engine", backend.name,
+                             engine_rows, backend_rows, sql=sql)
+                )
 
     def _check_query(
-        self, report, db, backend, query: QueryBlock
-    ) -> tuple[Optional[list], Optional[list]]:
-        report.checks += 1
-        sql = compile_block(query)
+        self, report, db, backends, query: QueryBlock
+    ) -> tuple[Optional[list], dict[str, list]]:
         engine_rows: Optional[list] = None
-        sqlite_rows: Optional[list] = None
-        note = ""
+        engine_note = ""
         try:
             engine_rows = self._engine_rows(
-                report, db, query, None, "query", sql
+                report, db, query, None, "query",
+                backends[0].compile_block(query),
             )
         except ReproError as error:
-            note = f"engine error: {error}"
-        try:
-            sqlite_rows = backend.execute_block(query)
-        except sqlite3.Error as error:
-            note = (note + "; " if note else "") + f"sqlite error: {error}"
-        if note or not rows_multiset_equal(engine_rows or [], sqlite_rows or []):
-            report.mismatches.append(
-                Mismatch("query", "engine", "sqlite",
-                         engine_rows or [], sqlite_rows or [],
-                         sql=sql, note=note)
-            )
-        return engine_rows, sqlite_rows
+            engine_note = f"engine error: {error}"
+        backend_q: dict[str, list] = {}
+        for backend in backends:
+            report.checks += 1
+            sql = backend.compile_block(query)
+            note = engine_note
+            backend_rows: Optional[list] = None
+            try:
+                backend_rows = backend.execute_block(query)
+            except backend.error_types as error:
+                note = (note + "; " if note else "") + (
+                    f"{backend.name} error: {error}"
+                )
+            if note or not rows_multiset_equal(
+                engine_rows or [], backend_rows or []
+            ):
+                report.mismatches.append(
+                    Mismatch("query", "engine", backend.name,
+                             engine_rows or [], backend_rows or [],
+                             sql=sql, note=note)
+                )
+            if backend_rows is not None:
+                backend_q[backend.name] = backend_rows
+        return engine_rows, backend_q
 
     def _check_rewriting(
-        self, report, db, backend, rewriting, index, engine_q, sqlite_q
+        self, report, db, backends, rewriting, index, engine_q, backend_q
     ) -> None:
         context = f"rewriting[{index}] using {','.join(rewriting.view_names)}"
         sql = rewriting.sql()
         engine_rows: Optional[list] = None
-        sqlite_rows: Optional[list] = None
-        note = ""
+        engine_note = ""
         try:
             engine_rows = self._engine_rows(
                 report, db, rewriting.query, rewriting.extra_views(),
                 context, sql,
             )
         except ReproError as error:
-            note = f"engine error: {error}"
-        try:
-            for aux in rewriting.aux_views:
-                backend.create_local_view(aux)
-            sqlite_rows = backend.execute_block(rewriting.query)
-        except sqlite3.Error as error:
-            note = (note + "; " if note else "") + f"sqlite error: {error}"
-        finally:
-            backend.drop_local_views()
+            engine_note = f"engine error: {error}"
 
-        report.checks += 1
-        if note or not rows_multiset_equal(engine_rows or [], sqlite_rows or []):
-            report.mismatches.append(
-                Mismatch(context, "engine", "sqlite",
-                         engine_rows or [], sqlite_rows or [],
-                         sql=sql, note=note)
-            )
-            return
-        # Pure-independent soundness: the rewriting must equal the query
-        # on SQLite alone (the repro engine is not involved at all).
-        report.checks += 1
-        if sqlite_q is not None and sqlite_rows is not None:
-            if not rows_multiset_equal(sqlite_rows, sqlite_q):
-                report.mismatches.append(
-                    Mismatch(f"{context} vs query", "sqlite rewriting",
-                             "sqlite query", sqlite_rows, sqlite_q, sql=sql)
+        for backend in backends:
+            note = engine_note
+            backend_rows: Optional[list] = None
+            try:
+                for aux in rewriting.aux_views:
+                    backend.create_local_view(aux)
+                backend_rows = backend.execute_block(rewriting.query)
+            except backend.error_types as error:
+                note = (note + "; " if note else "") + (
+                    f"{backend.name} error: {error}"
                 )
+            finally:
+                backend.drop_local_views()
+
+            report.checks += 1
+            if note or not rows_multiset_equal(
+                engine_rows or [], backend_rows or []
+            ):
+                report.mismatches.append(
+                    Mismatch(context, "engine", backend.name,
+                             engine_rows or [], backend_rows or [],
+                             sql=sql, note=note)
+                )
+                continue
+            # Pure-independent soundness: the rewriting must equal the
+            # query on the live backend alone (the repro engine is not
+            # involved at all).
+            report.checks += 1
+            query_rows = backend_q.get(backend.name)
+            if query_rows is not None and backend_rows is not None:
+                if not rows_multiset_equal(backend_rows, query_rows):
+                    report.mismatches.append(
+                        Mismatch(
+                            f"{context} vs query",
+                            f"{backend.name} rewriting",
+                            f"{backend.name} query",
+                            backend_rows, query_rows, sql=sql,
+                        )
+                    )
         # And within the engine (the existing differential guarantee).
         report.checks += 1
         if engine_q is not None and engine_rows is not None:
@@ -321,8 +370,9 @@ def check_scenario(
     budget: Optional[Union[SearchBudget, BudgetMeter]] = None,
     max_rewritings: Optional[int] = None,
     engine: str = "auto",
+    backends: Sequence[str] = ("sqlite",),
 ) -> CheckReport:
     """Convenience wrapper: one-shot :class:`CrossChecker` run."""
-    return CrossChecker(max_rewritings=max_rewritings, engine=engine).check(
-        scenario, rewritings=rewritings, budget=budget
-    )
+    return CrossChecker(
+        max_rewritings=max_rewritings, engine=engine, backends=backends
+    ).check(scenario, rewritings=rewritings, budget=budget)

@@ -1,125 +1,26 @@
-"""Execute QueryBlocks on stdlib ``sqlite3`` — the independent backend.
+"""Back-compat home of the SQLite backend (see :mod:`repro.oracle.backends`).
 
-The compiler is deliberately thin: :func:`repro.blocks.to_sql.block_to_ast`
-already lowers the normalized unique-column form back to standard
-``alias.column`` SQL, and the :data:`~repro.sqlparser.printer.SQLITE`
-dialect handles the two genuine SQLite quirks (quoted identifiers,
-REAL-casting division). Everything else — NULL comparisons, grouping,
-HAVING, DISTINCT, aggregate NULL-skipping — is *supposed* to agree with
-the repro engine; disagreements are exactly what the oracle exists to
-surface.
-
-Views are **materialized** into tables (``CREATE TABLE … ; INSERT …
-SELECT``) from SQLite's own evaluation of the view body, never from
-engine-computed rows, so the two backends stay fully independent.
-Auxiliary views of a rewriting (the ``Va`` of steps S4'/S5') are created
-as real SQLite views with an explicit column list, which needs
-SQLite >= 3.9; older libraries raise :class:`OracleUnsupported`.
+The original cross-oracle had exactly one backend, defined here. The
+multi-dialect emitter promoted that printer into :mod:`repro.dialects`
+and the backend into the generic DB-API machinery of
+:mod:`repro.oracle.backends`; this module keeps the historical import
+surface (``SQLiteBackend``, ``compile_block``) alive for callers and
+docs that predate the registry.
 """
 
 from __future__ import annotations
 
-import sqlite3
-from typing import Iterable, Sequence
-
-from ..blocks.query_block import QueryBlock, ViewDef
+from ..blocks.query_block import QueryBlock
 from ..blocks.to_sql import block_to_sql
-from ..errors import OracleUnsupported
-from ..sqlparser.printer import SQLITE
+from ..dialects import SQLITE
+from .backends import (
+    _SQLITE_VIEW_COLUMNS_MIN_VERSION as _VIEW_COLUMNS_MIN_VERSION,
+)
+from .backends import SQLiteBackend
 
-#: CREATE VIEW name (columns) AS … needs SQLite 3.9.0 (2015-10).
-_VIEW_COLUMNS_MIN_VERSION = (3, 9, 0)
-
-
-def _version() -> tuple[int, ...]:
-    return tuple(int(part) for part in sqlite3.sqlite_version.split("."))
+__all__ = ["SQLiteBackend", "compile_block"]
 
 
 def compile_block(block: QueryBlock) -> str:
     """Lower a QueryBlock to SQLite-dialect SQL text."""
     return block_to_sql(block, dialect=SQLITE)
-
-
-def _quote(name: str) -> str:
-    return '"' + name.replace('"', '""') + '"'
-
-
-class SQLiteBackend:
-    """One in-memory SQLite database mirroring a catalog instance."""
-
-    def __init__(self) -> None:
-        self.connection = sqlite3.connect(":memory:")
-        self._local_views: list[str] = []
-
-    def close(self) -> None:
-        self.connection.close()
-
-    def __enter__(self) -> "SQLiteBackend":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    # ------------------------------------------------------------------
-
-    def create_table(self, name: str, columns: Sequence[str]) -> None:
-        cols = ", ".join(_quote(c) for c in columns)
-        self.connection.execute(f"CREATE TABLE {_quote(name)} ({cols})")
-
-    def load_rows(self, name: str, rows: Iterable[Sequence]) -> None:
-        rows = [tuple(r) for r in rows]
-        if not rows:
-            return
-        placeholders = ", ".join("?" for _ in rows[0])
-        self.connection.executemany(
-            f"INSERT INTO {_quote(name)} VALUES ({placeholders})", rows
-        )
-
-    def materialize_view(self, view: ViewDef) -> list[tuple]:
-        """Evaluate a view with SQLite itself and store it as a table.
-
-        Returns the materialized rows (for cross-checking against the
-        engine's own materialization).
-        """
-        self.create_table(view.name, view.output_names)
-        select = compile_block(view.block)
-        self.connection.execute(
-            f"INSERT INTO {_quote(view.name)}\n{select}"
-        )
-        return self.fetch_table(view.name)
-
-    def create_local_view(self, view: ViewDef) -> None:
-        """Create an auxiliary (rewriting-local) view as a SQLite VIEW."""
-        if _version() < _VIEW_COLUMNS_MIN_VERSION:
-            raise OracleUnsupported(
-                "CREATE VIEW with a column list needs SQLite >= 3.9 "
-                f"(found {sqlite3.sqlite_version})"
-            )
-        cols = ", ".join(_quote(c) for c in view.output_names)
-        select = compile_block(view.block)
-        self.connection.execute(
-            f"CREATE VIEW {_quote(view.name)} ({cols}) AS\n{select}"
-        )
-        self._local_views.append(view.name)
-
-    def drop_local_views(self) -> None:
-        while self._local_views:
-            name = self._local_views.pop()
-            self.connection.execute(f"DROP VIEW IF EXISTS {_quote(name)}")
-
-    # ------------------------------------------------------------------
-
-    def execute_block(self, block: QueryBlock) -> list[tuple]:
-        """Run a compiled QueryBlock and return its rows."""
-        sql = compile_block(block)
-        try:
-            cursor = self.connection.execute(sql)
-        except sqlite3.Error as error:  # pragma: no cover - surfaced upstream
-            raise OracleUnsupported(
-                f"sqlite rejected compiled SQL ({error}):\n{sql}"
-            ) from error
-        return [tuple(row) for row in cursor.fetchall()]
-
-    def fetch_table(self, name: str) -> list[tuple]:
-        cursor = self.connection.execute(f"SELECT * FROM {_quote(name)}")
-        return [tuple(row) for row in cursor.fetchall()]

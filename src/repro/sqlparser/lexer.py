@@ -93,6 +93,32 @@ def tokenize(text: str) -> list[Token]:
             tokens.append(Token(TokenType.STRING, "".join(chunks), lin, col))
             continue
 
+        if ch == '"':
+            # Delimited identifier: "name" with "" escaping a quote. Never
+            # a keyword, whatever it spells — this is how dialect-emitted
+            # SQL round-trips adversarial names (see repro.dialects).
+            pos += 1
+            parts: list[str] = []
+            while True:
+                if pos >= n:
+                    raise SQLSyntaxError(
+                        "unterminated quoted identifier", lin, col
+                    )
+                if text[pos] == '"':
+                    if pos + 1 < n and text[pos + 1] == '"':
+                        parts.append('"')
+                        pos += 2
+                        continue
+                    pos += 1
+                    break
+                if text[pos] == "\n":
+                    line += 1
+                    line_start = pos + 1
+                parts.append(text[pos])
+                pos += 1
+            tokens.append(Token(TokenType.IDENT, "".join(parts), lin, col))
+            continue
+
         if ch in _OPERATOR_STARTS:
             two = text[pos : pos + 2]
             if two in ("<=", ">=", "<>", "!="):

@@ -2,20 +2,19 @@
 
 ``parse(print(ast)) == ast`` round-trips for every tree the parser can
 produce (property-tested in ``tests/sqlparser``) when printing in the
-default :data:`ANSI` dialect.
+default :data:`ANSI` dialect — including adversarial identifiers, which
+ANSI output quotes exactly when the lexer could not re-read them bare.
 
-A :class:`Dialect` controls the few rendering decisions that differ
-between SQL engines. The :data:`SQLITE` dialect exists for the
-cross-backend execution oracle (:mod:`repro.oracle`):
-
-* identifiers are double-quoted, so generated names can never collide
-  with SQLite keywords;
-* division casts its left operand to REAL, because SQLite's ``/``
-  truncates integers while the repro engine (and SQL'92) divides exactly.
+Every rendering decision that differs between SQL engines is delegated
+to a :class:`~repro.dialects.Dialect` (identifier quoting, literal
+spelling, division semantics). The dialects themselves live in
+:mod:`repro.dialects`; :data:`ANSI` and :data:`SQLITE` are re-exported
+here for the modules that predate that package.
 """
 
 from __future__ import annotations
 
+from ..dialects import ANSI, SQLITE, Dialect, get_dialect
 from .ast import (
     BinOp,
     ColumnRef,
@@ -29,47 +28,25 @@ from .ast import (
     Star,
 )
 
-
-class Dialect:
-    """Rendering decisions of the default (ANSI-ish, re-parseable) output."""
-
-    name = "ansi"
-
-    def ident(self, name: str) -> str:
-        return name
-
-    def column(self, ref: ColumnRef) -> str:
-        if ref.qualifier:
-            return f"{self.ident(ref.qualifier)}.{self.ident(ref.name)}"
-        return self.ident(ref.name)
-
-    def division(self, left: str, right: str) -> str:
-        return f"({left} / {right})"
-
-
-class SqliteDialect(Dialect):
-    """SQLite quirks: quoted identifiers and non-truncating division."""
-
-    name = "sqlite"
-
-    def ident(self, name: str) -> str:
-        return '"' + name.replace('"', '""') + '"'
-
-    def division(self, left: str, right: str) -> str:
-        # SQLite's / truncates INTEGER operands; the engine divides
-        # exactly. CAST the numerator so the result is REAL either way.
-        return f"(CAST({left} AS REAL) / {right})"
-
-
-ANSI = Dialect()
-SQLITE = SqliteDialect()
+__all__ = [
+    "ANSI",
+    "SQLITE",
+    "Dialect",
+    "get_dialect",
+    "print_comparison",
+    "print_create_view",
+    "print_expr",
+    "print_select",
+]
 
 
 def print_expr(expr: SqlExpr, dialect: Dialect = ANSI) -> str:
     if isinstance(expr, ColumnRef):
         return dialect.column(expr)
-    if isinstance(expr, (Literal, Star)):
-        return str(expr)
+    if isinstance(expr, Literal):
+        return dialect.literal(expr.value)
+    if isinstance(expr, Star):
+        return "*"
     if isinstance(expr, FuncCall):
         return f"{expr.name}({print_expr(expr.arg, dialect)})"
     if isinstance(expr, BinOp):

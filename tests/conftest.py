@@ -18,6 +18,15 @@ def pytest_addoption(parser):
             "reproduces them locally"
         ),
     )
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite the dialect conformance golden files under "
+            "tests/dialects/goldens/ instead of asserting against them"
+        ),
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,60 @@
+-- repro-conformance/1 dialect=sqlite
+-- 10 cases; regenerate with: pytest tests/dialects/test_goldens.py --update-goldens
+
+-- case: projection-filter
+-- plain projection with a conjunctive filter
+SELECT "R1"."A", "R1"."B"
+FROM "R1"
+WHERE "R1"."A" < 3 AND "R1"."B" >= 1;
+
+-- case: self-join-aliases
+-- self-join forcing occurrence aliases
+SELECT "r1_1"."A", "r1_2"."B"
+FROM "R1" AS "r1_1", "R1" AS "r1_2"
+WHERE "r1_1"."B" = "r1_2"."A";
+
+-- case: join-two-tables
+-- equi-join of two base tables
+SELECT "R1"."A", "R2"."D"
+FROM "R1", "R2"
+WHERE "R1"."B" = "R2"."C";
+
+-- case: group-sum-count-having
+-- GROUP BY with SUM/COUNT and a HAVING filter
+SELECT "sales"."region", SUM("sales"."amount") AS "total", COUNT("sales"."amount") AS "n"
+FROM "sales"
+GROUP BY "sales"."region"
+HAVING SUM("sales"."amount") > 10;
+
+-- case: distinct
+-- DISTINCT projection (set semantics)
+SELECT DISTINCT "R1"."A"
+FROM "R1";
+
+-- case: scalar-aggregates
+-- scalar COUNT(*) and AVG with no GROUP BY
+SELECT COUNT("R1"."A") AS "n", AVG("R1"."B") AS "avg_b"
+FROM "R1";
+
+-- case: arithmetic-division
+-- row arithmetic incl. division; data has a 0 divisor
+SELECT "R1"."A", (CAST("R1"."B" AS REAL) / "R1"."A") AS "ratio", (("R1"."A" + "R1"."B") * 2) AS "scaled"
+FROM "R1";
+
+-- case: aggregate-division
+-- group-level division of aggregates (AVG shape)
+SELECT "R1"."A", (CAST(SUM("R1"."B") AS REAL) / COUNT("R1"."B")) AS "mean"
+FROM "R1"
+GROUP BY "R1"."A";
+
+-- case: quoted-identifiers
+-- keyword and embedded-quote identifiers
+SELECT "select"."group", "select"."weird ""name"""
+FROM "select"
+WHERE "select"."order" < 5;
+
+-- case: null-literal
+-- programmatic NULL literal in the SELECT list
+SELECT "R1"."A", "R1"."B", NULL AS "missing"
+FROM "R1";
+

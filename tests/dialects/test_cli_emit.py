@@ -1,0 +1,115 @@
+"""The ``repro emit`` command (driven through ``main(argv)``)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SCHEMA = """
+CREATE TABLE sales (region TEXT, amount INT);
+CREATE VIEW totals (region, total, n) AS
+SELECT region, SUM(amount), COUNT(amount) FROM sales GROUP BY region;
+"""
+
+QUERY = "SELECT region, SUM(amount) FROM sales GROUP BY region"
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "schema.sql"
+    path.write_text(SCHEMA)
+    return str(path)
+
+
+def test_emit_query_sqlite(schema_file, capsys):
+    code = main(
+        ["emit", "--dialect", "sqlite", "--schema", schema_file,
+         "--query", QUERY]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert '"sales"."region"' in out
+    assert out.rstrip().endswith(";")
+
+
+def test_emit_query_postgres_differs_from_sqlite(schema_file, capsys):
+    main(["emit", "--dialect", "postgres", "--schema", schema_file,
+          "--query", "SELECT region, SUM(amount) / COUNT(amount) "
+          "FROM sales GROUP BY region"])
+    pg = capsys.readouterr().out
+    main(["emit", "--dialect", "sqlite", "--schema", schema_file,
+          "--query", "SELECT region, SUM(amount) / COUNT(amount) "
+          "FROM sales GROUP BY region"])
+    lite = capsys.readouterr().out
+    assert "DOUBLE PRECISION" in pg and "NULLIF" in pg
+    assert "AS REAL" in lite and "NULLIF" not in lite
+
+
+def test_emit_views(schema_file, capsys):
+    code = main(
+        ["emit", "--dialect", "duckdb", "--schema", schema_file,
+         "--query", QUERY, "--views"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert 'CREATE VIEW "totals"' in out
+
+
+def test_emit_unknown_dialect_exits_2(schema_file, capsys):
+    code = main(
+        ["emit", "--dialect", "oracle12c", "--schema", schema_file,
+         "--query", QUERY]
+    )
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown dialect 'oracle12c'" in err
+    assert "ansi, sqlite, duckdb, postgres" in err
+
+
+def test_emit_without_schema_or_conformance_exits_2(capsys):
+    code = main(["emit", "--dialect", "sqlite"])
+    assert code == 2
+    assert "nothing to emit" in capsys.readouterr().err
+
+
+def test_emit_conformance(capsys):
+    code = main(["emit", "--dialect", "postgres", "--conformance"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "repro-conformance/1 dialect=postgres" in out
+    assert "-- case: quoted-identifiers" in out
+
+
+def test_emit_json(schema_file, capsys):
+    code = main(
+        ["emit", "--dialect", "sqlite", "--schema", schema_file,
+         "--query", QUERY, "--json"]
+    )
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert doc["schema"] == "repro-api/1"
+    assert doc["kind"] == "emit"
+    assert doc["dialect"] == "sqlite"
+    assert doc["sql"].startswith("SELECT")
+
+
+def test_emit_conformance_json(capsys):
+    code = main(["emit", "--dialect", "ansi", "--conformance", "--json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert doc["kind"] == "conformance"
+    assert "-- case:" in doc["corpus"]
+
+
+def test_emit_matches_golden_file(capsys):
+    # The CLI and the golden corpus must agree byte for byte.
+    from pathlib import Path
+
+    golden = (
+        Path(__file__).parent / "goldens" / "duckdb.sql"
+    ).read_text()
+    code = main(["emit", "--dialect", "duckdb", "--conformance"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.strip() == golden.strip()

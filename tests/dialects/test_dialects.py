@@ -1,0 +1,112 @@
+"""Unit rules of the dialect registry: quoting, literals, division."""
+
+import pytest
+
+from repro.dialects import (
+    ANSI,
+    DIALECT_NAMES,
+    DIALECTS,
+    DUCKDB,
+    POSTGRES,
+    SQLITE,
+    get_dialect,
+)
+from repro.errors import ReproError
+
+
+def test_registry_names_resolve():
+    for name in DIALECT_NAMES:
+        dialect = get_dialect(name)
+        assert dialect.name == name
+        assert get_dialect(dialect) is dialect  # instances pass through
+
+
+def test_registry_is_complete():
+    assert set(DIALECTS) == set(DIALECT_NAMES)
+
+
+def test_unknown_dialect_is_repro_error():
+    with pytest.raises(ReproError, match="unknown dialect 'mysql'"):
+        get_dialect("mysql")
+
+
+# ----------------------------------------------------------------------
+# Identifier quoting
+# ----------------------------------------------------------------------
+
+
+def test_ansi_quotes_only_when_needed():
+    assert ANSI.ident("R1") == "R1"
+    assert ANSI.ident("total amount") == '"total amount"'
+    assert ANSI.ident("select") == '"select"'  # reserved keyword
+    assert ANSI.ident("SUM") == '"SUM"'  # aggregate name
+    assert ANSI.ident("1x") == '"1x"'  # not a bare identifier
+
+
+def test_sqlite_always_quotes():
+    assert SQLITE.ident("R1") == '"R1"'
+    assert DUCKDB.ident("R1") == '"R1"'
+    assert POSTGRES.ident("R1") == '"R1"'
+
+
+@pytest.mark.parametrize("name", DIALECT_NAMES)
+def test_embedded_quotes_are_doubled(name):
+    dialect = get_dialect(name)
+    assert dialect.quote_ident('weird "name"') == '"weird ""name"""'
+
+
+# ----------------------------------------------------------------------
+# Literals
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", DIALECT_NAMES)
+def test_null_literal(name):
+    assert get_dialect(name).literal(None) == "NULL"
+
+
+@pytest.mark.parametrize("name", DIALECT_NAMES)
+def test_string_literal_escapes_quotes(name):
+    assert get_dialect(name).literal("it's") == "'it''s'"
+
+
+def test_boolean_literals():
+    assert ANSI.literal(True) == "TRUE"
+    assert POSTGRES.literal(False) == "FALSE"
+    # SQLite predates BOOLEAN: integers stand in.
+    assert SQLITE.literal(True) == "1"
+    assert SQLITE.literal(False) == "0"
+
+
+# ----------------------------------------------------------------------
+# Division semantics (the x/0 -> NULL contract per backend)
+# ----------------------------------------------------------------------
+
+
+def test_sqlite_division_casts_to_real():
+    # SQLite returns NULL for x/0 natively; the CAST alone fixes
+    # integer division.
+    assert SQLITE.division("a", "b") == "(CAST(a AS REAL) / b)"
+
+
+def test_duckdb_division_guards_zero():
+    assert DUCKDB.division("a", "b") == "(CAST(a AS DOUBLE) / NULLIF(b, 0))"
+
+
+def test_postgres_division_guards_zero():
+    # Postgres raises division_by_zero without the NULLIF guard.
+    assert (
+        POSTGRES.division("a", "b")
+        == "(CAST(a AS DOUBLE PRECISION) / NULLIF(b, 0))"
+    )
+
+
+def test_ansi_division_is_plain():
+    assert ANSI.division("a", "b") == "(a / b)"
+
+
+def test_limit_rendering():
+    assert SQLITE.limit(3) == "LIMIT 3"
+    assert DUCKDB.limit(3) == "LIMIT 3"
+    assert POSTGRES.limit(3) == "LIMIT 3"
+    assert ANSI.limit(3) == "FETCH FIRST 3 ROWS ONLY"

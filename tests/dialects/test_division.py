@@ -1,0 +1,90 @@
+"""Division semantics: exact values, and x/0 -> NULL on every backend.
+
+The engine divides exactly (Fractions) and defines x/0 as NULL; each
+backend's emitted division must reproduce both — SQLite through its
+native NULL-on-zero plus a REAL cast, DuckDB and Postgres through an
+explicit ``NULLIF`` guard (DuckDB's zero-division behavior is
+version-dependent and Postgres raises without it).
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.blocks.normalize import parse_query
+from repro.blocks.to_sql import block_to_sql
+from repro.catalog.schema import Catalog, table
+from repro.engine.database import Database
+from repro.oracle import backend_available, rows_multiset_equal
+
+CATALOG_TABLES = {"R1": ("A", "B")}
+ROWS = [(1, 2), (2, 5), (0, 7), (4, 0)]
+QUERY = "SELECT A, B / A AS ratio FROM R1"
+AGG_QUERY = "SELECT A, SUM(B) / SUM(A) AS r FROM R1 GROUP BY A"
+
+
+def _catalog():
+    return Catalog([table(n, list(c)) for n, c in CATALOG_TABLES.items()])
+
+
+def _engine_rows(sql):
+    catalog = _catalog()
+    db = Database(catalog, {"R1": list(ROWS)})
+    return db.execute(parse_query(sql, catalog)).rows
+
+
+def test_engine_zero_division_is_null():
+    rows = dict(_engine_rows(QUERY))
+    assert rows[0] is None  # 7 / 0 -> NULL
+    assert rows[2] == 2.5
+
+
+def test_sqlite_division_parity():
+    connection = sqlite3.connect(":memory:")
+    connection.execute("CREATE TABLE R1 (A, B)")
+    connection.executemany("INSERT INTO R1 VALUES (?, ?)", ROWS)
+    for sql in (QUERY, AGG_QUERY):
+        emitted = block_to_sql(
+            parse_query(sql, _catalog()), dialect="sqlite"
+        )
+        backend_rows = [
+            tuple(r) for r in connection.execute(emitted).fetchall()
+        ]
+        assert rows_multiset_equal(backend_rows, _engine_rows(sql)), emitted
+
+
+@pytest.mark.skipif(
+    not backend_available("duckdb"),
+    reason="duckdb driver not installed (CI installs it)",
+)
+def test_duckdb_division_parity():
+    import duckdb
+
+    connection = duckdb.connect(":memory:")
+    connection.execute("CREATE TABLE R1 (A BIGINT, B BIGINT)")
+    for row in ROWS:
+        connection.execute("INSERT INTO R1 VALUES (?, ?)", list(row))
+    for sql in (QUERY, AGG_QUERY):
+        emitted = block_to_sql(
+            parse_query(sql, _catalog()), dialect="duckdb"
+        )
+        backend_rows = [
+            tuple(r) for r in connection.execute(emitted).fetchall()
+        ]
+        assert rows_multiset_equal(backend_rows, _engine_rows(sql)), emitted
+
+
+def test_postgres_division_emission_pinned():
+    # No live Postgres in the test environment: pin the emitted shape —
+    # the NULLIF guard is what keeps x/0 from raising division_by_zero.
+    emitted = block_to_sql(parse_query(QUERY, _catalog()), dialect="postgres")
+    assert (
+        '(CAST("R1"."B" AS DOUBLE PRECISION) / NULLIF("R1"."A", 0))'
+        in emitted
+    )
+
+
+def test_sqlite_integer_division_avoided():
+    # Regression: without the REAL cast SQLite truncates 5/2 to 2.
+    emitted = block_to_sql(parse_query(QUERY, _catalog()), dialect="sqlite")
+    assert 'CAST("R1"."B" AS REAL)' in emitted

@@ -1,0 +1,93 @@
+"""Property: quoted identifiers survive print -> parse in every dialect.
+
+For adversarial relation/column names — embedded double quotes, reserved
+keywords, aggregate names, unicode, whitespace, leading digits — the
+emitter must quote so that repro's own parser (and, transitively, any
+ANSI-compliant backend) reads the same name back.
+"""
+
+import random
+
+import pytest
+
+from repro.blocks.normalize import parse_query
+from repro.blocks.to_sql import block_to_sql
+from repro.catalog.schema import Catalog, table
+from repro.dialects import DIALECT_NAMES, get_dialect
+from repro.sqlparser.lexer import tokenize
+from repro.sqlparser.tokens import TokenType
+
+ADVERSARIAL_NAMES = [
+    'weird "name"',
+    '"',
+    '""',
+    "select",
+    "group",
+    "order",
+    "SUM",
+    "COUNT",
+    "from",
+    "table with spaces",
+    "café",
+    "naïve_col",
+    "1starts_with_digit",
+    "mixed\tTAB",
+    "UPPER lower",
+    "semi;colon",
+    "paren(s)",
+    "star*name",
+    "dash-name",
+    "dot.name",
+]
+
+
+@pytest.mark.parametrize("name", ADVERSARIAL_NAMES, ids=range(len(ADVERSARIAL_NAMES)))
+@pytest.mark.parametrize("dialect_name", DIALECT_NAMES)
+def test_ident_quotes_roundtrip_through_lexer(dialect_name, name):
+    dialect = get_dialect(dialect_name)
+    quoted = dialect.quote_ident(name)
+    tokens = tokenize(quoted)
+    ident = [t for t in tokens if t.type == TokenType.IDENT]
+    assert len(ident) == 1, (name, quoted, tokens)
+    assert ident[0].value == name
+
+
+@pytest.mark.parametrize("dialect_name", DIALECT_NAMES)
+def test_adversarial_schema_roundtrips_through_parser(dialect_name):
+    # A full query over adversarially named tables/columns: print it in
+    # the dialect, parse the printed text against the same catalog, and
+    # the result must be the same block shape referencing the same
+    # base columns.
+    rng = random.Random(7)
+    for trial in range(25):
+        table_name = rng.choice(ADVERSARIAL_NAMES)
+        cols = rng.sample(ADVERSARIAL_NAMES, 3)
+        if table_name in cols:
+            continue
+        catalog = Catalog([table(table_name, cols)])
+        quote = get_dialect(dialect_name).quote_ident
+        sql = (
+            f"SELECT {quote(cols[0])}, {quote(cols[1])} "
+            f"FROM {quote(table_name)} WHERE {quote(cols[2])} < 5"
+        )
+        block = parse_query(sql, catalog)
+        printed = block_to_sql(block, dialect=dialect_name)
+        again = parse_query(printed, catalog)
+        assert [rel.name for rel in again.from_] == [table_name]
+        assert [
+            rel.base_names for rel in again.from_
+        ] == [rel.base_names for rel in block.from_]
+        assert len(again.select) == len(block.select)
+        for before, after in zip(block.select, again.select):
+            rel = block.from_[0]
+            rel2 = again.from_[0]
+            assert rel.base_name_of(before.expr) == rel2.base_name_of(
+                after.expr
+            )
+
+
+def test_unterminated_quoted_identifier_is_syntax_error():
+    from repro.errors import SQLSyntaxError
+
+    with pytest.raises(SQLSyntaxError, match="unterminated"):
+        tokenize('SELECT "oops FROM R1')

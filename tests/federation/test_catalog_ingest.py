@@ -1,0 +1,107 @@
+"""Live catalog ingestion from a SQLite connection."""
+
+import sqlite3
+
+import pytest
+
+from repro.federation import ingest_catalog
+
+SCHEMA = """
+CREATE TABLE sales (id INTEGER PRIMARY KEY, region TEXT, amount INTEGER);
+CREATE TABLE plans (plan_id INTEGER PRIMARY KEY, name TEXT);
+CREATE VIEW east_sales AS SELECT id, amount FROM sales WHERE region = 'east';
+CREATE VIEW east_ids (i) AS SELECT id FROM east_sales;
+"""
+
+
+@pytest.fixture
+def connection():
+    conn = sqlite3.connect(":memory:")
+    conn.executescript(SCHEMA)
+    return conn
+
+
+def test_tables_and_columns(connection):
+    catalog, report = ingest_catalog(connection)
+    assert sorted(report.tables) == ["plans", "sales"]
+    assert catalog.tables["sales"].columns == ("id", "region", "amount")
+
+
+def test_primary_keys_ingested(connection):
+    catalog, _report = ingest_catalog(connection)
+    assert frozenset(["id"]) in catalog.tables["sales"].keys
+
+
+def test_views_parsed_as_rewriting_candidates(connection):
+    catalog, report = ingest_catalog(connection)
+    assert "east_sales" in report.views
+    assert "east_sales" in catalog.views
+    view = catalog.views["east_sales"]
+    assert view.output_names == ("id", "amount")
+
+
+def test_view_on_view_resolves_by_fixpoint(connection):
+    # east_ids reads east_sales; ingestion order must not matter.
+    catalog, report = ingest_catalog(connection)
+    assert "east_ids" in catalog.views
+    assert catalog.views["east_ids"].output_names == ("i",)
+
+
+def test_unsupported_view_is_skipped_with_reason(connection):
+    connection.execute(
+        "CREATE VIEW fancy AS SELECT id FROM sales "
+        "WHERE region = 'east' OR region = 'west'"
+    )
+    catalog, report = ingest_catalog(connection)
+    assert "fancy" not in catalog.views
+    skipped = dict(report.skipped)
+    assert "fancy" in skipped
+    assert skipped["fancy"]  # non-empty reason
+    # The rest of the schema still ingested.
+    assert "east_sales" in catalog.views
+
+
+def test_materialized_tables_become_views(connection):
+    connection.executescript(
+        "CREATE TABLE region_totals (region TEXT, total INT, n INT);"
+    )
+    catalog, report = ingest_catalog(
+        connection,
+        materialized={
+            "region_totals": (
+                "SELECT region, SUM(amount) AS total, "
+                "COUNT(amount) AS n FROM sales GROUP BY region"
+            )
+        },
+    )
+    assert "region_totals" in report.materialized
+    assert "region_totals" not in catalog.tables
+    assert catalog.views["region_totals"].output_names == (
+        "region", "total", "n",
+    )
+
+
+def test_row_counts_ingested(connection):
+    connection.executemany(
+        "INSERT INTO sales VALUES (?, ?, ?)",
+        [(1, "east", 10), (2, "west", 20), (3, "east", 5)],
+    )
+    catalog, report = ingest_catalog(connection, row_counts=True)
+    assert catalog.tables["sales"].row_count == 3
+
+
+def test_adversarial_names_ingest(connection):
+    connection.execute(
+        'CREATE TABLE "select" ("group" INT, "weird ""name""" TEXT)'
+    )
+    catalog, report = ingest_catalog(connection)
+    assert "select" in catalog.tables
+    assert catalog.tables["select"].columns == ("group", 'weird "name"')
+
+
+def test_report_summary_and_json(connection):
+    _catalog, report = ingest_catalog(connection)
+    assert "2 table(s)" in report.summary()
+    doc = report.to_json_dict()
+    assert doc["dialect"] == "sqlite"
+    assert sorted(doc["tables"]) == ["plans", "sales"]

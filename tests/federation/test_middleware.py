@@ -1,0 +1,240 @@
+"""Federation middleware end-to-end on a live SQLite database.
+
+The full loop the tentpole promises: ingest the catalog from the live
+connection, rewrite incoming SQL text with the planner, emit
+dialect-correct SQL, execute it on the same connection, and prove the
+answer multiset-equal to the original query's.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.federation import FederationSession, SqlRewriter, ingest_catalog
+from repro.oracle import rows_multiset_equal
+
+SCHEMA = """
+CREATE TABLE sales (id INTEGER PRIMARY KEY, region TEXT, amount INTEGER);
+INSERT INTO sales VALUES
+  (1,'east',10),(2,'east',20),(3,'west',5),(4,'north',30),(5,'west',7);
+CREATE TABLE region_totals (region TEXT, total INTEGER, n INTEGER);
+INSERT INTO region_totals
+  SELECT region, SUM(amount), COUNT(amount) FROM sales GROUP BY region;
+"""
+
+MATERIALIZED = {
+    "region_totals": (
+        "SELECT region, SUM(amount) AS total, COUNT(amount) AS n "
+        "FROM sales GROUP BY region"
+    )
+}
+
+QUERY = "SELECT region, SUM(amount) AS s FROM sales GROUP BY region"
+
+
+@pytest.fixture
+def connection():
+    conn = sqlite3.connect(":memory:")
+    conn.executescript(SCHEMA)
+    return conn
+
+
+@pytest.fixture
+def session(connection):
+    return FederationSession(
+        connection, dialect="sqlite", materialized=MATERIALIZED
+    )
+
+
+def test_rewrites_over_materialized_table(session):
+    outcome = session.rewrite_sql(QUERY)
+    assert outcome.rewritten
+    assert outcome.used_views == ("region_totals",)
+    assert '"region_totals"' in outcome.sql
+    assert "sales" not in outcome.sql
+
+
+def test_round_trip_multiset_equal(session, connection):
+    result = session.execute(QUERY, verify=True)
+    assert result.verified is True
+    direct = connection.execute(QUERY).fetchall()
+    assert rows_multiset_equal(result.rows, [tuple(r) for r in direct])
+    assert sorted(result.rows) == [
+        ("east", 30), ("north", 30), ("west", 12),
+    ]
+
+
+def test_unrewritable_query_passes_through(session):
+    result = session.execute(
+        "SELECT id, amount FROM sales WHERE region = 'east'", verify=True
+    )
+    assert not result.outcome.rewritten
+    assert result.verified is True
+    assert sorted(result.rows) == [(1, 10), (2, 20)]
+
+
+def test_aux_views_are_created_and_dropped(connection):
+    # Force a rewriting that may need aux CREATE VIEW statements; after
+    # execute() no repro-created view may linger on the connection.
+    session = FederationSession(
+        connection, dialect="sqlite", materialized=MATERIALIZED,
+        only_improving=False,
+    )
+    result = session.execute(QUERY, verify=True)
+    assert result.verified is True
+    leftover = connection.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'view'"
+    ).fetchall()
+    assert leftover == []
+
+
+def test_outcome_json_shape(session):
+    doc = session.rewrite_sql(QUERY).to_json_dict()
+    assert doc["schema"] == "repro-api/1"
+    assert doc["kind"] == "sql-rewrite"
+    assert doc["rewritten"] is True
+    assert doc["used_views"] == ["region_totals"]
+    assert doc["cost_rewritten"] < doc["cost_original"]
+
+
+def test_sql_rewriter_without_connection():
+    conn = sqlite3.connect(":memory:")
+    conn.executescript(SCHEMA)
+    catalog, _report = ingest_catalog(conn, materialized=MATERIALIZED)
+    rewriter = SqlRewriter(catalog, dialect="postgres")
+    outcome = rewriter.rewrite_sql(QUERY)
+    assert outcome.rewritten
+    assert outcome.dialect == "postgres"
+
+
+# ----------------------------------------------------------------------
+# CLI paths
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "live.db"
+    conn = sqlite3.connect(str(path))
+    conn.executescript(SCHEMA)
+    conn.commit()
+    conn.close()
+    return str(path)
+
+
+def _materialized_flag():
+    return ["--materialized", "region_totals=" + MATERIALIZED["region_totals"]]
+
+
+def test_cli_rewrite_sql_text(db_file, capsys):
+    code = main(
+        ["rewrite-sql", "--db", db_file, "--sql", QUERY]
+        + _materialized_flag()
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert '"region_totals"' in out
+    assert "rewritten over region_totals" in out
+
+
+def test_cli_rewrite_sql_execute_verify(db_file, capsys):
+    code = main(
+        ["rewrite-sql", "--db", db_file, "--sql", QUERY,
+         "--execute", "--verify"]
+        + _materialized_flag()
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "-- verified: True" in out
+    assert "('east', 30)" in out
+
+
+def test_cli_rewrite_sql_json(db_file, capsys):
+    code = main(
+        ["rewrite-sql", "--db", db_file, "--sql", QUERY, "--execute",
+         "--verify", "--json"]
+        + _materialized_flag()
+    )
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert doc["kind"] == "sql-rewrite"
+    assert doc["verified"] is True
+    assert sorted(map(tuple, doc["rows"])) == [
+        ["east", 30], ["north", 30], ["west", 12],
+    ] or sorted(map(list, doc["rows"])) == [
+        ["east", 30], ["north", 30], ["west", 12],
+    ]
+
+
+def test_cli_rewrite_sql_schema_source(tmp_path, capsys):
+    schema = tmp_path / "schema.sql"
+    schema.write_text(
+        "CREATE TABLE sales (region TEXT, amount INT);\n"
+        "CREATE VIEW totals (region, total, n) AS\n"
+        "SELECT region, SUM(amount), COUNT(amount) "
+        "FROM sales GROUP BY region;\n"
+    )
+    code = main(
+        ["rewrite-sql", "--schema", str(schema), "--sql", QUERY,
+         "--dialect", "duckdb", "--json"]
+    )
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert doc["dialect"] == "duckdb"
+    assert doc["rewritten"] is True
+
+
+def test_cli_rewrite_sql_execute_needs_db(tmp_path, capsys):
+    schema = tmp_path / "schema.sql"
+    schema.write_text("CREATE TABLE sales (region TEXT, amount INT);")
+    code = main(
+        ["rewrite-sql", "--schema", str(schema), "--sql", QUERY,
+         "--execute"]
+    )
+    assert code == 2
+    assert "--execute/--verify require --db" in capsys.readouterr().err
+
+
+def test_cli_rewrite_sql_bad_materialized(db_file, capsys):
+    code = main(
+        ["rewrite-sql", "--db", db_file, "--sql", QUERY,
+         "--materialized", "nonsense"]
+    )
+    assert code == 2
+    assert "expected NAME=SELECT" in capsys.readouterr().err
+
+
+def test_cli_rewrite_sql_unknown_dialect(db_file, capsys):
+    code = main(
+        ["rewrite-sql", "--db", db_file, "--sql", QUERY,
+         "--dialect", "mssql"]
+    )
+    assert code == 2
+    assert "unknown dialect 'mssql'" in capsys.readouterr().err
+
+
+def test_cli_serve_sql_loop(db_file, capsys, monkeypatch):
+    import io
+
+    lines = "\n".join(
+        [
+            json.dumps({"id": 1, "sql": QUERY, "verify": True,
+                        "execute": True}),
+            "# a comment",
+            json.dumps({"id": 2, "sql": "SELECT broken FROM nowhere"}),
+            json.dumps({"id": 3, "sql": QUERY}),
+        ]
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+    code = main(
+        ["serve-sql", "--db", db_file] + _materialized_flag()
+    )
+    out_lines = capsys.readouterr().out.strip().splitlines()
+    assert code == 0
+    docs = [json.loads(line) for line in out_lines]
+    assert [d["id"] for d in docs] == [1, 2, 3]
+    assert docs[0]["verified"] is True
+    assert docs[1]["kind"] == "error"
+    assert docs[2]["rewritten"] is True

@@ -1,0 +1,103 @@
+"""The backend registry and the N-way CrossChecker configuration."""
+
+import pytest
+
+from repro.catalog.schema import Catalog, table
+from repro.errors import OracleUnsupported
+from repro.oracle import (
+    BACKEND_NAMES,
+    CrossChecker,
+    available_backends,
+    backend_available,
+    check_scenario,
+    create_backend,
+)
+from repro.workloads.random_queries import Scenario
+from repro.blocks.normalize import parse_query, parse_view
+
+
+def _scenario():
+    catalog = Catalog([table("R1", ["A", "B"])])
+    view = parse_view(
+        "CREATE VIEW V (a, s, n) AS "
+        "SELECT A, SUM(B), COUNT(B) FROM R1 GROUP BY A",
+        catalog,
+    )
+    catalog.add_view(view)
+    views = (view,)
+    query = parse_query("SELECT A, SUM(B) FROM R1 GROUP BY A", catalog)
+    return Scenario(
+        seed=0,
+        catalog=catalog,
+        query=query,
+        views=views,
+        instance={"R1": [(1, 2), (1, 3), (2, 5)]},
+    )
+
+
+def test_backend_names_registry():
+    assert BACKEND_NAMES == ("sqlite", "duckdb")
+    assert backend_available("sqlite")
+    assert "sqlite" in available_backends()
+
+
+def test_create_backend_unknown_name():
+    with pytest.raises(ValueError, match="unknown oracle backend"):
+        create_backend("mysql")
+
+
+def test_create_backend_missing_driver():
+    if backend_available("duckdb"):
+        pytest.skip("duckdb installed: the missing-driver path is moot")
+    with pytest.raises(OracleUnsupported, match="duckdb"):
+        create_backend("duckdb")
+
+
+def test_checker_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown oracle backend"):
+        CrossChecker(backends=("sqlite", "mysql"))
+
+
+def test_checker_rejects_empty_backends():
+    with pytest.raises(ValueError, match="at least one"):
+        CrossChecker(backends=())
+
+
+def test_single_backend_check_passes():
+    report = check_scenario(_scenario())
+    assert report.ok, report.describe()
+    assert report.backends == ("sqlite",)
+    assert report.rewritings >= 1
+
+
+def test_report_describe_names_backends():
+    report = check_scenario(_scenario())
+    assert "backends: sqlite" in report.describe()
+
+
+def test_duplicate_backends_run_independently():
+    # Listing sqlite twice is a degenerate N-way oracle: two independent
+    # sqlite processes must agree with the engine and each other.
+    report = check_scenario(_scenario(), backends=("sqlite", "sqlite"))
+    assert report.ok, report.describe()
+    assert report.backends == ("sqlite", "sqlite")
+
+
+def test_nway_doubles_per_backend_checks():
+    single = check_scenario(_scenario())
+    double = check_scenario(_scenario(), backends=("sqlite", "sqlite"))
+    # Per-backend checks (views, query, rewriting x2) double; the
+    # engine-side rewriting-vs-query check stays single.
+    assert double.checks > single.checks
+
+
+@pytest.mark.skipif(
+    not backend_available("duckdb"),
+    reason="duckdb driver not installed (CI installs it)",
+)
+def test_nway_with_duckdb():
+    report = check_scenario(
+        _scenario(), engine="both", backends=("sqlite", "duckdb")
+    )
+    assert report.ok, report.describe()
+    assert report.backends == ("sqlite", "duckdb")

@@ -6,7 +6,7 @@ from repro import Catalog, parse_query, parse_view, table
 from repro.engine.database import Database
 from repro.errors import OracleUnsupported
 from repro.oracle import SQLiteBackend, compile_block, rows_multiset_equal
-from repro.oracle import sqlite as sqlite_mod
+from repro.oracle import backends as backends_mod
 
 
 @pytest.fixture
@@ -75,7 +75,7 @@ def test_old_sqlite_raises_oracle_unsupported(catalog, monkeypatch):
     """skip-with-reason path: a pre-3.9 library cannot create the aux
     views, and the caller must see a typed OracleUnsupported."""
     monkeypatch.setattr(
-        sqlite_mod, "_VIEW_COLUMNS_MIN_VERSION", (999, 0, 0)
+        backends_mod, "_SQLITE_VIEW_COLUMNS_MIN_VERSION", (999, 0, 0)
     )
     view = parse_view("CREATE VIEW W (a2) AS SELECT R.a FROM R", catalog)
     with SQLiteBackend() as backend:
