@@ -75,6 +75,7 @@ def main(argv: list[str] | None = None) -> int:
     from bench_closure import collect_closure_metrics
     from bench_columnar import collect_columnar_metrics
     from bench_dialects import collect_dialects_metrics
+    from bench_metrics import collect_metrics_metrics
     from bench_multiview import (
         collect_church_rosser_metrics,
         collect_multiview_metrics,
@@ -94,6 +95,12 @@ def main(argv: list[str] | None = None) -> int:
         ("cache", lambda: collect_cache_metrics(repeats=min(repeats, 5))),
         ("closure", lambda: collect_closure_metrics(repeats=min(repeats, 5))),
         ("obs", lambda: collect_obs_metrics(quick=args.quick)),
+        (
+            "metrics",
+            lambda: collect_metrics_metrics(
+                repeats=repeats, quick=args.quick
+            ),
+        ),
         (
             "service",
             lambda: collect_service_metrics(
@@ -147,6 +154,14 @@ def main(argv: list[str] | None = None) -> int:
             f"(floor {columnar['speedup_floor']:.0f}x; parity sweep "
             f"{columnar['parity_sweep']['scenarios']} scenarios, "
             f"{columnar['parity_sweep']['checks']} checks, 0 mismatches)"
+        )
+    metrics = report.workloads.get("metrics", {})
+    if "overhead" in metrics:
+        print(
+            f"metrics overhead: {metrics['overhead']:.4f}x "
+            f"({metrics['recording_seconds'] * 1e6:.2f}us recording per "
+            f"{metrics['search_seconds'] * 1e6:.1f}us cold search, "
+            f"gate <= {metrics['max_overhead']})"
         )
     dialects = report.workloads.get("dialects", {})
     if "nway" in dialects:

@@ -67,6 +67,7 @@ def rewrite(
     use_set_semantics: bool = True,
     include_partial: bool = True,
     trace: bool = False,
+    collect_metrics: bool = False,
     request_id: Optional[str] = None,
 ) -> RewriteResponse:
     """Rewrite one query over materialized views.
@@ -76,7 +77,9 @@ def rewrite(
     Without one, ``query`` must be a pre-parsed :class:`QueryBlock` and
     candidates are reported in discovery order only. ``budget`` accepts
     a :class:`SearchBudget` or an already-running :class:`BudgetMeter`
-    (to span several calls with one budget). Errors raise
+    (to span several calls with one budget). ``collect_metrics=True``
+    attaches a ``repro-metrics/1`` snapshot of exactly this request's
+    counters to ``response.metrics``. Errors raise
     :class:`~repro.errors.ReproError`; the batch path instead captures
     them per request.
     """
@@ -90,6 +93,7 @@ def rewrite(
         use_set_semantics=use_set_semantics,
         include_partial=include_partial,
         trace=trace,
+        collect_metrics=collect_metrics,
         request_id=request_id,
     )
     if isinstance(budget, BudgetMeter):

@@ -26,6 +26,7 @@ from .core.multiview import all_rewritings
 from .core.planner import RewritePlanner
 from .core.result import Rewriting
 from .obs.budget import BudgetMeter, SearchBudget, ensure_meter
+from .obs.metrics import current_metrics
 from .engine.database import Database
 from .engine.table import Table
 from .errors import SchemaError
@@ -45,6 +46,7 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def as_dict(self) -> dict:
+        """An idempotent read: never mutates or resets the counters."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -53,6 +55,30 @@ class CacheStats:
             "budget_exhausted": self.budget_exhausted,
             "hit_rate": round(self.hit_rate, 4),
         }
+
+    def reset(self) -> None:
+        """Zero all counters in place — the only sanctioned reset path.
+
+        Stats reads (:meth:`as_dict`, the attributes) are idempotent;
+        callers wanting a fresh window must reset explicitly, so derived
+        gauges never go backwards behind a reader's back.
+        """
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.remembered = 0
+        self.budget_exhausted = 0
+
+
+def _record_lookup(hit: bool) -> None:
+    """One cache lookup into the active metrics registry, if any."""
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.counter(
+            "repro_cache_lookups_total",
+            "Semantic query-cache lookups, by outcome.",
+            ("outcome",),
+        ).labels("hit" if hit else "miss").inc()
 
 
 @dataclass
@@ -113,9 +139,15 @@ class CacheSnapshot:
             names = {rel.name for rel in rewriting.query.from_}
             if names <= cached:
                 self.stats.hits += 1
+                _record_lookup(hit=True)
                 return rewriting
         self.stats.misses += 1
+        _record_lookup(hit=False)
         return None
+
+    def reset_stats(self) -> None:
+        """Start a fresh counting window for this snapshot."""
+        self.stats.reset()
 
 
 @dataclass
@@ -186,7 +218,14 @@ class QueryCache:
         self._size_rows += len(table)
         self._planner = None
         self.stats.remembered += 1
+        metrics = current_metrics()
+        if metrics is not None:
+            metrics.counter(
+                "repro_cache_remember_total",
+                "Query results remembered by the semantic cache.",
+            ).inc()
         self._evict_over_capacity(keep=name)
+        self._update_gauges()
         return view
 
     def forget(self, name: str) -> None:
@@ -197,19 +236,42 @@ class QueryCache:
         del self._entries[name]
         self._catalog.remove_view(name)
         self._planner = None
+        self._update_gauges()
 
     def _evict_over_capacity(self, keep: str) -> None:
+        evicted = 0
         while self._size_rows > self.capacity_rows and len(self._entries) > 1:
             victim = next(
                 (n for n in self._entries if n != keep), None
             )
             if victim is None:
-                return
+                break
             self._size_rows -= self._entries[victim].rows
             del self._entries[victim]
             self._catalog.remove_view(victim)
             self._planner = None
             self.stats.evictions += 1
+            evicted += 1
+        if evicted:
+            metrics = current_metrics()
+            if metrics is not None:
+                metrics.counter(
+                    "repro_cache_evictions_total",
+                    "LRU evictions forced by the row-capacity bound.",
+                ).inc(evicted)
+
+    def _update_gauges(self) -> None:
+        """Mirror occupancy into the active registry after any mutation."""
+        metrics = current_metrics()
+        if metrics is not None:
+            metrics.gauge(
+                "repro_cache_size_rows",
+                "Summed cardinality of all cached results.",
+            ).set(self._size_rows)
+            metrics.gauge(
+                "repro_cache_entries",
+                "Cached result tables currently held.",
+            ).set(len(self._entries))
 
     # ------------------------------------------------------------------
 
@@ -253,6 +315,14 @@ class QueryCache:
         self.stats.hits += stats.get("hits", 0)
         self.stats.misses += stats.get("misses", 0)
         self.stats.budget_exhausted += stats.get("budget_exhausted", 0)
+
+    def reset_stats(self) -> None:
+        """Explicitly zero the lookup/eviction counters.
+
+        Reads never reset — ``stats.as_dict()`` can be polled by a gauge
+        exporter without the numbers going backwards between polls.
+        """
+        self.stats.reset()
 
     # ------------------------------------------------------------------
 
@@ -308,6 +378,7 @@ class QueryCache:
         rewriting = self.find_rewriting(query, budget=budget)
         if rewriting is None:
             self.stats.misses += 1
+            _record_lookup(hit=False)
             return None
         db = Database(self._catalog)
         for name in rewriting.view_names:
@@ -315,6 +386,7 @@ class QueryCache:
             db._view_cache[name] = entry.table  # noqa: SLF001 - serving
             self._entries.move_to_end(name)     # LRU touch
         self.stats.hits += 1
+        _record_lookup(hit=True)
         return db.execute(rewriting.query, extra_views=rewriting.extra_views())
 
     def answer(

@@ -33,11 +33,19 @@ Commands:
     SQL (optionally ``--execute`` and ``--verify`` on the live file).
 ``serve-sql``
     The same middleware as a JSON-lines loop on stdin/stdout; per-line
-    errors are reported in-band, never fatal. See ``docs/dialects.md``.
+    errors are reported in-band, never fatal. With
+    ``--metrics-interval`` the loop also emits periodic in-band
+    ``repro-metrics/1`` frames. See ``docs/dialects.md``.
+``metrics``
+    Run one rewrite search with metrics enabled and print the registry
+    as Prometheus text exposition. See ``docs/observability.md``.
 
 Schema scripts are ';'-separated statements; a workload file is a script
 whose SELECT statements form the workload. All ``--json`` output carries
 the versioned ``repro-api/1`` schema tag (see ``docs/api.md``).
+``rewrite``, ``batch``, ``fuzz`` and ``serve-sql`` accept
+``--metrics-out FILE`` to write a scrape-ready Prometheus snapshot of
+everything the command did on exit.
 """
 
 from __future__ import annotations
@@ -290,10 +298,9 @@ def cmd_advise(args) -> int:
 
 
 def cmd_query(args) -> int:
-    import time
-
     from .blocks.nested import parse_nested_query
     from .engine.io import load_database
+    from .obs.metrics import timed
 
     catalog, queries = _load(args)
     if args.query:
@@ -318,11 +325,10 @@ def cmd_query(args) -> int:
         plan, extra = result.best_plan()
         if result.used_views:
             used = "rewritten over " + ", ".join(result.used_views)
-    start = time.perf_counter()
-    table = db.execute(plan, extra_views=extra, engine=args.engine)
-    elapsed = time.perf_counter() - start
+    with timed("repro_query_seconds") as timer:
+        table = db.execute(plan, extra_views=extra, engine=args.engine)
     print(table.to_text(limit=args.limit))
-    print(f"\n({len(table)} rows in {elapsed * 1000:.2f} ms, {used})")
+    print(f"\n({len(table)} rows in {timer.seconds * 1000:.2f} ms, {used})")
     return 0
 
 
@@ -453,37 +459,98 @@ def cmd_rewrite_sql(args) -> int:
 
 
 def cmd_serve_sql(args) -> int:
-    middleware, connection = _federation_from(args)
-    for line_no, line in enumerate(sys.stdin, 1):
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        try:
-            obj = json.loads(line)
-            if isinstance(obj, str):
-                obj = {"sql": obj}
-            if not isinstance(obj, dict) or "sql" not in obj:
-                raise ReproError(
-                    f"line {line_no}: expected an object with 'sql'"
-                )
-            execute = bool(obj.get("execute")) or bool(obj.get("verify"))
-            if execute and connection is None:
-                raise ReproError(
-                    f"line {line_no}: execute/verify require --db FILE"
-                )
-            if execute:
-                result = middleware.execute(
-                    obj["sql"], verify=bool(obj.get("verify"))
-                )
-                doc = result.to_json_dict()
-            else:
-                doc = middleware.rewrite_sql(obj["sql"]).to_json_dict()
-        except (ReproError, json.JSONDecodeError) as error:
-            doc = {"schema": API_SCHEMA, "kind": "error",
-                   "error": str(error)}
-        if isinstance(obj, dict) and "id" in obj:
-            doc["id"] = obj["id"]
-        print(json.dumps(doc), flush=True)
+    import time
+
+    from .obs.metrics import (
+        METRICS_SCHEMA,
+        MetricsRegistry,
+        current_metrics,
+        set_global_metrics,
+    )
+
+    # Periodic in-band metric frames need a live registry; reuse the
+    # --metrics-out one when present, else install our own for the loop.
+    interval = getattr(args, "metrics_interval", 0.0) or 0.0
+    registry = current_metrics()
+    owns_registry = False
+    if interval > 0 and registry is None:
+        registry = MetricsRegistry()
+        set_global_metrics(registry)
+        owns_registry = True
+
+    started = time.monotonic()
+    last_frame = started
+    seq = 0
+
+    def emit_frame() -> None:
+        nonlocal seq
+        seq += 1
+        print(
+            json.dumps(
+                {
+                    "schema": METRICS_SCHEMA,
+                    "kind": "metrics-frame",
+                    "seq": seq,
+                    "elapsed": round(time.monotonic() - started, 3),
+                    "metrics": registry.snapshot().as_dict(),
+                }
+            ),
+            flush=True,
+        )
+
+    try:
+        middleware, connection = _federation_from(args)
+        for line_no, line in enumerate(sys.stdin, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                obj = json.loads(line)
+                if isinstance(obj, str):
+                    obj = {"sql": obj}
+                if not isinstance(obj, dict) or "sql" not in obj:
+                    raise ReproError(
+                        f"line {line_no}: expected an object with 'sql'"
+                    )
+                execute = bool(obj.get("execute")) or bool(obj.get("verify"))
+                if execute and connection is None:
+                    raise ReproError(
+                        f"line {line_no}: execute/verify require --db FILE"
+                    )
+                if execute:
+                    result = middleware.execute(
+                        obj["sql"], verify=bool(obj.get("verify"))
+                    )
+                    doc = result.to_json_dict()
+                else:
+                    doc = middleware.rewrite_sql(obj["sql"]).to_json_dict()
+            except (ReproError, json.JSONDecodeError) as error:
+                doc = {"schema": API_SCHEMA, "kind": "error",
+                       "error": str(error)}
+            if isinstance(obj, dict) and "id" in obj:
+                doc["id"] = obj["id"]
+            print(json.dumps(doc), flush=True)
+            if interval > 0 and time.monotonic() - last_frame >= interval:
+                emit_frame()
+                last_frame = time.monotonic()
+        if interval > 0:
+            # A closing frame so short sessions still report totals.
+            emit_frame()
+    finally:
+        if owns_registry:
+            set_global_metrics(None)
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from .obs.metrics import MetricsRegistry, collecting
+
+    catalog, queries = _load(args)
+    query = _query_from(args, catalog, queries)
+    registry = MetricsRegistry()
+    with collecting(registry):
+        api.rewrite(query, catalog=catalog, budget=_budget_from(args))
+    sys.stdout.write(registry.render_prometheus())
     return 0
 
 
@@ -603,6 +670,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="SQL script with CREATE TABLE / CREATE VIEW statements",
         )
 
+    def metrics_flag(p):
+        p.add_argument(
+            "--metrics-out",
+            metavar="FILE",
+            help="collect metrics while the command runs and write a "
+            "Prometheus text snapshot to FILE on exit",
+        )
+
     def search_knobs(p):
         p.add_argument(
             "--trace",
@@ -647,6 +722,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the repro-api/1 JSON projection instead of text",
     )
     search_knobs(p)
+    metrics_flag(p)
     p.set_defaults(func=cmd_rewrite)
 
     p = sub.add_parser("explain", help="diagnose view usability")
@@ -691,6 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget for the WHOLE batch (milliseconds); "
         "overflow requests degrade gracefully",
     )
+    metrics_flag(p)
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("check", help="empirical equivalence check")
@@ -824,7 +901,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="federation middleware as a JSON-lines loop on stdin/stdout",
     )
     federation_flags(p)
+    p.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="emit an in-band repro-metrics/1 JSON frame at least this "
+        "often, plus one at end of input; 0 disables (default)",
+    )
+    metrics_flag(p)
     p.set_defaults(func=cmd_serve_sql)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run one rewrite with metrics on and print Prometheus text",
+    )
+    common(p)
+    p.add_argument("--query", help="the SELECT to rewrite")
+    search_knobs(p)
+    p.set_defaults(func=cmd_metrics)
 
     from .fuzz import BUG_NAMES
 
@@ -895,14 +990,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the stats report as repro-fuzz/1 JSON",
     )
+    metrics_flag(p)
     p.set_defaults(func=cmd_fuzz)
     return parser
+
+
+def _with_metrics_out(args) -> int:
+    """Run the command under a fresh global registry and persist it.
+
+    The Prometheus snapshot is written even when the command fails, so
+    a crashed fuzz sweep still leaves its counters behind.
+    """
+    from .obs.metrics import (
+        MetricsRegistry,
+        render_prometheus,
+        set_global_metrics,
+    )
+
+    registry = MetricsRegistry()
+    previous = set_global_metrics(registry)
+    try:
+        return args.func(args)
+    finally:
+        set_global_metrics(previous)
+        with open(args.metrics_out, "w") as handle:
+            handle.write(render_prometheus(registry))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "metrics_out", None):
+            return _with_metrics_out(args)
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

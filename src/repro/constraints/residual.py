@@ -48,6 +48,11 @@ _residual_hits = 0
 _residual_misses = 0
 
 
+def residual_cache_counts() -> tuple[int, int]:
+    """``(hits, misses)`` without dict building (metrics hot path)."""
+    return _residual_hits, _residual_misses
+
+
 def residual_cache_stats() -> dict:
     total = _residual_hits + _residual_misses
     return {

@@ -36,6 +36,7 @@ Result-set parity between the two paths is asserted by
 
 from __future__ import annotations
 
+import weakref
 from collections import Counter, OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -48,8 +49,12 @@ from ..constraints.closure import (
     closure_cache_enabled,
     closure_cache_stats,
 )
-from ..constraints.residual import residual_cache_stats
+from ..constraints.residual import (
+    residual_cache_counts,
+    residual_cache_stats,
+)
 from ..obs.budget import BudgetMeter, SearchBudget, ensure_meter
+from ..obs.metrics import current_metrics
 from ..obs.trace import current_tracer
 from .canonical import (
     canonical_cache_disabled,
@@ -340,8 +345,15 @@ class RewritePlanner:
         meter = None if budget is None else ensure_meter(budget)
         # Hoisted once: tracing cannot change mid-search, and the traced
         # branches below keep all span machinery (including its no-op
-        # context) off the warm path entirely.
+        # context) off the warm path entirely. Metrics follow the same
+        # discipline: one current_metrics() probe per search, recorded as
+        # PlannerStats deltas after the search so the BFS inner loops
+        # never touch the registry.
         tracer = current_tracer()
+        metrics = current_metrics()
+        if metrics is not None:
+            stats_before = _stats_tuple(self.stats)
+            memo_before = _memo_tuple()
         self.stats.searches += 1
         seen: set[str] = {canonical_key(query)}
         frontier: list[_Node] = [_Node(None, query)]
@@ -385,12 +397,16 @@ class RewritePlanner:
             frontier = next_frontier
 
         if include_partial:
-            return [node.rewriting for node in result_nodes]
-
-        if tracer is None:
-            return self._maximal_results(result_nodes, meter)
-        with tracer.span("maximality"):
-            return self._maximal_results(result_nodes, meter)
+            results = [node.rewriting for node in result_nodes]
+        elif tracer is None:
+            results = self._maximal_results(result_nodes, meter)
+        else:
+            with tracer.span("maximality"):
+                results = self._maximal_results(result_nodes, meter)
+        if metrics is not None:
+            _record_search(metrics, stats_before, memo_before,
+                           self.stats, len(results))
+        return results
 
     def _maximal_results(
         self,
@@ -426,6 +442,177 @@ def cache_stats() -> dict:
         "canonical_key": canonical_cache_stats().as_dict(),
         "residual": residual_cache_stats(),
     }
+
+
+def _memo_tuple() -> tuple:
+    """The memo-cache hit/miss counters as one flat tuple.
+
+    ``(closure_hits, closure_misses, canonical_hits, canonical_misses,
+    residual_hits, residual_misses)`` — the metrics hot path reads raw
+    counters; :func:`cache_stats` stays for benchmark reports.
+    """
+    closure = closure_cache_stats()
+    canonical = canonical_cache_stats()
+    residual_hits, residual_misses = residual_cache_counts()
+    return (
+        closure.hits, closure.misses,
+        canonical.hits, canonical.misses,
+        residual_hits, residual_misses,
+    )
+
+
+def _stats_tuple(stats: PlannerStats) -> tuple:
+    """The PlannerStats counters metrics record deltas of, as a tuple."""
+    return (
+        stats.nodes_expanded,
+        stats.views_considered,
+        stats.views_pruned,
+        stats.candidates_generated,
+        stats.duplicates_skipped,
+        stats.maximality_probes,
+        stats.substitution_hits,
+        stats.substitution_misses,
+    )
+
+
+class _SearchRecorder:
+    """Pre-resolved counter children of one registry's planner families.
+
+    On sub-millisecond cold searches, re-resolving family names and
+    label tuples per search costs more than the lock-and-add updates
+    themselves; caching the child handles per registry keeps
+    enabled-mode recording to ~16 direct increments.
+    """
+
+    __slots__ = (
+        "searches", "nodes", "views_admitted", "views_pruned",
+        "cands_kept", "cands_dup", "probes", "results", "memo",
+    )
+
+    def __init__(self, metrics):
+        counter = metrics.counter
+        self.searches = counter(
+            "repro_planner_searches_total",
+            "Planned multi-view rewrite searches run.",
+        ).labels()
+        self.nodes = counter(
+            "repro_planner_nodes_expanded_total",
+            "BFS nodes expanded by the rewrite planner.",
+        ).labels()
+        views = counter(
+            "repro_planner_views_total",
+            "View applicability probes, by signature-index outcome.",
+            ("outcome",),
+        )
+        self.views_admitted = views.labels("admitted")
+        self.views_pruned = views.labels("pruned")
+        cands = counter(
+            "repro_planner_candidates_total",
+            "Candidate rewritings generated, kept vs duplicate-pruned.",
+            ("outcome",),
+        )
+        self.cands_kept = cands.labels("kept")
+        self.cands_dup = cands.labels("duplicate")
+        self.probes = counter(
+            "repro_planner_maximality_probes_total",
+            "Lazy maximality probes on nodes the step bound left "
+            "unexpanded.",
+        ).labels()
+        self.results = counter(
+            "repro_planner_results_total",
+            "Rewritings returned by planner searches.",
+        ).labels()
+        memo = counter(
+            "repro_planner_memo_total",
+            "Planner memo lookups, by memo family and hit/miss outcome.",
+            ("family", "outcome"),
+        )
+        self.memo = {
+            family: (
+                memo.labels(family, "hit"), memo.labels(family, "miss")
+            )
+            for family in (
+                "substitution", "closure", "canonical_key", "residual"
+            )
+        }
+
+
+_RECORDERS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _recorder_for(metrics) -> _SearchRecorder:
+    recorder = _RECORDERS.get(metrics)
+    if recorder is None:
+        # Benign race: two threads may both build one; the registry's
+        # own get-or-create makes them share the same children.
+        recorder = _SearchRecorder(metrics)
+        _RECORDERS[metrics] = recorder
+    return recorder
+
+
+def _record_search(
+    metrics,
+    before: tuple,
+    memo_before: tuple,
+    stats: PlannerStats,
+    results_found: int,
+) -> None:
+    """Fold one search's PlannerStats / memo-cache deltas into ``metrics``.
+
+    Runs once per search (never inside the BFS), so enabled-mode overhead
+    stays a fixed ~16 counter updates per planner call. Deltas are
+    clamped at zero: the process-wide closure/canonical/residual caches
+    may be cleared (or raced by sibling threads) mid-search.
+    """
+    (nodes, considered, pruned, candidates, duplicates, probes,
+     sub_hits, sub_misses) = before
+
+    def delta(now: int, then: int) -> int:
+        return now - then if now > then else 0
+
+    rec = _recorder_for(metrics)
+    rec.searches.inc()
+    nodes_now = delta(stats.nodes_expanded, nodes)
+    if nodes_now:
+        rec.nodes.inc(nodes_now)
+    pruned_now = delta(stats.views_pruned, pruned)
+    admitted_now = max(
+        0, delta(stats.views_considered, considered) - pruned_now
+    )
+    if admitted_now:
+        rec.views_admitted.inc(admitted_now)
+    if pruned_now:
+        rec.views_pruned.inc(pruned_now)
+    dup_now = delta(stats.duplicates_skipped, duplicates)
+    kept_now = max(
+        0, delta(stats.candidates_generated, candidates) - dup_now
+    )
+    if kept_now:
+        rec.cands_kept.inc(kept_now)
+    if dup_now:
+        rec.cands_dup.inc(dup_now)
+    probes_now = delta(stats.maximality_probes, probes)
+    if probes_now:
+        rec.probes.inc(probes_now)
+    if results_found:
+        rec.results.inc(results_found)
+
+    hit, miss = rec.memo["substitution"]
+    sub_hits_now = delta(stats.substitution_hits, sub_hits)
+    if sub_hits_now:
+        hit.inc(sub_hits_now)
+    sub_misses_now = delta(stats.substitution_misses, sub_misses)
+    if sub_misses_now:
+        miss.inc(sub_misses_now)
+    memo_after = _memo_tuple()
+    for i, family in enumerate(("closure", "canonical_key", "residual")):
+        hit, miss = rec.memo[family]
+        hits_now = delta(memo_after[2 * i], memo_before[2 * i])
+        if hits_now:
+            hit.inc(hits_now)
+        misses_now = delta(memo_after[2 * i + 1], memo_before[2 * i + 1])
+        if misses_now:
+            miss.inc(misses_now)
 
 
 @contextmanager

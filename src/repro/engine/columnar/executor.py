@@ -33,6 +33,7 @@ from ...blocks.exprs import Aggregate, Arith, Expr, columns_in
 from ...blocks.query_block import QueryBlock
 from ...blocks.terms import Column, Comparison, Constant
 from ...errors import EvaluationError
+from ...obs.metrics import current_metrics
 from ..aggregates import accumulate_by_group, apply_aggregate
 from ..planner import classify_predicates, greedy_join_order
 from ..table import Table
@@ -40,6 +41,23 @@ from .batch import Batch
 from .kernels import compile_filter_kernel, compile_value_kernel
 
 RelationResolver = Callable[[str], Table]
+
+
+def _count_kernels(kind: str, n: int) -> None:
+    """Top-level kernel compilations into the active registry, if any.
+
+    Counted at executor call sites, not inside the (recursive) kernel
+    compilers, so one Arith tree counts as one compilation.
+    """
+    if not n:
+        return
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.counter(
+            "repro_engine_kernel_compilations_total",
+            "Columnar kernels compiled, by kind.",
+            ("kind",),
+        ).labels(kind).inc(n)
 
 
 def evaluate_block_columnar(
@@ -53,6 +71,7 @@ def evaluate_block_columnar(
         kernels = [
             compile_value_kernel(item.expr) for item in block.select
         ]
+        _count_kernels("value", len(kernels))
         columns = [kernel(batch) for kernel in kernels]
         if len(columns) == 1:
             rows = [(v,) for v in columns[0]]
@@ -87,6 +106,8 @@ def build_core_batch(
     # ------------------------------------------------------------------
     # Scan each relation into a batch; push local predicates down.
     # ------------------------------------------------------------------
+    rows_scanned = 0
+    filter_kernels = 0
     scans: list[Batch] = []
     for i, rel in enumerate(block.from_):
         data = resolve(rel.name)
@@ -95,6 +116,7 @@ def build_core_batch(
                 f"relation {rel.name}: expected {len(rel.columns)} "
                 f"columns, data has {len(data.columns)}"
             )
+        rows_scanned += len(data.rows)
         column_data = data.as_columns()
         columns = {
             col: column_data[j] for j, col in enumerate(rel.columns)
@@ -102,6 +124,7 @@ def build_core_batch(
         scan = Batch.from_columns(columns, len(data.rows))
         for atom in classified.local[i]:
             scan = scan.select(compile_filter_kernel(atom)(scan))
+            filter_kernels += 1
         scans.append(scan)
 
     order = greedy_join_order(
@@ -115,7 +138,9 @@ def build_core_batch(
     bound_cols: set[Column] = set(block.from_[order[0]].columns)
     batch = scans[order[0]]
     pending = list(classified.deferred)
+    before = len(pending)
     batch, pending = _apply_ready(batch, pending, bound_cols)
+    filter_kernels += before - len(pending)
 
     for idx in order[1:]:
         rel = block.from_[idx]
@@ -133,7 +158,23 @@ def build_core_batch(
             batch = batch.cross(scans[idx])
         bound.add(idx)
         bound_cols.update(rel.columns)
+        before = len(pending)
         batch, pending = _apply_ready(batch, pending, bound_cols)
+        filter_kernels += before - len(pending)
+
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.counter(
+            "repro_engine_rows_scanned_total",
+            "Base-relation rows read while building core tables.",
+            ("engine",),
+        ).labels("columnar").inc(rows_scanned)
+        metrics.counter(
+            "repro_engine_rows_joined_total",
+            "Core-table rows produced by the join phase.",
+            ("engine",),
+        ).labels("columnar").inc(batch.length)
+        _count_kernels("filter", filter_kernels)
     return batch
 
 
@@ -338,6 +379,7 @@ def _evaluate_grouped(block: QueryBlock, batch: Batch) -> Table:
     for agg in block.all_aggregates():
         if agg not in distinct_aggs:
             distinct_aggs.append(agg)
+    _count_kernels("value", len(distinct_aggs))
     agg_values: dict[Aggregate, list] = {}
     for agg in distinct_aggs:
         arg_column = compile_value_kernel(agg.arg)(batch)
@@ -358,6 +400,19 @@ def _evaluate_grouped(block: QueryBlock, batch: Batch) -> Table:
         _compile_group_expr(item.expr, key_pos, agg_values)
         for item in block.select
     ]
+
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.counter(
+            "repro_engine_rows_grouped_total",
+            "Core rows fed into grouped aggregation, by executor.",
+            ("engine",),
+        ).labels("columnar").inc(n)
+        metrics.counter(
+            "repro_engine_groups_total",
+            "Groups formed by grouped aggregation, by executor.",
+            ("engine",),
+        ).labels("columnar").inc(ngroups)
 
     out_rows: list = []
     out_append = out_rows.append

@@ -22,6 +22,7 @@ from ..blocks.exprs import Aggregate, Arith, Expr
 from ..blocks.query_block import QueryBlock
 from ..blocks.terms import Column, Comparison, Constant, Op
 from ..errors import EvaluationError
+from ..obs.metrics import current_metrics
 from .aggregates import apply_aggregate
 from .table import Row, Table
 
@@ -154,6 +155,8 @@ def evaluate_block(
         raise EvaluationError(
             f"unknown engine {engine!r}: expected one of {ENGINES}"
         )
+    metrics = current_metrics()
+    requested = engine
     if engine != "row":
         # Resolve each FROM name once, whichever executor then runs:
         # re-resolving would re-evaluate query-local views per occurrence.
@@ -175,11 +178,22 @@ def evaluate_block(
                 if sizes and max(sizes) >= COLUMNAR_AUTO_THRESHOLD
                 else "row"
             )
+            if metrics is not None:
+                metrics.counter(
+                    "repro_engine_auto_switch_total",
+                    "engine=auto decisions, by chosen executor.",
+                    ("chosen",),
+                ).labels(engine).inc()
         resolve = cached_resolve
         if engine == "columnar":
             from .columnar import evaluate_block_columnar
 
+            if metrics is not None:
+                _count_dispatch(metrics, "columnar", requested)
             return evaluate_block_columnar(block, resolve)
+
+    if metrics is not None:
+        _count_dispatch(metrics, "row", requested)
 
     from .planner import build_core
 
@@ -198,6 +212,14 @@ def evaluate_block(
     if block.distinct:
         result = result.distinct()
     return result
+
+
+def _count_dispatch(metrics, engine: str, requested: str) -> None:
+    metrics.counter(
+        "repro_engine_blocks_total",
+        "Query blocks evaluated, by executor and how it was requested.",
+        ("engine", "requested"),
+    ).labels(engine, requested).inc()
 
 
 def _build_core(
@@ -238,6 +260,19 @@ def _evaluate_grouped(
     else:
         # A single group that exists even when the core table is empty.
         groups[()] = list(core_rows)
+
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.counter(
+            "repro_engine_rows_grouped_total",
+            "Core rows fed into grouped aggregation, by executor.",
+            ("engine",),
+        ).labels("row").inc(len(core_rows))
+        metrics.counter(
+            "repro_engine_groups_total",
+            "Groups formed by grouped aggregation, by executor.",
+            ("engine",),
+        ).labels("row").inc(len(groups))
 
     out_rows: list[Row] = []
     for key, rows in groups.items():

@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 
 from ..blocks.query_block import QueryBlock
 from ..blocks.terms import Column, Comparison, Constant, Op
+from ..obs.metrics import current_metrics
 from .table import Row, Table
 
 RelationResolver = Callable[[str], Table]
@@ -145,9 +146,12 @@ def build_core(
     # ------------------------------------------------------------------
     # Scan + local filter each relation.
     # ------------------------------------------------------------------
+    metrics = current_metrics()
+    rows_scanned = 0
     scans: list[list[Row]] = []
     for i, rel in enumerate(block.from_):
         data = resolve(rel.name)
+        rows_scanned += len(data.rows)
         if len(data.columns) != len(rel.columns):
             from ..errors import EvaluationError
 
@@ -243,6 +247,18 @@ def build_core(
         current, pending = _apply_ready(
             current, pending, positions, _compile_predicate
         )
+
+    if metrics is not None:
+        metrics.counter(
+            "repro_engine_rows_scanned_total",
+            "Base-relation rows read while building core tables.",
+            ("engine",),
+        ).labels("row").inc(rows_scanned)
+        metrics.counter(
+            "repro_engine_rows_joined_total",
+            "Core-table rows produced by the join phase.",
+            ("engine",),
+        ).labels("row").inc(len(current))
 
     # Re-order tuple positions to the canonical block layout.
     if positions != index:

@@ -150,17 +150,14 @@ def materialized_speedup(
     Materializes the used views first, as a warehouse would, so the
     rewritten query measures only view-scan work (Example 1.1's setting).
     """
-    import time
+    from .obs.metrics import timed
 
     db = Database(catalog, tables)
     for name in rewriting.view_names:
         db.materialize(name)
 
-    start = time.perf_counter()
-    db.execute(query)
-    original = time.perf_counter() - start
-
-    start = time.perf_counter()
-    db.execute(rewriting.query, extra_views=rewriting.extra_views())
-    rewritten = time.perf_counter() - start
-    return original, rewritten
+    with timed() as original:
+        db.execute(query)
+    with timed() as rewritten:
+        db.execute(rewriting.query, extra_views=rewriting.extra_views())
+    return original.seconds, rewritten.seconds

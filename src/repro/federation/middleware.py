@@ -27,6 +27,7 @@ from ..catalog.schema import Catalog
 from ..core.rewriter import RewriteEngine
 from ..dialects import DialectLike, get_dialect
 from ..obs.budget import SearchBudget
+from ..obs.metrics import current_metrics
 from ..oracle.values import rows_multiset_equal
 from ..service.requests import API_SCHEMA
 from .catalog import IngestReport, ingest_catalog, parse_materialized_views
@@ -102,9 +103,17 @@ class SqlRewriter:
         result = self.engine.rewrite(query)
         passthrough = block_to_sql(query, dialect=self.dialect)
         best = result.ranked[0] if result.ranked else None
-        if best is not None and (
+        rewritten = best is not None and (
             not self.only_improving or best.cost < result.original_cost
-        ):
+        )
+        metrics = current_metrics()
+        if metrics is not None:
+            metrics.counter(
+                "repro_federation_statements_total",
+                "SQL statements through the middleware, by outcome.",
+                ("rewritten",),
+            ).labels("true" if rewritten else "false").inc()
+        if rewritten:
             rewriting = best.rewriting
             aux = tuple(
                 view_to_sql(v, dialect=self.dialect)
@@ -181,6 +190,12 @@ class FederationSession:
                 materialized=materialized,
                 row_counts=row_counts,
             )
+            metrics = current_metrics()
+            if metrics is not None:
+                metrics.counter(
+                    "repro_federation_ingests_total",
+                    "Catalogs ingested from live connections.",
+                ).inc()
         else:
             self.report = IngestReport(dialect=self.dialect.name)
             if materialized:
@@ -232,6 +247,19 @@ class FederationSession:
             result.verified = rows_multiset_equal(rows, direct)
         elif verify:
             result.verified = True
+        if verify:
+            metrics = current_metrics()
+            if metrics is not None:
+                outcome_label = (
+                    "passthrough"
+                    if not outcome.rewritten
+                    else "ok" if result.verified else "mismatch"
+                )
+                metrics.counter(
+                    "repro_federation_verify_total",
+                    "Live verify runs, by outcome.",
+                    ("outcome",),
+                ).labels(outcome_label).inc()
         return result
 
     def _run(self, outcome: SqlRewriteOutcome) -> list:

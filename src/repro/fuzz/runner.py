@@ -18,6 +18,7 @@ from typing import Optional
 
 from ..errors import OracleUnsupported
 from ..obs.budget import SearchBudget
+from ..obs.metrics import current_metrics
 from ..oracle import CrossChecker
 from ..oracle.backends import available_backends
 from ..workloads.random_queries import Scenario
@@ -46,11 +47,21 @@ class FuzzStats:
     engine: str = "auto"
     backends: tuple = ("sqlite",)
     by_profile: dict = field(default_factory=dict)
+    #: Structured per-profile breakdown:
+    #: ``{profile: {"scenarios", "checks", "mismatches", "skipped"}}``.
+    profiles: dict = field(default_factory=dict)
     failure_files: list = field(default_factory=list)
 
     @property
     def scenarios_per_sec(self) -> float:
         return self.scenarios / self.elapsed if self.elapsed > 0 else 0.0
+
+    def profile_bucket(self, profile: str) -> dict:
+        """The mutable per-profile counter record, created on first use."""
+        return self.profiles.setdefault(
+            profile,
+            {"scenarios": 0, "checks": 0, "mismatches": 0, "skipped": 0},
+        )
 
     def as_dict(self) -> dict:
         return {
@@ -65,6 +76,10 @@ class FuzzStats:
             "engine": self.engine,
             "backends": list(self.backends),
             "by_profile": dict(self.by_profile),
+            "profiles": {
+                name: dict(bucket)
+                for name, bucket in sorted(self.profiles.items())
+            },
             "failure_files": [str(p) for p in self.failure_files],
         }
 
@@ -132,6 +147,7 @@ class FuzzRunner:
     def _run_one(self, seed: int, stats: FuzzStats) -> None:
         profile = PROFILES[seed % len(PROFILES)]
         stats.by_profile[profile] = stats.by_profile.get(profile, 0) + 1
+        bucket = stats.profile_bucket(profile)
         scenario = fuzz_scenario(seed)
         budget = None
         if seed % BUDGET_EVERY == 0:
@@ -145,11 +161,19 @@ class FuzzRunner:
             stats.by_profile[f"{profile}:skipped"] = (
                 stats.by_profile.get(f"{profile}:skipped", 0) + 1
             )
+            bucket["skipped"] += 1
+            _record_outcome(profile, skipped=True)
             del reason
             return
         stats.scenarios += 1
         stats.checks += report.checks
         stats.rewritings += report.rewritings
+        bucket["scenarios"] += 1
+        bucket["checks"] += report.checks
+        bucket["mismatches"] += len(report.mismatches)
+        _record_outcome(
+            profile, checks=report.checks, mismatches=len(report.mismatches)
+        )
         if report.ok:
             return
         stats.failures += 1
@@ -170,11 +194,13 @@ class FuzzRunner:
         stats.shrink_iterations += result.iterations
         final_report = self.checker.check(result.scenario, budget=budget)
         path = self._write_repro(
-            seed, profile, result, final_report, budget
+            seed, profile, result, final_report, budget, stats
         )
         stats.failure_files.append(path)
 
-    def _write_repro(self, seed, profile, result, report, budget) -> Path:
+    def _write_repro(
+        self, seed, profile, result, report, budget, stats
+    ) -> Path:
         self.out_dir.mkdir(parents=True, exist_ok=True)
         doc = scenario_to_json(
             result.scenario,
@@ -188,10 +214,42 @@ class FuzzRunner:
                 "rows": [result.rows_before, result.rows_after],
                 "views": [result.views_before, result.views_after],
             },
+            # The run's per-profile tallies at failure time, so a repro
+            # records how hard its profile had been exercised.
+            profile_stats=dict(stats.profile_bucket(profile)),
         )
         path = self.out_dir / f"seed-{seed}-{profile}.json"
         path.write_text(json.dumps(doc, indent=2) + "\n")
         return path
+
+
+def _record_outcome(
+    profile: str,
+    checks: int = 0,
+    mismatches: int = 0,
+    skipped: bool = False,
+) -> None:
+    """Fold one fuzz scenario's outcome into the active registry."""
+    metrics = current_metrics()
+    if metrics is None:
+        return
+    metrics.counter(
+        "repro_fuzz_scenarios_total",
+        "Fuzz scenarios generated, by profile and outcome.",
+        ("profile", "outcome"),
+    ).labels(profile, "skipped" if skipped else "checked").inc()
+    if checks:
+        metrics.counter(
+            "repro_fuzz_checks_total",
+            "Oracle comparisons performed by the fuzz loop, by profile.",
+            ("profile",),
+        ).labels(profile).inc(checks)
+    if mismatches:
+        metrics.counter(
+            "repro_fuzz_mismatches_total",
+            "Oracle disagreements found by the fuzz loop, by profile.",
+            ("profile",),
+        ).labels(profile).inc(mismatches)
 
 
 def replay(

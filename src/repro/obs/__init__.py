@@ -9,12 +9,26 @@ Two orthogonal facilities, both threaded through the whole rewrite path
   ``repro explain --trace``;
 * :mod:`repro.obs.budget` — per-search limits (wall-clock deadline,
   mapping and candidate caps) with anytime degradation: partial-but-
-  sound results tagged ``exhausted=True`` instead of exceptions.
+  sound results tagged ``exhausted=True`` instead of exceptions;
+* :mod:`repro.obs.metrics` — production counters/gauges/histograms with
+  Prometheus text exposition and picklable, mergeable snapshots,
+  sharing the tracer's free-when-off hoisted-``None`` discipline.
 
 See ``docs/observability.md`` for the user-facing guide.
 """
 
 from .budget import BudgetMeter, SearchBudget, ensure_meter
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    MetricsSnapshot,
+    collecting,
+    current_metrics,
+    render_prometheus,
+    set_global_metrics,
+    timed,
+)
 from .trace import (
     RewriteTrace,
     Span,
@@ -30,6 +44,15 @@ __all__ = [
     "BudgetMeter",
     "SearchBudget",
     "ensure_meter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "collecting",
+    "current_metrics",
+    "render_prometheus",
+    "set_global_metrics",
+    "timed",
     "RewriteTrace",
     "Span",
     "Tracer",

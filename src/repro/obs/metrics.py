@@ -1,0 +1,676 @@
+"""Production metrics: counters, gauges and histograms for the pipeline.
+
+The registry mirrors the tracer's design contract
+(:mod:`repro.obs.trace`): instrumentation is *free when off*. There is
+no global default registry object and no null-object pattern — hot
+paths call :func:`current_metrics` once, hoist the result, and branch
+on ``None``:
+
+.. code-block:: python
+
+    metrics = current_metrics()
+    ...
+    if metrics is not None:
+        metrics.counter("repro_planner_searches_total").inc()
+
+Three metric kinds, all supporting labeled families:
+
+``Counter``
+    monotonically increasing count (``_total`` names by convention);
+``Gauge``
+    a value that can go up and down (sizes, occupancy);
+``Histogram``
+    observations bucketed over a fixed exponential ladder
+    (:data:`DEFAULT_LATENCY_BUCKETS`) with the *exact* count and sum
+    kept alongside, so mean latency is never a bucket approximation.
+
+Thread-safety: value updates take the owning registry's lock, so a
+registry shared across threads (the CLI global, the batch service in
+thread mode) never loses increments. The service additionally runs each
+chunk under its own scoped registry (:class:`collecting`) and folds the
+picklable :class:`MetricsSnapshot` back into the parent exactly once —
+the same merge discipline as planner memos and cache stats — which is
+what keeps process-mode workers and the no-double-counting contract
+honest (see ``docs/observability.md``).
+
+Exposition: :meth:`MetricsRegistry.render_prometheus` (and the same
+method on snapshots) emits the Prometheus text format, served by
+``repro metrics`` and the ``--metrics-out FILE`` flag; snapshots also
+serialize to the ``repro-metrics/1`` JSON shape carried on
+``RewriteResponse``/``BatchResult`` envelopes and in the periodic
+frames ``repro serve-sql`` emits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Optional, Sequence, Union
+
+METRICS_SCHEMA = "repro-metrics/1"
+
+#: Fixed exponential latency ladder (seconds): 250 µs doubling to ~8 s.
+#: Decimal-friendly endpoints so the rendered ``le`` labels stay exact.
+DEFAULT_LATENCY_BUCKETS = (
+    0.00025,
+    0.0005,
+    0.001,
+    0.002,
+    0.004,
+    0.008,
+    0.016,
+    0.032,
+    0.064,
+    0.128,
+    0.256,
+    0.512,
+    1.024,
+    2.048,
+    4.096,
+    8.192,
+)
+
+_VALID_KINDS = ("counter", "gauge", "histogram")
+
+
+# ----------------------------------------------------------------------
+# Metric children (one labeled series each)
+# ----------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing series. Negative increments raise."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.RLock):
+        self._lock = lock
+        self.value = 0
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """A series that can move both ways (sizes, occupancy, rates)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.RLock):
+        self._lock = lock
+        self.value = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def dec(self, n: Union[int, float] = 1) -> None:
+        with self._lock:
+            self.value -= n
+
+
+class Histogram:
+    """Bucketed observations plus the exact count and sum.
+
+    ``bounds`` are inclusive upper bounds; ``counts`` holds one slot per
+    bound plus a final overflow (``+Inf``) slot. Bucket counts are
+    stored per-bucket and cumulated only at render time, which keeps
+    :meth:`observe` to one bisect and three writes.
+    """
+
+    __slots__ = ("_lock", "bounds", "counts", "count", "sum")
+
+    def __init__(self, lock: threading.RLock, bounds: Sequence[float]):
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram bounds must increase: {bounds!r}")
+        self._lock = lock
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: Union[int, float]) -> None:
+        with self._lock:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
+
+
+# ----------------------------------------------------------------------
+# Labeled families
+# ----------------------------------------------------------------------
+
+
+class MetricFamily:
+    """One named family: fixed label names, one child per label values.
+
+    A family declared with no label names proxies the single unlabeled
+    child, so ``registry.counter("x").inc()`` works without a
+    ``labels()`` hop.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "help",
+        "labelnames",
+        "buckets",
+        "_lock",
+        "_children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        lock: threading.RLock,
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._lock = lock
+        self._children: dict[tuple, object] = {}
+
+    def labels(self, *values, **by_name):
+        """The child series for one label-value combination."""
+        if by_name:
+            if values:
+                raise TypeError("pass labels positionally or by name, not both")
+            try:
+                values = tuple(by_name[n] for n in self.labelnames)
+            except KeyError as exc:
+                raise ValueError(
+                    f"{self.name}: missing label {exc.args[0]!r}"
+                ) from None
+            if len(by_name) != len(self.labelnames):
+                extra = set(by_name) - set(self.labelnames)
+                raise ValueError(f"{self.name}: unknown labels {sorted(extra)}")
+        else:
+            values = tuple(str(v) if not isinstance(v, str) else v for v in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {len(values)} value(s)"
+            )
+        values = tuple(str(v) if not isinstance(v, str) else v for v in values)
+        child = self._children.get(values)
+        if child is None:
+            with self._lock:
+                child = self._children.get(values)
+                if child is None:
+                    child = self._make_child()
+                    self._children[values] = child
+        return child
+
+    def _make_child(self):
+        if self.kind == "counter":
+            return Counter(self._lock)
+        if self.kind == "gauge":
+            return Gauge(self._lock)
+        return Histogram(self._lock, self.buckets or DEFAULT_LATENCY_BUCKETS)
+
+    # Unlabeled-family conveniences --------------------------------------
+
+    def _solo(self):
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} is labeled by {self.labelnames}; call .labels()"
+            )
+        return self.labels()
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        self._solo().inc(n)
+
+    def dec(self, n: Union[int, float] = 1) -> None:
+        self._solo().dec(n)
+
+    def set(self, value: Union[int, float]) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: Union[int, float]) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self):
+        return self._solo().value
+
+    def items(self):
+        """``(label_values_tuple, child)`` pairs, insertion-ordered."""
+        return list(self._children.items())
+
+
+# ----------------------------------------------------------------------
+# Snapshot: picklable, mergeable, renderable
+# ----------------------------------------------------------------------
+
+
+class MetricsSnapshot:
+    """A frozen, picklable copy of a registry's state.
+
+    ``families`` maps name -> ``{"kind", "help", "labelnames",
+    "samples"}`` where each sample is ``[label_values, value]`` —
+    scalars for counters/gauges, ``{"count", "sum", "bounds",
+    "counts"}`` for histograms. Snapshots merge (counters/histograms
+    add, gauges last-write-wins) so worker registries fold back into a
+    parent without double counting.
+    """
+
+    __slots__ = ("families",)
+
+    def __init__(self, families: Optional[dict] = None):
+        self.families = families if families is not None else {}
+
+    def as_dict(self) -> dict:
+        return {"schema": METRICS_SCHEMA, "families": self.families}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "MetricsSnapshot":
+        if doc.get("schema") not in (None, METRICS_SCHEMA):
+            raise ValueError(f"not a {METRICS_SCHEMA} document: {doc.get('schema')!r}")
+        return cls(doc.get("families", {}))
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Fold ``other`` into this snapshot in place (and return self)."""
+        for name, fam in other.families.items():
+            mine = self.families.get(name)
+            if mine is None:
+                self.families[name] = _copy_family(fam)
+                continue
+            if mine["kind"] != fam["kind"]:
+                raise ValueError(
+                    f"{name}: cannot merge {fam['kind']} into {mine['kind']}"
+                )
+            index = {tuple(lv): sample for lv, sample in
+                     ((s[0], s) for s in mine["samples"])}
+            for labels, value in fam["samples"]:
+                sample = index.get(tuple(labels))
+                if sample is None:
+                    mine["samples"].append([list(labels), _copy_value(value)])
+                    continue
+                sample[1] = _merge_value(mine["kind"], sample[1], value, name)
+        return self
+
+    def render_prometheus(self) -> str:
+        return render_prometheus(self)
+
+    def counter_value(self, name: str, **labels) -> Union[int, float]:
+        """Test/introspection helper: one sample's value (0 if absent)."""
+        fam = self.families.get(name)
+        if fam is None:
+            return 0
+        want = [labels.get(n, "") for n in fam["labelnames"]]
+        for label_values, value in fam["samples"]:
+            if list(label_values) == want:
+                return value
+        return 0
+
+
+def _copy_value(value):
+    if isinstance(value, dict):
+        out = dict(value)
+        out["counts"] = list(value["counts"])
+        out["bounds"] = list(value["bounds"])
+        return out
+    return value
+
+
+def _copy_family(fam: dict) -> dict:
+    return {
+        "kind": fam["kind"],
+        "help": fam["help"],
+        "labelnames": list(fam["labelnames"]),
+        "samples": [[list(lv), _copy_value(v)] for lv, v in fam["samples"]],
+    }
+
+
+def _merge_value(kind: str, mine, theirs, name: str):
+    if kind == "counter":
+        return mine + theirs
+    if kind == "gauge":
+        return theirs
+    if list(mine["bounds"]) != list(theirs["bounds"]):
+        raise ValueError(f"{name}: histogram bucket bounds differ; cannot merge")
+    return {
+        "count": mine["count"] + theirs["count"],
+        "sum": mine["sum"] + theirs["sum"],
+        "bounds": list(mine["bounds"]),
+        "counts": [a + b for a, b in zip(mine["counts"], theirs["counts"])],
+    }
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class MetricsRegistry:
+    """A thread-safe, insertion-ordered collection of metric families."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._families: dict[str, MetricFamily] = {}
+
+    # Family declaration (get-or-create; idempotent) ---------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind:
+                raise ValueError(
+                    f"{name} already registered as a {family.kind}"
+                )
+            return family
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(
+                    name, kind, help, labelnames, self._lock, buckets
+                )
+                self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labelnames, buckets)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    # Snapshot / merge / reset ------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        families: dict[str, dict] = {}
+        with self._lock:
+            for name, family in self._families.items():
+                samples = []
+                for label_values, child in family._children.items():
+                    if family.kind == "histogram":
+                        value: object = {
+                            "count": child.count,
+                            "sum": child.sum,
+                            "bounds": list(child.bounds),
+                            "counts": list(child.counts),
+                        }
+                    else:
+                        value = child.value
+                    samples.append([list(label_values), value])
+                families[name] = {
+                    "kind": family.kind,
+                    "help": family.help,
+                    "labelnames": list(family.labelnames),
+                    "samples": samples,
+                }
+        return MetricsSnapshot(families)
+
+    def merge(
+        self, other: Union["MetricsRegistry", MetricsSnapshot, dict]
+    ) -> None:
+        """Fold a snapshot (or another registry) into this registry.
+
+        Counters and histograms accumulate; gauges take the incoming
+        value. Call exactly once per worker snapshot — the caller owns
+        the no-double-counting discipline.
+        """
+        if isinstance(other, MetricsRegistry):
+            other = other.snapshot()
+        elif isinstance(other, dict):
+            other = MetricsSnapshot.from_dict(other)
+        with self._lock:
+            for name, fam in other.families.items():
+                kind = fam["kind"]
+                if kind not in _VALID_KINDS:
+                    raise ValueError(f"{name}: unknown metric kind {kind!r}")
+                buckets = None
+                if kind == "histogram" and fam["samples"]:
+                    buckets = fam["samples"][0][1]["bounds"]
+                family = self._family(
+                    name, kind, fam["help"], fam["labelnames"], buckets
+                )
+                for label_values, value in fam["samples"]:
+                    child = family.labels(*label_values)
+                    if kind == "counter":
+                        child.value += value
+                    elif kind == "gauge":
+                        child.value = value
+                    else:
+                        if list(child.bounds) != list(value["bounds"]):
+                            raise ValueError(
+                                f"{name}: histogram bucket bounds differ"
+                            )
+                        child.count += value["count"]
+                        child.sum += value["sum"]
+                        for i, n in enumerate(value["counts"]):
+                            child.counts[i] += n
+
+    def reset(self) -> None:
+        """Zero every series in place (families and children survive)."""
+        with self._lock:
+            for family in self._families.values():
+                for child in family._children.values():
+                    if isinstance(child, Histogram):
+                        child.counts = [0] * len(child.counts)
+                        child.count = 0
+                        child.sum = 0.0
+                    else:
+                        child.value = 0
+
+    def as_dict(self) -> dict:
+        return self.snapshot().as_dict()
+
+    def render_prometheus(self) -> str:
+        return self.snapshot().render_prometheus()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_number(value: Union[int, float]) -> str:
+    if isinstance(value, bool):  # bool is an int; be explicit
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    text = f"{value:.10g}"
+    return text
+
+
+def _label_block(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(
+    source: Union[MetricsRegistry, MetricsSnapshot]
+) -> str:
+    """Render a registry or snapshot in the Prometheus text format.
+
+    One ``# HELP`` / ``# TYPE`` pair per family, samples sorted by
+    label values, histograms expanded to cumulative ``_bucket`` series
+    plus exact ``_sum`` and ``_count``. The output ends with a newline
+    as the format requires.
+    """
+    snapshot = (
+        source.snapshot() if isinstance(source, MetricsRegistry) else source
+    )
+    lines: list[str] = []
+    for name in sorted(snapshot.families):
+        fam = snapshot.families[name]
+        help_text = fam["help"] or name
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {fam['kind']}")
+        labelnames = fam["labelnames"]
+        for label_values, value in sorted(
+            fam["samples"], key=lambda sample: sample[0]
+        ):
+            block = _label_block(labelnames, label_values)
+            if fam["kind"] != "histogram":
+                lines.append(f"{name}{block} {_format_number(value)}")
+                continue
+            cumulative = 0
+            for bound, count in zip(
+                list(value["bounds"]) + [float("inf")], value["counts"]
+            ):
+                cumulative += count
+                le = _format_number(float(bound))
+                bucket_labels = _label_block(
+                    list(labelnames) + ["le"], list(label_values) + [le]
+                )
+                lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+            lines.append(f"{name}_sum{block} {_format_number(value['sum'])}")
+            lines.append(f"{name}_count{block} {value['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Active-registry plumbing (hoisted-None discipline)
+# ----------------------------------------------------------------------
+
+_TLS = threading.local()
+_GLOBAL: Optional[MetricsRegistry] = None
+
+
+def current_metrics() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` when metrics are off.
+
+    A thread-scoped registry (:class:`collecting`) shadows the process
+    global (:func:`set_global_metrics`). Hot paths call this once and
+    branch on ``None`` — never wrap work in a null object.
+    """
+    registry = getattr(_TLS, "registry", None)
+    if registry is not None:
+        return registry
+    return _GLOBAL
+
+
+def set_global_metrics(
+    registry: Optional[MetricsRegistry],
+) -> Optional[MetricsRegistry]:
+    """Install (or clear, with ``None``) the process-wide registry.
+
+    Returns the previous global so callers can restore it. The global
+    is what CLI commands and thread-mode service workers inherit.
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = registry
+    return previous
+
+
+class collecting:
+    """Activate ``registry`` for this thread's dynamic extent.
+
+    Nests: the previous thread-scoped registry (or the global) is
+    restored on exit. The batch service runs each chunk under its own
+    ``collecting`` block and merges the snapshot back exactly once.
+    """
+
+    __slots__ = ("registry", "_previous")
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = getattr(_TLS, "registry", None)
+        _TLS.registry = self.registry
+        return self.registry
+
+    def __exit__(self, *exc) -> bool:
+        _TLS.registry = self._previous
+        return False
+
+
+class timed:
+    """Time a block; optionally observe the elapsed seconds somewhere.
+
+    The one shared timing helper (replaces hand-rolled
+    ``time.perf_counter()`` pairs):
+
+    .. code-block:: python
+
+        with timed() as t:
+            run()
+        print(t.seconds)
+
+        with timed("repro_query_seconds"):   # -> active registry, if any
+            run()
+
+    ``target`` may be ``None`` (just measure), a histogram/family
+    (observed directly), or a metric name resolved against the active
+    registry at exit — still free when metrics are off.
+    """
+
+    __slots__ = ("target", "started", "seconds")
+
+    def __init__(self, target=None):
+        self.target = target
+        self.seconds = 0.0
+
+    def __enter__(self) -> "timed":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.seconds = time.perf_counter() - self.started
+        target = self.target
+        if target is not None:
+            if isinstance(target, str):
+                registry = current_metrics()
+                if registry is not None:
+                    registry.histogram(target).observe(self.seconds)
+            else:
+                target.observe(self.seconds)
+        return False

@@ -44,6 +44,7 @@ from ..core.result import Rewriting
 from ..engine.database import Database
 from ..errors import ReproError
 from ..obs.budget import BudgetMeter, SearchBudget
+from ..obs.metrics import current_metrics
 from .backends import BACKEND_NAMES, DBAPIBackend, create_backend
 from .values import rows_multiset_equal
 
@@ -215,6 +216,7 @@ class CrossChecker:
                     report, db, backends, rewriting, i, engine_q, backend_q
                 )
                 report.rewritings += 1
+        _record_report(report, null_base)
         return report
 
     # ------------------------------------------------------------------
@@ -362,6 +364,42 @@ class CrossChecker:
                     Mismatch(f"{context} vs query", "engine rewriting",
                              "engine query", engine_rows, engine_q, sql=sql)
                 )
+
+
+def _record_report(report: CheckReport, null_base: bool) -> None:
+    """Fold one scenario's outcome into the active metrics registry.
+
+    Recorded once per :meth:`CrossChecker.check` so counter totals match
+    report totals exactly, whatever path produced the mismatches.
+    """
+    metrics = current_metrics()
+    if metrics is None:
+        return
+    metrics.counter(
+        "repro_oracle_scenarios_total",
+        "Scenarios cross-checked against live backends.",
+    ).inc()
+    if report.checks:
+        metrics.counter(
+            "repro_oracle_checks_total",
+            "Individual multiset-equality comparisons performed.",
+        ).inc(report.checks)
+    if null_base:
+        metrics.counter(
+            "repro_oracle_vacations_total",
+            "Scenarios whose rewriting-vs-query check was vacated "
+            "because NULL base data is outside the rewriting model.",
+        ).inc()
+    if report.mismatches:
+        family = metrics.counter(
+            "repro_oracle_mismatches_total",
+            "Cross-backend disagreements, by the backend that differed.",
+            ("backend",),
+        )
+        for mismatch in report.mismatches:
+            token = mismatch.right_label.split()[0]
+            backend = token if token in BACKEND_NAMES else "engine"
+            family.labels(backend).inc()
 
 
 def check_scenario(

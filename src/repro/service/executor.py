@@ -31,6 +31,7 @@ from ..core.result import Rewriting
 from ..core.rewriter import RankedRewriting, RewriteEngine
 from ..errors import ReproError
 from ..obs.budget import BudgetMeter, SearchBudget, ensure_meter
+from ..obs.metrics import MetricsRegistry, collecting, current_metrics
 from .requests import RewriteRequest, RewriteResponse
 
 #: Distinguishes "no overlay budget supplied" from an explicit None.
@@ -65,14 +66,46 @@ def execute_request(
     batch deadline overlay); the default sentinel means "use the
     request's". With ``capture_errors`` a :class:`ReproError` becomes an
     error response instead of propagating — the batch contract.
+
+    ``request.collect_metrics`` runs the request under its own scoped
+    registry: the response carries a ``repro-metrics/1`` snapshot of
+    exactly this request's work, and the same snapshot is folded once
+    into the enclosing registry (chunk or global) so totals stay
+    complete without double counting.
     """
+    if not request.collect_metrics:
+        return _attempt(
+            request, engine, planner, budget, cache_snapshot, capture_errors
+        )
+    local = MetricsRegistry()
+    with collecting(local):
+        response = _attempt(
+            request, engine, planner, budget, cache_snapshot, capture_errors
+        )
+    snapshot = local.snapshot()
+    parent = current_metrics()
+    if parent is not None:
+        parent.merge(snapshot)
+    return replace(response, metrics=snapshot.as_dict())
+
+
+def _attempt(
+    request: RewriteRequest,
+    engine: Optional[RewriteEngine],
+    planner: Optional[RewritePlanner],
+    budget,
+    cache_snapshot: Optional[CacheSnapshot],
+    capture_errors: bool,
+) -> RewriteResponse:
     started = time.perf_counter()
     try:
-        return _run(request, engine, planner, budget, cache_snapshot, started)
+        response = _run(
+            request, engine, planner, budget, cache_snapshot, started
+        )
     except ReproError as error:
         if not capture_errors:
             raise
-        return RewriteResponse(
+        response = RewriteResponse(
             query=(
                 request.query
                 if isinstance(request.query, QueryBlock)
@@ -82,6 +115,23 @@ def execute_request(
             elapsed=time.perf_counter() - started,
             error=str(error),
         )
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.histogram(
+            "repro_service_request_seconds",
+            "Wall-clock latency of individual rewrite requests.",
+        ).observe(response.elapsed)
+        outcome = (
+            "error"
+            if response.error is not None
+            else "exhausted" if response.exhausted else "ok"
+        )
+        metrics.counter(
+            "repro_service_requests_total",
+            "Rewrite requests executed, by outcome.",
+            ("outcome",),
+        ).labels(outcome).inc()
+    return response
 
 
 def _run(

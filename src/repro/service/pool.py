@@ -45,6 +45,7 @@ from typing import Optional, Sequence, Union
 
 from ..cache import CacheSnapshot, QueryCache
 from ..core.planner import RewritePlanner
+from ..obs.metrics import MetricsRegistry, collecting, current_metrics
 from ..obs.trace import RewriteTrace, merge_spans
 from .batcher import RequestGroup, chunk_groups, group_requests
 from .degradation import BatchDeadline, refused_response
@@ -78,6 +79,13 @@ def _execute_chunk(
     for position, request in members:
         if deadline is not None and deadline.expired:
             out.append((position, refused_response(request)))
+            metrics = current_metrics()
+            if metrics is not None:
+                metrics.counter(
+                    "repro_service_refusals_total",
+                    "Requests refused outright by an expired batch "
+                    "deadline.",
+                ).inc()
             continue
         overlay = (
             deadline.overlay(request)
@@ -96,6 +104,22 @@ def _execute_chunk(
     return out
 
 
+def _run_chunk_collected(
+    batch_reg: Optional[MetricsRegistry],
+    *args,
+) -> list[tuple[int, RewriteResponse]]:
+    """Run one in-process chunk, scoped to the batch registry when on.
+
+    ``collecting`` shadows whatever registry the submitting thread had
+    active, so chunk work lands in the batch aggregate only — the
+    parent sees it once, when ``submit`` merges the aggregate back.
+    """
+    if batch_reg is None:
+        return _execute_chunk(*args)
+    with collecting(batch_reg):
+        return _execute_chunk(*args)
+
+
 def _process_chunk(payload: dict) -> dict:
     """Top-level process-pool entry point (must be importable to pickle).
 
@@ -111,10 +135,22 @@ def _process_chunk(payload: dict) -> dict:
     planner = RewritePlanner(list(views), catalog, semantics)
     if payload["memo"]:
         planner.import_memo(payload["memo"])
-    results = _execute_chunk(
-        catalog, views, semantics, payload["members"],
-        planner, deadline, snapshot,
+    # Worker-local registry: the snapshot ships back for the master to
+    # merge exactly once, mirroring the memo/cache-stats discipline.
+    registry = (
+        MetricsRegistry() if payload.get("collect_metrics") else None
     )
+    if registry is not None:
+        with collecting(registry):
+            results = _execute_chunk(
+                catalog, views, semantics, payload["members"],
+                planner, deadline, snapshot,
+            )
+    else:
+        results = _execute_chunk(
+            catalog, views, semantics, payload["members"],
+            planner, deadline, snapshot,
+        )
     return {
         "results": results,
         "memo": (
@@ -126,6 +162,9 @@ def _process_chunk(payload: dict) -> dict:
             snapshot.stats.as_dict() if snapshot is not None else None
         ),
         "planner_stats": planner.stats.as_dict(),
+        "metrics": (
+            registry.snapshot().as_dict() if registry is not None else None
+        ),
     }
 
 
@@ -254,15 +293,28 @@ class BatchRewriteService:
             len(self._memo_store.get(g.key, ())) for g in groups
         )
 
+        # Batch-scoped metrics: when an enclosing registry is active,
+        # every chunk (serial, thread task, process worker, demoted
+        # re-run) records into a batch-local aggregate which folds into
+        # the parent exactly once below — the no-double-counting
+        # contract for all three modes. With metrics off this is None
+        # and the runners skip all registry work.
+        parent_metrics = current_metrics()
+        batch_reg = MetricsRegistry() if parent_metrics is not None else None
+
         if mode == "serial":
-            self._run_serial(chunks, batch_deadline, responses, planner_stats)
+            self._run_serial(
+                chunks, batch_deadline, responses, planner_stats, batch_reg
+            )
         elif mode == "thread":
             self._run_threaded(
-                chunks, workers, batch_deadline, responses, planner_stats
+                chunks, workers, batch_deadline, responses, planner_stats,
+                batch_reg,
             )
         else:
             self._run_processes(
-                chunks, workers, batch_deadline, responses, planner_stats
+                chunks, workers, batch_deadline, responses, planner_stats,
+                batch_reg,
             )
 
         # The per-mode runners fill every position; a hole here would be
@@ -272,8 +324,23 @@ class BatchRewriteService:
             for r in responses
         )
         elapsed = time.perf_counter() - started
+        batch_metrics = None
+        if batch_reg is not None:
+            batch_reg.counter(
+                "repro_service_batches_total",
+                "Batches executed, by resolved mode.",
+                ("mode",),
+            ).labels(mode).inc()
+            batch_reg.histogram(
+                "repro_service_batch_seconds",
+                "Wall-clock latency of whole batches.",
+            ).observe(elapsed)
+            snapshot = batch_reg.snapshot()
+            parent_metrics.merge(snapshot)
+            batch_metrics = snapshot.as_dict()
         result = BatchResult(
             responses=final,
+            metrics=batch_metrics,
             report={
                 "mode": mode,
                 "workers": workers if mode != "serial" else 1,
@@ -302,12 +369,14 @@ class BatchRewriteService:
             if isinstance(value, int):
                 into[name] = into.get(name, 0) + value
 
-    def _run_serial(self, chunks, deadline, responses, planner_stats):
+    def _run_serial(self, chunks, deadline, responses, planner_stats,
+                    batch_reg):
         for group, members in chunks:
             planner = self._live_planner(group)
             before = planner.stats.as_dict()
             snapshot = self._fresh_snapshot()
-            for position, response in _execute_chunk(
+            for position, response in _run_chunk_collected(
+                batch_reg,
                 group.catalog, group.views, group.use_set_semantics,
                 members, planner, deadline, snapshot,
             ):
@@ -325,11 +394,16 @@ class BatchRewriteService:
                 self.cache.merge_external(snapshot.stats)
 
     def _run_threaded(self, chunks, workers, deadline, responses,
-                      planner_stats):
+                      planner_stats, batch_reg):
         def task(group, members):
             planner = self._fresh_planner(group)
             snapshot = self._fresh_snapshot()
-            results = _execute_chunk(
+            # Entered inside the worker thread: ``collecting`` is
+            # thread-local, so each task must scope its own extent. The
+            # shared batch registry is thread-safe, so tasks record into
+            # it directly — nothing to merge, nothing counted twice.
+            results = _run_chunk_collected(
+                batch_reg,
                 group.catalog, group.views, group.use_set_semantics,
                 members, planner, deadline, snapshot,
             )
@@ -354,7 +428,7 @@ class BatchRewriteService:
                     self.cache.merge_external(snapshot.stats)
 
     def _run_processes(self, chunks, workers, deadline, responses,
-                       planner_stats):
+                       planner_stats, batch_reg):
         snapshot = self._fresh_snapshot()
         pending: dict[Future, tuple] = {}
         try:
@@ -374,6 +448,7 @@ class BatchRewriteService:
                         "snapshot": snapshot,
                         "want_memo": self.memo_warm_start,
                         "memo_export_max": self.MEMO_EXPORT_MAX,
+                        "collect_metrics": batch_reg is not None,
                     }
                     try:
                         future = pool.submit(_process_chunk, payload)
@@ -382,7 +457,7 @@ class BatchRewriteService:
                         # chunk to in-process execution.
                         self._demote_chunk(
                             group, members, deadline, responses,
-                            planner_stats,
+                            planner_stats, batch_reg,
                         )
                         continue
                     pending[future] = (group, members)
@@ -393,7 +468,7 @@ class BatchRewriteService:
                     except Exception:
                         self._demote_chunk(
                             group, members, deadline, responses,
-                            planner_stats,
+                            planner_stats, batch_reg,
                         )
                         continue
                     for position, response in outcome["results"]:
@@ -404,20 +479,33 @@ class BatchRewriteService:
                     )
                     if outcome["cache_stats"] and self.cache is not None:
                         self.cache.merge_external(outcome["cache_stats"])
+                    if outcome.get("metrics") and batch_reg is not None:
+                        # One merge per worker snapshot: the worker's
+                        # registry was born empty, so these counts exist
+                        # nowhere else.
+                        batch_reg.merge(outcome["metrics"])
         except Exception:
             # Pool construction itself failed (restricted platforms):
             # run everything in-process rather than failing the batch.
             for group, members in chunks:
                 if any(responses[p] is None for p, _ in members):
                     self._demote_chunk(
-                        group, members, deadline, responses, planner_stats
+                        group, members, deadline, responses, planner_stats,
+                        batch_reg,
                     )
 
     def _demote_chunk(self, group, members, deadline, responses,
-                      planner_stats):
+                      planner_stats, batch_reg=None):
+        if batch_reg is not None:
+            batch_reg.counter(
+                "repro_service_chunk_demotions_total",
+                "Chunks demoted to in-process execution after a worker "
+                "or pickling failure.",
+            ).inc()
         planner = self._fresh_planner(group)
         snapshot = self._fresh_snapshot()
-        for position, response in _execute_chunk(
+        for position, response in _run_chunk_collected(
+            batch_reg,
             group.catalog, group.views, group.use_set_semantics,
             members, planner, deadline, snapshot,
         ):

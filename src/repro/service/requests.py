@@ -50,6 +50,7 @@ class RewriteRequest:
     use_set_semantics: bool = True
     include_partial: bool = True
     trace: bool = False
+    collect_metrics: bool = False
     request_id: Optional[str] = None
 
     def effective_views(self) -> tuple[ViewDef, ...]:
@@ -92,6 +93,7 @@ class RewriteResponse:
     trace: Optional[RewriteTrace] = None
     stats: Optional[dict] = None
     cache: Optional[dict] = None
+    metrics: Optional[dict] = None
     request_id: Optional[str] = None
     elapsed: float = 0.0
     error: Optional[str] = None
@@ -141,6 +143,7 @@ class RewriteResponse:
             "trace": self.trace.as_dict() if self.trace else None,
             "stats": self.stats,
             "cache": self.cache,
+            "metrics": self.metrics,
             "elapsed": round(self.elapsed, 6),
             "error": self.error,
         }
@@ -158,6 +161,7 @@ class BatchResult:
     responses: tuple[RewriteResponse, ...]
     report: dict = field(default_factory=dict)
     trace: Optional[RewriteTrace] = None
+    metrics: Optional[dict] = None
 
     def __iter__(self):
         return iter(self.responses)
@@ -186,5 +190,6 @@ class BatchResult:
             "kind": "batch",
             "batch": dict(self.report),
             "trace": self.trace.as_dict() if self.trace else None,
+            "metrics": self.metrics,
             "responses": [r.to_json_dict() for r in self.responses],
         }

@@ -238,3 +238,54 @@ def test_cli_serve_sql_loop(db_file, capsys, monkeypatch):
     assert docs[0]["verified"] is True
     assert docs[1]["kind"] == "error"
     assert docs[2]["rewritten"] is True
+
+
+def test_cli_serve_sql_metrics_frames(db_file, capsys, monkeypatch):
+    import io
+
+    lines = "\n".join(
+        json.dumps({"id": i, "sql": QUERY, "verify": True, "execute": True})
+        for i in range(3)
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+    # Interval 0.0s < per-request latency: a frame follows every
+    # response, plus the closing frame at EOF.
+    code = main(
+        ["serve-sql", "--db", db_file, "--metrics-interval", "1e-9"]
+        + _materialized_flag()
+    )
+    assert code == 0
+    docs = [
+        json.loads(line)
+        for line in capsys.readouterr().out.strip().splitlines()
+    ]
+    frames = [d for d in docs if d.get("kind") == "metrics-frame"]
+    responses = [d for d in docs if d.get("kind") != "metrics-frame"]
+    assert len(responses) == 3
+    assert len(frames) == 4  # one per response + the closing frame
+    assert [f["seq"] for f in frames] == [1, 2, 3, 4]
+    for frame in frames:
+        assert frame["schema"] == "repro-metrics/1"
+        assert frame["elapsed"] >= 0.0
+    families = frames[-1]["metrics"]["families"]
+    # Cumulative, not per-window: the closing frame carries the whole
+    # session's counters, including federation and service families.
+    samples = families["repro_federation_statements_total"]["samples"]
+    assert sum(v for _, v in samples) == 3
+    assert families["repro_federation_verify_total"]["samples"]
+    assert "repro_planner_searches_total" in families
+
+
+def test_cli_serve_sql_no_frames_by_default(db_file, capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr(
+        "sys.stdin", io.StringIO(json.dumps({"id": 1, "sql": QUERY}) + "\n")
+    )
+    code = main(["serve-sql", "--db", db_file] + _materialized_flag())
+    assert code == 0
+    docs = [
+        json.loads(line)
+        for line in capsys.readouterr().out.strip().splitlines()
+    ]
+    assert all(d.get("kind") != "metrics-frame" for d in docs)

@@ -85,6 +85,57 @@ def test_tight_budget_scenarios_included(tmp_path):
     assert stats.scenarios == 50
 
 
+def test_per_profile_breakdown_in_stats(tmp_path):
+    """Every scenario lands in exactly one profile bucket, and the JSON
+    report carries the structured breakdown."""
+    stats = FuzzRunner(out_dir=tmp_path).run(
+        budget_seconds=None, max_scenarios=40
+    )
+    doc = stats.as_dict()
+    assert doc["profiles"], "profile breakdown missing from the report"
+    for bucket in doc["profiles"].values():
+        assert set(bucket) == {"scenarios", "checks", "mismatches", "skipped"}
+    accounted = sum(
+        b["scenarios"] + b["skipped"] for b in doc["profiles"].values()
+    )
+    assert accounted == stats.scenarios + stats.skipped == 40
+    assert sum(b["checks"] for b in doc["profiles"].values()) == stats.checks
+
+
+def test_fuzz_metrics_recorded_per_profile(tmp_path):
+    from repro.obs.metrics import MetricsRegistry, collecting
+
+    registry = MetricsRegistry()
+    with collecting(registry):
+        stats = FuzzRunner(out_dir=tmp_path).run(
+            budget_seconds=None, max_scenarios=20
+        )
+    snapshot = registry.snapshot()
+    # Label order is (profile, outcome); sum the "checked" outcome
+    # across profiles and it must equal the runner's own tally.
+    scenario_samples = snapshot.families["repro_fuzz_scenarios_total"][
+        "samples"
+    ]
+    checked = sum(v for labels, v in scenario_samples if labels[1] == "checked")
+    assert checked == stats.scenarios
+    check_samples = snapshot.families["repro_fuzz_checks_total"]["samples"]
+    assert sum(v for _, v in check_samples) == stats.checks
+
+
+def test_repro_file_records_profile_stats(tmp_path):
+    with inject_bug("min-as-max"):
+        stats = FuzzRunner(out_dir=tmp_path).run(
+            budget_seconds=None, max_scenarios=400, max_failures=1
+        )
+        assert stats.failures >= 1
+        doc = json.loads(stats.failure_files[0].read_text())
+    assert doc["schema"] == "repro-fuzz/1"
+    assert set(doc["profile_stats"]) == {
+        "scenarios", "checks", "mismatches", "skipped",
+    }
+    assert doc["profile_stats"]["mismatches"] >= 1
+
+
 SEED_4916_REPRO = {
     "schema": "repro-fuzz/1",
     "seed": 4916,

@@ -278,6 +278,93 @@ class TestTraceStitching:
         assert result.trace is None
 
 
+class TestMetricsAcrossModes:
+    """No double counting: every mode's worker registries are born empty
+    and fold into the parent exactly once (see docs/observability.md)."""
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_parent_registry_counts_each_request_once(self, mode):
+        from repro.obs.metrics import MetricsRegistry, collecting
+
+        requests = [scenario_request(seed) for seed in range(4)]
+        parent = MetricsRegistry()
+        with collecting(parent):
+            result = BatchRewriteService(mode=mode, workers=2).submit(
+                requests
+            )
+        snapshot = parent.snapshot()
+        assert (
+            snapshot.counter_value(
+                "repro_service_requests_total", outcome="ok"
+            )
+            == 4
+        )
+        assert snapshot.counter_value("repro_planner_searches_total") == 4
+        assert (
+            snapshot.counter_value(
+                "repro_service_batches_total",
+                mode=result.report["mode"],
+            )
+            == 1
+        )
+        hist = parent.histogram("repro_service_request_seconds").labels()
+        assert hist.count == 4
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_batch_snapshot_equals_parent_totals(self, mode):
+        from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, \
+            collecting
+
+        requests = [scenario_request(seed) for seed in range(3)]
+        parent = MetricsRegistry()
+        with collecting(parent):
+            result = BatchRewriteService(mode=mode, workers=2).submit(
+                requests
+            )
+        # The batch snapshot and the parent registry saw the same merge
+        # stream — identical totals proves each worker folded in once.
+        assert result.metrics is not None
+        batch = MetricsSnapshot.from_dict(result.metrics)
+        assert batch.as_dict() == parent.snapshot().as_dict()
+
+    @pytest.mark.parametrize("mode", ["serial", "process"])
+    def test_request_scoped_snapshot_and_single_parent_fold(self, mode):
+        from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, \
+            collecting
+
+        requests = [
+            scenario_request(seed, collect_metrics=(seed == 1))
+            for seed in range(3)
+        ]
+        parent = MetricsRegistry()
+        with collecting(parent):
+            result = BatchRewriteService(mode=mode, workers=2).submit(
+                requests
+            )
+        # Only the opted-in request carries a snapshot, scoped to its
+        # own work...
+        assert [r.metrics is not None for r in result] == [
+            False, True, False,
+        ]
+        request_view = MetricsSnapshot.from_dict(result[1].metrics)
+        assert (
+            request_view.counter_value("repro_planner_searches_total") == 1
+        )
+        # ...and its counts land in the parent exactly once alongside
+        # the rest of the batch.
+        assert (
+            parent.snapshot().counter_value("repro_planner_searches_total")
+            == 3
+        )
+
+    def test_metrics_off_means_no_snapshots(self):
+        result = BatchRewriteService(mode="serial").submit(
+            [scenario_request(5)]
+        )
+        assert result.metrics is None
+        assert result[0].metrics is None
+
+
 class TestRobustness:
     def test_unpicklable_chunk_demotes_to_inprocess(self, monkeypatch):
         # Force every pool submission to fail: the batch must still

@@ -162,6 +162,61 @@ class TestEviction:
         assert not catalog.views
 
 
+class TestStatsWindow:
+    """Reads are idempotent; resets are explicit (the gauge-exporter
+    contract: polled numbers never go backwards behind a reader)."""
+
+    def _worked_cache(self, catalog, server):
+        cache = QueryCache(catalog)
+        cache.remember(SUMMARY, server.execute(SUMMARY))
+        cache.try_answer(
+            "SELECT Plan_Id, SUM(Charge) FROM Calls GROUP BY Plan_Id"
+        )
+        cache.try_answer("SELECT Call_Id, Charge FROM Calls")
+        return cache
+
+    def test_as_dict_is_idempotent(self, catalog, server):
+        cache = self._worked_cache(catalog, server)
+        first = cache.stats.as_dict()
+        second = cache.stats.as_dict()
+        assert first == second
+        assert first["hits"] == 1 and first["misses"] == 1
+        assert cache.stats.hits == 1  # attributes untouched by reads
+
+    def test_reset_stats_zeroes_every_counter(self, catalog, server):
+        cache = self._worked_cache(catalog, server)
+        cache.reset_stats()
+        assert cache.stats.as_dict() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "remembered": 0,
+            "budget_exhausted": 0,
+            "hit_rate": 0.0,
+        }
+        # The cached contents survive — only the counting window resets.
+        assert cache.cached_names
+        assert (
+            cache.try_answer(
+                "SELECT Plan_Id, SUM(Charge) FROM Calls GROUP BY Plan_Id"
+            )
+            is not None
+        )
+        assert cache.stats.hits == 1
+
+    def test_snapshot_stats_window_is_independent(self, catalog, server):
+        cache = self._worked_cache(catalog, server)
+        snapshot = cache.snapshot()
+        snapshot.find_rewriting(
+            "SELECT Plan_Id, SUM(Charge) FROM Calls GROUP BY Plan_Id"
+        )
+        assert snapshot.stats.hits == 1
+        snapshot.reset_stats()
+        assert snapshot.stats.hits == 0
+        # The live cache's window is untouched by snapshot resets.
+        assert cache.stats.hits == 1
+
+
 class TestRandomizedCorrectness:
     @pytest.mark.parametrize("seed", range(10))
     def test_every_hit_matches_server(self, catalog, server, seed):

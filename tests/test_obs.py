@@ -300,6 +300,64 @@ class TestQueryCacheBudget:
         assert cache.stats.budget_exhausted == 1
 
 
+class TestMetricsWorkerMerge:
+    """The merge discipline the batch service builds on: worker
+    registries are born empty, snapshots travel by pickling, and each
+    folds into the parent exactly once (``docs/observability.md``)."""
+
+    def _one_search(self, example_4_1, registry):
+        from repro.obs.metrics import collecting
+
+        catalog, query, _view = example_4_1
+        with collecting(registry):
+            RewriteEngine(catalog).rewrite(query)
+
+    def test_chunk_scoped_registries_fold_once(self, example_4_1):
+        from repro.obs.metrics import MetricsRegistry
+
+        parent = MetricsRegistry()
+        for _ in range(3):  # one born-empty registry per "chunk"
+            chunk = MetricsRegistry()
+            self._one_search(example_4_1, chunk)
+            parent.merge(chunk.snapshot())
+        assert (
+            parent.snapshot().counter_value("repro_planner_searches_total")
+            == 3
+        )
+
+    def test_snapshot_pickles_across_process_boundary(self, example_4_1):
+        import pickle
+
+        from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+
+        worker = MetricsRegistry()
+        self._one_search(example_4_1, worker)
+        wire = pickle.dumps(worker.snapshot().as_dict())
+        parent = MetricsRegistry()
+        parent.merge(MetricsSnapshot.from_dict(pickle.loads(wire)))
+        assert (
+            parent.snapshot().counter_value("repro_planner_searches_total")
+            == 1
+        )
+
+    def test_double_merge_double_counts(self, example_4_1):
+        # The contract is *caller-owned*: merging the same snapshot
+        # twice does double count — which is why runners merge each
+        # worker snapshot exactly once.
+        from repro.obs.metrics import MetricsRegistry
+
+        worker = MetricsRegistry()
+        self._one_search(example_4_1, worker)
+        parent = MetricsRegistry()
+        snapshot = worker.snapshot()
+        parent.merge(snapshot)
+        parent.merge(snapshot)
+        assert (
+            parent.snapshot().counter_value("repro_planner_searches_total")
+            == 2
+        )
+
+
 class TestRewriteIterativelyBudget:
     """Regression: the budget must be honored *between* view iterations."""
 
