@@ -83,6 +83,7 @@ def main(argv: list[str] | None = None) -> int:
     from bench_obs import collect_obs_metrics
     from bench_oracle import collect_oracle_metrics
     from bench_service import collect_service_metrics
+    from bench_serving import collect_serving_metrics
 
     repeats = 2 if args.quick else 7
     report = BenchReport()
@@ -104,6 +105,12 @@ def main(argv: list[str] | None = None) -> int:
         (
             "service",
             lambda: collect_service_metrics(
+                repeats=repeats, quick=args.quick
+            ),
+        ),
+        (
+            "serving",
+            lambda: collect_serving_metrics(
                 repeats=repeats, quick=args.quick
             ),
         ),
@@ -144,6 +151,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{service['speedup_at_4_workers']:.2f}x vs per-request serial "
             f"({service['requests']} hot requests, "
             f"{service['groups']} signature groups)"
+        )
+    serving = report.workloads.get("serving", {})
+    if "sustained_rps" in serving:
+        print(
+            f"serving daemon: {serving['sustained_rps']:.0f} req/s "
+            f"sustained (p99 {serving['p99_seconds'] * 1e3:.2f} ms), "
+            f"warm shared-memo {serving['warm_speedup']:.2f}x cold, "
+            f"live invalidation without restart"
         )
     columnar = report.workloads.get("columnar", {})
     if "min_speedup_at_floor" in columnar:

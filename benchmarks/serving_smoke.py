@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""CI smoke for the serving daemon — a real ``repro serve`` process.
+
+Unlike ``bench_serving.py`` (in-process daemon, timing gates), this
+script exercises the deployment path end to end:
+
+1. start ``python -m repro serve`` as a subprocess, wait for its
+   ``serve-ready`` line and read the bound port;
+2. drive a mixed hot/cold workload through ``repro.api.connect`` —
+   repeated hot fingerprints, one-off view-subset fingerprints, and a
+   base-table update mid-stream — asserting every envelope;
+3. restart with ``--queue-limit 0`` and assert overload is refused
+   *in-band* (degraded response, ``queue_full`` tripped, connection
+   survives);
+4. leave ``serve-metrics.prom`` behind (written by ``--metrics-out``
+   even on failure) for CI to upload as an artifact.
+
+Exit code 0 means every assertion held.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+SCHEMA_SQL = """
+CREATE TABLE Calls (Call_Id, Plan_Id, Year, Charge);
+CREATE VIEW Yearly (Plan_Id, Year, Total) AS
+SELECT Plan_Id, Year, SUM(Charge) FROM Calls GROUP BY Plan_Id, Year;
+CREATE VIEW Totals (Plan_Id, Total) AS
+SELECT Plan_Id, SUM(Charge) FROM Calls GROUP BY Plan_Id;
+"""
+
+HOT_QUERY = (
+    "SELECT Plan_Id, SUM(Charge) FROM Calls "
+    "WHERE Year = 1995 GROUP BY Plan_Id"
+)
+
+
+def start_daemon(schema: str, metrics_out: str, *extra: str):
+    env = {**os.environ, "PYTHONPATH": SRC}
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--schema", schema, "--port", "0",
+            "--metrics-out", str(Path(metrics_out).resolve()), *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    ready = json.loads(proc.stdout.readline())
+    assert ready["schema"] == "repro-api/1", ready
+    assert ready["kind"] == "serve-ready", ready
+    port = next(
+        addr[2] for addr in ready["result"]["addresses"]
+        if addr[0] == "tcp"
+    )
+    return proc, int(port)
+
+
+def stop_daemon(proc, client=None):
+    if client is not None:
+        assert client.shutdown()["ok"]
+        client.close()
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise AssertionError("daemon did not exit after shutdown")
+    assert proc.returncode == 0, proc.stderr.read()
+
+
+def main() -> int:
+    from repro import api
+
+    with tempfile.TemporaryDirectory() as tmp:
+        schema = str(Path(tmp) / "schema.sql")
+        Path(schema).write_text(SCHEMA_SQL)
+
+        # -- mixed hot/cold workload against a real subprocess daemon
+        proc, port = start_daemon(schema, "serve-metrics.prom")
+        client = api.connect(("127.0.0.1", port))
+        pong = client.ping()
+        assert pong["ok"] and pong["result"]["pong"] is True, pong
+        baseline = None
+        for round_no in range(3):
+            for i in range(6):  # hot: one fingerprint, re-asked
+                doc = client.rewrite(
+                    HOT_QUERY, tenant="dash", id=f"h{round_no}-{i}"
+                )
+                assert doc["ok"] and doc["result"]["rewritings"], doc
+                sqls = [r["sql"] for r in doc["result"]["rewritings"]]
+                if baseline is None:
+                    baseline = sqls
+                assert sqls == baseline, (round_no, i)
+            for view in ("Yearly", "Totals"):  # cold-ish subsets
+                doc = client.rewrite(HOT_QUERY, views=[view])
+                assert doc["ok"], doc
+            # an update lands mid-stream: epoch bumps, serving continues
+            update = client.update(
+                "Calls", insert=[[round_no, 1, 1995, 10]]
+            )
+            assert update["ok"], update
+            assert update["result"]["epoch"] > update["result"][
+                "epoch_before"
+            ], update
+        metrics = client.metrics()
+        families = metrics["result"]["metrics"]["families"]
+        assert "repro_serving_requests_total" in families, sorted(families)
+        stop_daemon(proc, client)
+        print("mixed workload: ok (3 rounds, 24 rewrites, 3 updates)")
+
+        # -- overload under a zero-size queue refuses in-band
+        proc, port = start_daemon(
+            schema, "serve-metrics-refusal.prom", "--queue-limit", "0"
+        )
+        client = api.connect(("127.0.0.1", port))
+        refused = client.rewrite(HOT_QUERY)
+        assert refused["ok"] is True, refused  # the exchange succeeded
+        result = refused["result"]
+        assert result["degraded"] is True, result
+        assert result["budget"]["tripped"] == ["queue_full"], result
+        assert result["rewritings"] == [], result
+        # ... and the connection is still perfectly usable.
+        assert client.ping()["ok"], "connection died after refusal"
+        stop_daemon(proc, client)
+        print("graceful refusal: ok (queue_full in-band, connection survived)")
+
+    assert Path("serve-metrics.prom").read_text().strip(), (
+        "daemon left an empty Prometheus snapshot"
+    )
+    print("serving smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

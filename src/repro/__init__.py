@@ -4,28 +4,29 @@ A faithful, executable reproduction of Dar, Jagadish, Levy and Srivastava,
 *"Reasoning with Aggregation Constraints in Views"* (1996; the work
 published at VLDB'96 as "Answering Queries with Aggregation Using Views").
 
-Quickstart::
+:mod:`repro.api` is the single documented entry point — ``rewrite``,
+``rewrite_batch``, ``explain``, ``rewrite_iterative`` and ``connect``
+(for a running ``repro serve`` daemon) all return responses that project
+to the versioned ``repro-api/1`` JSON envelope. Quickstart::
 
-    from repro import Catalog, Database, RewriteEngine, table
+    from repro import Catalog, api, parse_view, table
 
     catalog = Catalog([
         table("Calls", ["Call_Id", "Plan_Id", "Year", "Charge"],
               key=["Call_Id"], row_count=1_000_000),
     ])
-    engine = RewriteEngine(catalog)
-    engine.add_view(
+    catalog.add_view(parse_view(
         "CREATE VIEW Yearly (Plan_Id, Year, Total) AS "
         "SELECT Plan_Id, Year, SUM(Charge) FROM Calls "
-        "GROUP BY Plan_Id, Year"
-    )
-    result = engine.rewrite(
+        "GROUP BY Plan_Id, Year", catalog))
+    response = api.rewrite(
         "SELECT Plan_Id, SUM(Charge) FROM Calls "
-        "WHERE Year = 1995 GROUP BY Plan_Id"
-    )
-    print(result.best().sql())
+        "WHERE Year = 1995 GROUP BY Plan_Id", catalog)
+    print(response.best().sql())
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-reproduced experiments.
+See DESIGN.md for the system inventory, docs/api.md for the facade and
+docs/serving.md for the daemon; EXPERIMENTS.md has the reproduced
+experiments.
 """
 
 from .blocks import (
@@ -102,87 +103,6 @@ from .service import (
 
 __version__ = "1.0.0"
 
-
-def all_rewritings(
-    query,
-    views,
-    catalog=None,
-    use_set_semantics=False,
-    max_steps=4,
-    include_partial=True,
-    use_planner=True,
-    planner=None,
-    budget=None,
-):
-    """Deprecated: use :func:`repro.api.rewrite` instead.
-
-    Same results as the historical entry point —
-    ``repro.api.rewrite(...).rewritings`` preserves the search's
-    discovery order. The planner escape hatches (``use_planner=False``
-    or an explicit ``planner``) still route to the core search directly;
-    everything else delegates to the facade.
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.all_rewritings() is deprecated; use repro.api.rewrite() — "
-        "response.rewritings preserves the old discovery order",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    if not use_planner or planner is not None:
-        from .core.multiview import all_rewritings as _impl
-
-        return _impl(
-            query,
-            views,
-            catalog=catalog,
-            use_set_semantics=use_set_semantics,
-            max_steps=max_steps,
-            include_partial=include_partial,
-            use_planner=use_planner,
-            planner=planner,
-            budget=budget,
-        )
-    response = api.rewrite(
-        query,
-        catalog=catalog,
-        views=tuple(views),
-        budget=budget,
-        max_steps=max_steps,
-        use_set_semantics=use_set_semantics,
-        include_partial=include_partial,
-    )
-    return list(response.rewritings)
-
-
-def rewrite_iteratively(
-    query,
-    views,
-    catalog=None,
-    use_set_semantics=False,
-    budget=None,
-):
-    """Deprecated: use :func:`repro.api.rewrite_iterative` instead.
-
-    Thin compatibility shim over the facade; identical results.
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.rewrite_iteratively() is deprecated; use "
-        "repro.api.rewrite_iterative()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return api.rewrite_iterative(
-        query,
-        views,
-        catalog=catalog,
-        use_set_semantics=use_set_semantics,
-        budget=budget,
-    )
-
 __all__ = [
     "AggFunc",
     "Aggregate",
@@ -224,9 +144,7 @@ __all__ = [
     "set_equivalent",
     "RewriteResult",
     "Rewriting",
-    "all_rewritings",
     "canonical_key",
-    "rewrite_iteratively",
     "single_view_rewritings",
     "try_rewrite_aggregation",
     "try_rewrite_conjunctive",

@@ -1,8 +1,8 @@
-"""The unified public facade: one module, four verbs.
+"""The unified public facade — the single documented entry point.
 
 :func:`rewrite`
     one query, one response — the stable entry point that the CLI, the
-    batch service and the deprecated module-level helpers all reduce to;
+    batch service and the serving daemon all reduce to;
 :func:`rewrite_batch`
     many requests at once through :class:`repro.service.BatchRewriteService`
     (grouped by view signature, optionally sharded across workers,
@@ -10,12 +10,18 @@
 :func:`explain`
     per-condition usability diagnoses for every candidate view;
 :func:`rewrite_iterative`
-    the paper's Section 6 iterative improvement loop, kept for the
-    ``repro.rewrite_iteratively`` compatibility shim.
+    the paper's Section 6 iterative improvement loop, one best
+    single-view rewriting at a time;
+:func:`connect`
+    a client for a running ``repro serve`` daemon (TCP or Unix socket),
+    speaking the same ``repro-api/1`` envelope as every ``--json``
+    command.
 
 All responses project to JSON under the versioned ``repro-api/1``
-schema (``to_json_dict()``; see ``docs/api.md``), so CLI output and
-service payloads stay machine-checkable across releases.
+schema. :func:`to_envelope` is the one serializer behind every CLI
+``--json`` output and every daemon response line: top-level ``schema``,
+``kind``, ``ok`` and exactly one of ``result`` / ``error``, so output
+stays machine-checkable across commands and releases (``docs/api.md``).
 """
 
 from __future__ import annotations
@@ -47,13 +53,77 @@ __all__ = [
     "ExplainResponse",
     "RewriteRequest",
     "RewriteResponse",
+    "connect",
     "explain",
     "rewrite",
     "rewrite_batch",
     "rewrite_iterative",
+    "to_envelope",
 ]
 
 BudgetLike = Union[SearchBudget, BudgetMeter, None]
+
+
+def to_envelope(
+    payload=None,
+    *,
+    kind: Optional[str] = None,
+    error=None,
+    request_id=None,
+) -> dict:
+    """Wrap any API payload in the consolidated ``repro-api/1`` envelope.
+
+    ``payload`` may be a dict, anything with ``to_json_dict()``, or
+    ``None``. An inner ``schema`` tag is dropped (the envelope carries
+    the version) and an inner ``kind`` is hoisted to the top level; an
+    inner non-null ``error`` field (the batch service's captured-error
+    contract) marks the envelope ``ok: false`` while keeping the
+    degraded result available. ``request_id`` (or the payload's own
+    ``request_id``/``id``) is echoed as top-level ``id`` so clients of
+    the serving daemon can pipeline.
+    """
+    if payload is not None and hasattr(payload, "to_json_dict"):
+        payload = payload.to_json_dict()
+    result = dict(payload) if payload is not None else None
+    if result is not None:
+        result.pop("schema", None)
+        inner_kind = result.pop("kind", None)
+        kind = kind or inner_kind
+        if error is None and result.get("error") is not None:
+            error = result["error"]
+    doc = {
+        "schema": API_SCHEMA,
+        "kind": kind or "result",
+        "ok": error is None,
+    }
+    if request_id is None and result is not None:
+        request_id = result.get("request_id")
+        if request_id is None:
+            request_id = result.get("id")
+    if request_id is not None:
+        doc["id"] = request_id
+    if result is not None:
+        doc["result"] = result
+    if error is not None:
+        doc["error"] = (
+            dict(error)
+            if isinstance(error, dict)
+            else {"message": str(error)}
+        )
+    return doc
+
+
+def connect(address, timeout: Optional[float] = 10.0):
+    """A synchronous client for a running ``repro serve`` daemon.
+
+    ``address`` accepts ``(host, port)``, ``"host:port"``,
+    ``"tcp://host:port"``, or ``"unix:///path/to.sock"``. Returns a
+    :class:`repro.serving.client.ServingClient` (a context manager);
+    see ``docs/serving.md`` for the wire protocol.
+    """
+    from .serving.client import ServingClient
+
+    return ServingClient.connect(address, timeout=timeout)
 
 
 def rewrite(
@@ -190,8 +260,8 @@ def rewrite_iterative(
 ) -> Optional[Rewriting]:
     """One best single-view rewriting, or ``None`` (Section 6 loop).
 
-    Facade-level home of the behaviour behind the deprecated
-    ``repro.rewrite_iteratively`` shim.
+    The facade-level home of the paper's iterative improvement loop
+    (formerly also reachable as ``repro.rewrite_iteratively``).
     """
     from .core.multiview import rewrite_iteratively as _impl
 

@@ -36,13 +36,20 @@ Commands:
     errors are reported in-band, never fatal. With
     ``--metrics-interval`` the loop also emits periodic in-band
     ``repro-metrics/1`` frames. See ``docs/dialects.md``.
+``serve``
+    The always-on rewriting daemon: ``repro-api/1`` JSONL over TCP
+    and/or a Unix socket, with admission control, per-tenant quotas and
+    a cross-worker shared memo tier. Talk to it with
+    ``repro.api.connect()``. See ``docs/serving.md``.
 ``metrics``
     Run one rewrite search with metrics enabled and print the registry
     as Prometheus text exposition. See ``docs/observability.md``.
 
 Schema scripts are ';'-separated statements; a workload file is a script
-whose SELECT statements form the workload. All ``--json`` output carries
-the versioned ``repro-api/1`` schema tag (see ``docs/api.md``).
+whose SELECT statements form the workload. Every ``--json`` output is
+the consolidated ``repro-api/1`` envelope — top-level ``schema`` /
+``kind`` / ``ok`` and exactly one of ``result`` or ``error`` (see
+``docs/api.md``).
 ``rewrite``, ``batch``, ``fuzz`` and ``serve-sql`` accept
 ``--metrics-out FILE`` to write a scrape-ready Prometheus snapshot of
 everything the command did on exit.
@@ -123,7 +130,7 @@ def cmd_rewrite(args) -> int:
             unfold=args.unfold,
             trace=args.trace,
         )
-        print(json.dumps(response.to_json_dict(), indent=2))
+        print(json.dumps(api.to_envelope(response), indent=2))
         return 0 if response.rewritings else 1
     engine = RewriteEngine(catalog)
     result = engine.rewrite(
@@ -159,7 +166,7 @@ def cmd_explain(args) -> int:
     query = _query_from(args, catalog, queries)
     if args.json:
         response = api.explain(query, catalog, view=args.view or None)
-        print(json.dumps(response.to_json_dict(), indent=2))
+        print(json.dumps(api.to_envelope(response), indent=2))
         return 0
     views = list(catalog.views.values())
     if args.view:
@@ -242,11 +249,12 @@ def cmd_batch(args) -> int:
     # Responses as JSON lines on stdout (request order); the batch-level
     # report goes to stderr so stdout stays parseable line by line.
     for response in result:
-        print(json.dumps(response.to_json_dict()))
+        print(json.dumps(api.to_envelope(response)))
     print(
         json.dumps(
-            {"schema": API_SCHEMA, "kind": "batch-report",
-             "batch": result.report}
+            api.to_envelope(
+                {"batch": result.report}, kind="batch-report"
+            )
         ),
         file=sys.stderr,
     )
@@ -342,8 +350,10 @@ def cmd_emit(args) -> int:
         if args.json:
             print(
                 json.dumps(
-                    {"schema": API_SCHEMA, "kind": "conformance",
-                     "dialect": dialect.name, "corpus": text},
+                    api.to_envelope(
+                        {"dialect": dialect.name, "corpus": text},
+                        kind="conformance",
+                    ),
                     indent=2,
                 )
             )
@@ -362,11 +372,10 @@ def cmd_emit(args) -> int:
     ]
     sql = block_to_sql(query, dialect=dialect)
     if args.json:
-        doc = {"schema": API_SCHEMA, "kind": "emit",
-               "dialect": dialect.name, "sql": sql}
+        payload = {"dialect": dialect.name, "sql": sql}
         if args.views:
-            doc["views"] = views
-        print(json.dumps(doc, indent=2))
+            payload["views"] = views
+        print(json.dumps(api.to_envelope(payload, kind="emit"), indent=2))
         return 0
     if args.views:
         for statement in views:
@@ -429,7 +438,7 @@ def cmd_rewrite_sql(args) -> int:
     if args.execute or args.verify:
         result = middleware.execute(args.sql, verify=args.verify)
         if args.json:
-            print(json.dumps(result.to_json_dict(), indent=2))
+            print(json.dumps(api.to_envelope(result), indent=2))
         else:
             outcome = result.outcome
             for statement in outcome.statements:
@@ -443,7 +452,7 @@ def cmd_rewrite_sql(args) -> int:
         return 0
     outcome = middleware.rewrite_sql(args.sql)
     if args.json:
-        print(json.dumps(outcome.to_json_dict(), indent=2))
+        print(json.dumps(api.to_envelope(outcome), indent=2))
     else:
         for statement in outcome.statements:
             print(statement + ";")
@@ -536,6 +545,94 @@ def cmd_serve_sql(args) -> int:
         if interval > 0:
             # A closing frame so short sessions still report totals.
             emit_frame()
+    finally:
+        if owns_registry:
+            set_global_metrics(None)
+    return 0
+
+
+def _tenant_quotas_from(args) -> dict:
+    """--tenant NAME=MAX_INFLIGHT[:DEADLINE_MS] (repeatable) -> quotas."""
+    from .serving import TenantQuota
+
+    quotas = {}
+    for entry in args.tenant or ():
+        name, sep, spec = entry.partition("=")
+        if not sep or not name.strip() or not spec.strip():
+            raise ReproError(
+                f"--tenant {entry!r}: expected NAME=MAX_INFLIGHT"
+                "[:DEADLINE_MS]"
+            )
+        inflight, _sep, deadline = spec.partition(":")
+        try:
+            quotas[name.strip()] = TenantQuota(
+                max_inflight=int(inflight),
+                deadline_ms_cap=float(deadline) if deadline else None,
+            )
+        except ValueError as error:
+            raise ReproError(f"--tenant {entry!r}: {error}") from error
+    return quotas
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .engine.database import Database
+    from .obs.metrics import (
+        MetricsRegistry,
+        current_metrics,
+        set_global_metrics,
+    )
+    from .serving import RewriteDaemon
+
+    catalog, _queries = _load(args)
+
+    # The daemon always runs instrumented: reuse the --metrics-out
+    # registry when main() installed one, else own a fresh one so the
+    # in-band `metrics` op and --metrics-interval frames have data.
+    registry = current_metrics()
+    owns_registry = registry is None
+    if owns_registry:
+        registry = MetricsRegistry()
+        set_global_metrics(registry)
+
+    daemon = RewriteDaemon(
+        catalog,
+        database=Database(catalog),
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        tenant_quotas=_tenant_quotas_from(args),
+        memo_capacity=args.memo_capacity,
+        metrics=registry,
+        metrics_interval=args.metrics_interval,
+    )
+
+    async def run() -> None:
+        await daemon.start(
+            host=args.host, port=args.port, unix_path=args.socket
+        )
+        # The ready line on stdout: harnesses wait for it and read the
+        # bound addresses (TCP port 0 picks a free one).
+        print(
+            json.dumps(
+                api.to_envelope(
+                    {
+                        "addresses": [list(a) for a in daemon.addresses],
+                        "workers": daemon.workers,
+                        "queue_limit": daemon.admission.queue_limit,
+                        "shared_memo": daemon.memo.name is not None,
+                    },
+                    kind="serve-ready",
+                )
+            ),
+            flush=True,
+        )
+        await daemon.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        daemon.stop()
     finally:
         if owns_registry:
             set_global_metrics(None)
@@ -637,10 +734,13 @@ def cmd_fuzz(args) -> int:
         stats = run()
 
     if args.json:
-        doc = {"schema": "repro-fuzz/1", "kind": "fuzz-stats",
-               "base_seed": base_seed}
-        doc.update(stats.as_dict())
-        print(json.dumps(doc, indent=2))
+        payload = {"base_seed": base_seed}
+        payload.update(stats.as_dict())
+        print(
+            json.dumps(
+                api.to_envelope(payload, kind="fuzz-stats"), indent=2
+            )
+        )
     else:
         print(
             f"fuzz: {stats.scenarios} scenarios "
@@ -913,6 +1013,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_serve_sql)
 
     p = sub.add_parser(
+        "serve",
+        help="always-on rewriting daemon over TCP / Unix sockets "
+        "(repro-api/1 JSONL)",
+    )
+    common(p)
+    p.add_argument(
+        "--host",
+        default=None,
+        help="TCP bind address (default: 127.0.0.1 unless --socket only)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port; 0 picks a free one, reported on the serve-ready "
+        "line (default: 0)",
+    )
+    p.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="also (or only) listen on a Unix-domain socket at PATH",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process workers sharing the memo tier; 0 = serial "
+        "in-process execution (default: 0)",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="daemon-wide bound on admitted-but-unfinished requests; "
+        "overload refuses in-band, never drops connections "
+        "(default: 64)",
+    )
+    p.add_argument(
+        "--tenant",
+        action="append",
+        metavar="NAME=MAX_INFLIGHT[:DEADLINE_MS]",
+        help="per-tenant quota: in-flight cap and optional search "
+        "deadline ceiling (repeatable)",
+    )
+    p.add_argument(
+        "--memo-capacity",
+        type=int,
+        default=4 * 1024 * 1024,
+        metavar="BYTES",
+        help="shared memo segment capacity (default: 4 MiB)",
+    )
+    p.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="emit a repro-metrics/1 frame on stdout this often; "
+        "0 disables (default)",
+    )
+    metrics_flag(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
         "metrics",
         help="run one rewrite with metrics on and print Prometheus text",
     )
@@ -988,7 +1152,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json",
         action="store_true",
-        help="emit the stats report as repro-fuzz/1 JSON",
+        help="emit the stats report as a repro-api/1 envelope "
+        "(kind fuzz-stats)",
     )
     metrics_flag(p)
     p.set_defaults(func=cmd_fuzz)

@@ -1,7 +1,12 @@
 """Incremental view maintenance (the warehouse substrate)."""
 
 from .delta import delta_core_rows, table_minus, table_plus
-from .maintainer import MaintainedView, apply_change
+from .maintainer import (
+    MaintainedView,
+    ViewDelta,
+    apply_change,
+    register_delta_listener,
+)
 from .state import AggState, GroupState
 
 __all__ = [
@@ -9,7 +14,9 @@ __all__ = [
     "table_minus",
     "table_plus",
     "MaintainedView",
+    "ViewDelta",
     "apply_change",
+    "register_delta_listener",
     "AggState",
     "GroupState",
 ]

@@ -20,8 +20,10 @@ answers queries from it.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..blocks.exprs import Aggregate, Arith, Expr, has_aggregate
 from ..blocks.query_block import QueryBlock, ViewDef
@@ -32,6 +34,63 @@ from ..engine.table import Table
 from ..errors import EvaluationError, UnsupportedSQLError
 from .delta import check_removable, delta_core_rows, table_minus, table_plus
 from .state import AggState, GroupState
+
+
+@dataclass(frozen=True)
+class ViewDelta:
+    """One observed base-table change, as seen by one maintained view.
+
+    Emitted to registered delta listeners *after* the view's
+    materialization has absorbed the change, so a listener reading
+    :meth:`MaintainedView.table` sees post-delta state. ``relevant`` is
+    False when the view does not read the changed table (the
+    materialization is untouched, but cache layers keyed on the whole
+    database may still care).
+    """
+
+    view_name: str
+    table_name: str
+    inserted: int
+    deleted: int
+    relevant: bool
+    maintainer: "MaintainedView"
+
+
+#: Registered ``Callable[[ViewDelta], None]`` listeners. The serving
+#: daemon's shared memo tier hooks in here: a view delta bumps the
+#: tier's epoch and evicts the affected fingerprints without a restart.
+_DELTA_LISTENERS: list[Callable[[ViewDelta], None]] = []
+_LISTENER_LOCK = threading.Lock()
+
+
+def register_delta_listener(
+    listener: Callable[[ViewDelta], None],
+) -> Callable[[], None]:
+    """Subscribe to every maintained-view delta; returns an unsubscribe.
+
+    Listeners run synchronously on the maintaining thread, after the
+    view state is updated. A listener that raises propagates to the
+    caller of ``observe``/``apply`` — maintenance itself has already
+    completed at that point.
+    """
+    with _LISTENER_LOCK:
+        _DELTA_LISTENERS.append(listener)
+
+    def unsubscribe() -> None:
+        with _LISTENER_LOCK:
+            try:
+                _DELTA_LISTENERS.remove(listener)
+            except ValueError:
+                pass
+
+    return unsubscribe
+
+
+def _notify_delta(event: ViewDelta) -> None:
+    with _LISTENER_LOCK:
+        listeners = list(_DELTA_LISTENERS)
+    for listener in listeners:
+        listener(event)
 
 
 class MaintainedView:
@@ -198,6 +257,17 @@ class MaintainedView:
                 self._apply_core_delta(added, sign=+1)
             if update_database:
                 self.db.append_rows(table_name, insert_rows)
+        if insert_rows or delete_rows:
+            _notify_delta(
+                ViewDelta(
+                    view_name=self.view.name,
+                    table_name=table_name,
+                    inserted=len(insert_rows),
+                    deleted=len(delete_rows),
+                    relevant=relevant,
+                    maintainer=self,
+                )
+            )
 
     def _with(self, table_name: str, content: Table) -> dict[str, Table]:
         tables = self._base_tables()

@@ -74,8 +74,17 @@ class BatchDeadline:
         return request.budget.merged_with(cap)
 
 
-def refused_response(request: RewriteRequest) -> RewriteResponse:
-    """The degraded response for a request the deadline refused to run."""
+def refused_response(
+    request: RewriteRequest, reason: str = BATCH_DEADLINE
+) -> RewriteResponse:
+    """The degraded response for a request that was refused outright.
+
+    ``reason`` is the trip label reported under ``budget["tripped"]`` —
+    ``batch_deadline`` for the batch service, ``queue_full`` /
+    ``tenant_quota`` for the serving daemon's admission control. The
+    shape is identical either way: ``exhausted=True``, ``degraded=True``,
+    never a dropped request or an exception.
+    """
     return RewriteResponse(
         query=(
             request.query
@@ -91,7 +100,7 @@ def refused_response(request: RewriteRequest) -> RewriteResponse:
                 else SearchBudget().as_dict()
             ),
             "exhausted": True,
-            "tripped": [BATCH_DEADLINE],
+            "tripped": [reason],
             "mappings_enumerated": 0,
             "candidates_generated": 0,
         },

@@ -1,0 +1,84 @@
+"""The always-on rewriting daemon (``repro serve``) and its client.
+
+Layers, bottom up:
+
+:mod:`repro.serving.memo`
+    the persistent cross-request memo tier — epoch-stamped planner
+    substitution memos in a ``multiprocessing.shared_memory`` segment
+    (single writer, seqlock-framed readers), with a plain-dict fallback;
+:mod:`repro.serving.admission`
+    bounded request queue and per-tenant quotas; overload refuses
+    in-band, never drops a connection;
+:mod:`repro.serving.protocol`
+    the ``repro-api/1`` JSONL wire format and the strategy registry
+    (the planner extension point);
+:mod:`repro.serving.worker`
+    request execution with shared-memo warm start (the epoch protocol's
+    reader side);
+:mod:`repro.serving.daemon`
+    the asyncio TCP/Unix server tying it together, including
+    maintenance-delta cache invalidation;
+:mod:`repro.serving.client`
+    the blocking JSONL client behind :func:`repro.api.connect`.
+
+See ``docs/serving.md``.
+"""
+
+from .admission import (
+    DEFAULT_TENANT,
+    QUEUE_FULL,
+    TENANT_QUOTA,
+    AdmissionController,
+    TenantQuota,
+)
+from .client import ServingClient, ServingClientError, parse_address
+from .daemon import RewriteDaemon
+from .memo import (
+    DEFAULT_CAPACITY,
+    LocalMemoTier,
+    MemoEntry,
+    SharedMemoTier,
+    create_memo_tier,
+)
+from .protocol import (
+    DEFAULT_STRATEGY,
+    OPS,
+    ProtocolError,
+    parse_line,
+    register_strategy,
+    request_from_wire,
+    resolve_strategy,
+    serving_group_key,
+    strategy_names,
+)
+from .worker import COLD, WARM_LOCAL, WARM_SHARED, PlannerCache
+
+__all__ = [
+    "AdmissionController",
+    "COLD",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_STRATEGY",
+    "DEFAULT_TENANT",
+    "LocalMemoTier",
+    "MemoEntry",
+    "OPS",
+    "PlannerCache",
+    "ProtocolError",
+    "QUEUE_FULL",
+    "RewriteDaemon",
+    "ServingClient",
+    "ServingClientError",
+    "SharedMemoTier",
+    "TENANT_QUOTA",
+    "TenantQuota",
+    "WARM_LOCAL",
+    "WARM_SHARED",
+    "create_memo_tier",
+    "parse_address",
+    "parse_line",
+    "register_strategy",
+    "request_from_wire",
+    "resolve_strategy",
+    "serving_group_key",
+    "strategy_names",
+]

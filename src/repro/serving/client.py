@@ -1,0 +1,158 @@
+"""A synchronous client for the serving daemon.
+
+Blocking sockets and plain JSONL — no asyncio on the client side, so it
+works from scripts, notebooks and tests alike. Obtain one through
+:func:`repro.api.connect`::
+
+    with repro.api.connect(("127.0.0.1", 7411)) as client:
+        doc = client.rewrite("SELECT ...", tenant="dash")
+        assert doc["ok"] and doc["schema"] == "repro-api/1"
+
+Every method returns the daemon's envelope verbatim (a dict); requests
+are tagged with auto-incrementing ids and responses are matched back by
+id, so one client may interleave calls from several threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import threading
+from typing import Optional, Union
+
+from ..errors import ReproError
+
+Address = Union[str, tuple]
+
+
+class ServingClientError(ReproError):
+    """The daemon hung up or spoke something that is not JSONL."""
+
+
+def parse_address(address: Address) -> tuple[int, Address]:
+    """``address`` -> ``(socket family, connect argument)``.
+
+    Accepts ``(host, port)`` tuples, ``"host:port"``,
+    ``"tcp://host:port"`` and ``"unix:///path/to.sock"``.
+    """
+    if isinstance(address, tuple):
+        return socket.AF_INET, (address[0], int(address[1]))
+    if not isinstance(address, str):
+        raise ServingClientError(f"unsupported address {address!r}")
+    if address.startswith("unix://"):
+        return socket.AF_UNIX, address[len("unix://"):]
+    if address.startswith("tcp://"):
+        address = address[len("tcp://"):]
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        raise ServingClientError(
+            f"address {address!r} needs a port (host:port) or a "
+            "unix:// prefix"
+        )
+    return socket.AF_INET, (host or "127.0.0.1", int(port))
+
+
+class ServingClient:
+    """One connection to a daemon; thread-safe, context-managed."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._reader = sock.makefile("r", encoding="utf-8")
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        #: responses read while waiting for a different id
+        self._pending: dict[str, dict] = {}
+
+    @classmethod
+    def connect(
+        cls, address: Address, timeout: Optional[float] = 10.0
+    ) -> "ServingClient":
+        family, target = parse_address(address)
+        sock = socket.socket(family, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(target)
+        except OSError:
+            sock.close()
+            raise
+        return cls(sock)
+
+    # ------------------------------------------------------------------
+
+    def request(self, obj: dict) -> dict:
+        """Send one op object, wait for the envelope with its id."""
+        obj = dict(obj)
+        obj.setdefault("id", f"c{next(self._ids)}")
+        wanted = str(obj["id"])
+        with self._lock:
+            self._sock.sendall(
+                (json.dumps(obj) + "\n").encode("utf-8")
+            )
+            return self._read_until(wanted)
+
+    def _read_until(self, wanted: str) -> dict:
+        while True:
+            if wanted in self._pending:
+                return self._pending.pop(wanted)
+            line = self._reader.readline()
+            if not line:
+                raise ServingClientError(
+                    "daemon closed the connection mid-request"
+                )
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ServingClientError(
+                    f"daemon sent a non-JSON line: {line[:120]!r}"
+                ) from error
+            got = doc.get("id")
+            if got is None or str(got) == wanted:
+                return doc
+            self._pending[str(got)] = doc
+
+    # ------------------------------------------------------------------
+    # Ops
+
+    def rewrite(self, sql: str, **fields) -> dict:
+        """``{"op": "rewrite", "sql": sql, **fields}`` — see
+        :mod:`repro.serving.protocol` for the accepted fields
+        (``tenant``, ``views``, ``strategy``, ``deadline_ms``, ...)."""
+        return self.request({"op": "rewrite", "sql": sql, **fields})
+
+    def update(
+        self, table: str, insert=(), delete=(), **fields
+    ) -> dict:
+        return self.request(
+            {
+                "op": "update",
+                "table": table,
+                "insert": [list(r) for r in insert],
+                "delete": [list(r) for r in delete],
+                **fields,
+            }
+        )
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def metrics(self) -> dict:
+        return self.request({"op": "metrics"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,503 @@
+"""The always-on asyncio rewriting daemon.
+
+A stdlib-``asyncio`` JSONL-over-socket server (TCP and/or Unix-domain)
+speaking the versioned ``repro-api/1`` envelope. One daemon serves one
+catalog; the request path is::
+
+    line -> parse -> admission -> executor queue -> PlannerCache.run
+         -> publish memo export -> envelope line back
+
+Admission happens synchronously on the event loop when a line arrives,
+so overload never buffers unboundedly: past the queue limit (or a
+tenant's quota) the client gets an immediate in-band *refused* response
+— the same degraded shape as the batch service's ``batch_deadline``
+path, trip-labelled ``queue_full`` / ``tenant_quota``. Connections are
+never dropped on overload.
+
+Execution backends:
+
+``workers=0`` (serial)
+    one worker thread; planners and the memo tier live in-process. The
+    determinism/debugging baseline.
+``workers=N``
+    a ``ProcessPoolExecutor``; workers attach the shared-memory memo
+    tier read-only and warm-start planners from it. The master is the
+    tier's single writer: memo exports ride back with each response and
+    are published here.
+
+The ``update`` op mutates base tables through :mod:`repro.maintenance`.
+A registered delta listener — not the op handler — performs the cache
+invalidation, so *any* maintenance activity against the daemon's
+database (including direct ``apply_change`` calls in embedding code)
+bumps the shared tier's epoch and evicts the affected fingerprints.
+Affected views also get their catalog cardinality refreshed from the
+maintained materialization, so post-update responses re-rank with live
+statistics — without a restart and without cold-starting unaffected
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Optional
+
+from ..catalog.schema import Catalog
+from ..engine.database import Database
+from ..errors import UnsupportedSQLError
+from ..maintenance import MaintainedView, apply_change, register_delta_listener
+from ..obs.metrics import METRICS_SCHEMA, MetricsRegistry, current_metrics
+from ..service.degradation import refused_response
+from .admission import DEFAULT_TENANT, AdmissionController, TenantQuota
+from .memo import DEFAULT_CAPACITY, create_memo_tier
+from .protocol import (
+    ProtocolError,
+    parse_line,
+    request_from_wire,
+    resolve_strategy,
+    strategy_names,
+)
+from .worker import PlannerCache, init_worker, run_in_worker
+
+
+def _envelope(*args, **kwargs) -> dict:
+    from .. import api
+
+    return api.to_envelope(*args, **kwargs)
+
+
+class RewriteDaemon:
+    """One catalog, one shared memo tier, many concurrent clients."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        database: Optional[Database] = None,
+        workers: int = 0,
+        queue_limit: int = 64,
+        default_quota: Optional[TenantQuota] = None,
+        tenant_quotas: Optional[dict[str, TenantQuota]] = None,
+        memo_capacity: int = DEFAULT_CAPACITY,
+        memo_tier=None,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_interval: float = 0.0,
+    ):
+        self.catalog = catalog
+        self.database = database or Database(catalog)
+        self.workers = max(0, workers)
+        self.admission = AdmissionController(
+            queue_limit=queue_limit,
+            default_quota=default_quota,
+            tenant_quotas=tenant_quotas,
+        )
+        self.metrics = metrics
+        self.metrics_interval = metrics_interval
+        # Process workers need a real shared segment; serial mode is
+        # happy with whatever the platform offers.
+        self.memo = memo_tier or create_memo_tier(
+            capacity=memo_capacity, shared=True
+        )
+        self._planner_cache = PlannerCache(self.memo)
+        if self.workers > 0:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=init_worker,
+                initargs=(self.memo.name,),
+            )
+        else:
+            # One worker thread: requests run strictly serially (the
+            # planner-sharing determinism baseline) while the event loop
+            # keeps accepting, refusing and answering pings.
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve"
+            )
+        #: view name -> maintainer, built lazily on the first update of a
+        #: table the view reads. Unmaintainable views (DISTINCT, views
+        #: over views) stay out and are handled by invalidation alone.
+        self._maintainers: dict[str, MaintainedView] = {}
+        self._update_lock = asyncio.Lock()
+        self._unsubscribe = register_delta_listener(self._on_delta)
+        self._servers: list[asyncio.base_events.Server] = []
+        self._connections: set[asyncio.Task] = set()
+        self._stopping: Optional[asyncio.Event] = None
+        self._started = time.monotonic()
+        self._frame_seq = 0
+        self.addresses: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(
+        self,
+        host: Optional[str] = None,
+        port: int = 0,
+        unix_path: Optional[str] = None,
+    ) -> None:
+        """Bind the requested sockets; TCP port 0 picks a free port."""
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        if host is None and unix_path is None:
+            host = "127.0.0.1"
+        if host is not None:
+            server = await asyncio.start_server(
+                self._handle_connection, host=host, port=port
+            )
+            self._servers.append(server)
+            for sock in server.sockets:
+                self.addresses.append(
+                    ("tcp",) + sock.getsockname()[:2]
+                )
+        if unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=unix_path
+            )
+            self._servers.append(server)
+            self.addresses.append(("unix", unix_path))
+
+    @property
+    def tcp_port(self) -> Optional[int]:
+        for kind, *rest in self.addresses:
+            if kind == "tcp":
+                return rest[1]
+        return None
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`stop` (or an in-band shutdown op)."""
+        assert self._stopping is not None, "call start() first"
+        frames = None
+        if self.metrics_interval > 0 and self.metrics is not None:
+            frames = asyncio.ensure_future(self._emit_frames())
+        try:
+            await self._stopping.wait()
+        finally:
+            if frames is not None:
+                frames.cancel()
+            await self._shutdown()
+
+    def stop(self) -> None:
+        """Request shutdown; safe to call from any thread."""
+        if self._stopping is None:
+            return
+        loop = getattr(self, "_loop", None)
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self._stopping.set)
+        else:
+            self._stopping.set()
+
+    async def _shutdown(self) -> None:
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers.clear()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        self._unsubscribe()
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        self.memo.close()
+        self.memo.unlink()
+
+    async def _emit_frames(self) -> None:
+        """Periodic ``repro-metrics/1`` frames on stdout (serve-sql's
+        in-band frame shape, one JSON object per line)."""
+        while True:
+            await asyncio.sleep(self.metrics_interval)
+            self._frame_seq += 1
+            print(
+                json.dumps(
+                    {
+                        "schema": METRICS_SCHEMA,
+                        "kind": "metrics-frame",
+                        "seq": self._frame_seq,
+                        "elapsed": round(
+                            time.monotonic() - self._started, 3
+                        ),
+                        "metrics": self.metrics.snapshot().as_dict(),
+                    }
+                ),
+                flush=True,
+            )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+
+    async def _handle_connection(self, reader, writer) -> None:
+        me = asyncio.current_task()
+        if me is not None:
+            self._connections.add(me)
+            me.add_done_callback(self._connections.discard)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            line_no = 0
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line or line.startswith(b"#"):
+                    continue
+                line_no += 1
+                task = asyncio.ensure_future(
+                    self._handle_line(
+                        line.decode("utf-8", "replace"),
+                        line_no,
+                        writer,
+                        write_lock,
+                    )
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # daemon shutdown with the client still connected
+        finally:
+            if tasks:
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _write(self, writer, lock, doc: dict) -> None:
+        payload = (json.dumps(doc) + "\n").encode("utf-8")
+        async with lock:
+            writer.write(payload)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _handle_line(
+        self, line: str, line_no: int, writer, write_lock
+    ) -> None:
+        request_id = None
+        try:
+            obj = parse_line(line, line_no)
+            request_id = obj.get("id")
+            op = obj["op"]
+            if op == "rewrite":
+                doc = await self._op_rewrite(obj, line_no)
+            elif op == "update":
+                doc = await self._op_update(obj, line_no)
+            elif op == "ping":
+                doc = _envelope(
+                    {
+                        "pong": True,
+                        "epoch": self.memo.epoch(),
+                        "queue_depth": self.admission.depth,
+                        "strategies": list(strategy_names()),
+                    },
+                    kind="ping",
+                    request_id=request_id,
+                )
+            elif op == "metrics":
+                snapshot = (
+                    self.metrics.snapshot().as_dict()
+                    if self.metrics is not None
+                    else None
+                )
+                doc = _envelope(
+                    {"metrics": snapshot},
+                    kind="metrics",
+                    request_id=request_id,
+                )
+            else:  # shutdown
+                doc = _envelope(
+                    {"stopping": True},
+                    kind="shutdown",
+                    request_id=request_id,
+                )
+                await self._write(writer, write_lock, doc)
+                self.stop()
+                return
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 — a response line must
+            # always come back; an unanswered request hangs the client.
+            doc = _envelope(
+                kind="error", error=error, request_id=request_id
+            )
+        await self._write(writer, write_lock, doc)
+
+    # ------------------------------------------------------------------
+    # Ops
+
+    async def _op_rewrite(self, obj: dict, line_no: int) -> dict:
+        request = request_from_wire(obj, self.catalog, line_no)
+        strategy = obj.get("strategy")
+        resolve_strategy(strategy)  # refuse unknown names up front
+        tenant = str(obj.get("tenant") or DEFAULT_TENANT)
+
+        reason = self.admission.admit(tenant)
+        if reason is not None:
+            self._count_request(tenant, "refused")
+            return _envelope(
+                refused_response(request, reason),
+                kind="rewrite",
+                request_id=request.request_id,
+            )
+        started = time.perf_counter()
+        try:
+            cap = self.admission.budget_cap(tenant)
+            if cap is not None:
+                tightened = (
+                    cap
+                    if request.budget is None
+                    else request.budget.merged_with(cap)
+                )
+                from dataclasses import replace as _replace
+
+                request = _replace(request, budget=tightened)
+            loop = asyncio.get_event_loop()
+            if self.workers > 0:
+                result = await loop.run_in_executor(
+                    self._pool,
+                    run_in_worker,
+                    (request, strategy),
+                )
+            else:
+                result = await loop.run_in_executor(
+                    self._pool,
+                    functools.partial(
+                        self._run_serial, request, strategy
+                    ),
+                )
+            response, key, view_names, export, _path = result
+            if export:
+                # Single-writer discipline: only this (master) process
+                # publishes into the shared tier.
+                self.memo.publish(key, view_names, export)
+            outcome = (
+                "error"
+                if response.error is not None
+                else "exhausted" if response.exhausted else "ok"
+            )
+            self._count_request(
+                tenant, outcome, time.perf_counter() - started
+            )
+            return _envelope(
+                response, kind="rewrite", request_id=request.request_id
+            )
+        finally:
+            self.admission.release(tenant)
+
+    def _run_serial(self, request, strategy):
+        return self._planner_cache.run(request, strategy)
+
+    def _count_request(
+        self, tenant: str, outcome: str, seconds: Optional[float] = None
+    ) -> None:
+        metrics = self.metrics or current_metrics()
+        if metrics is None:
+            return
+        metrics.counter(
+            "repro_serving_requests_total",
+            "Daemon rewrite requests, by tenant and outcome.",
+            ("tenant", "outcome"),
+        ).labels(tenant, outcome).inc()
+        if seconds is not None:
+            metrics.histogram(
+                "repro_serving_request_seconds",
+                "Daemon rewrite latency, by tenant.",
+                ("tenant",),
+            ).labels(tenant).observe(seconds)
+
+    async def _op_update(self, obj: dict, line_no: int) -> dict:
+        table = obj.get("table")
+        if not isinstance(table, str) or not self.catalog.is_table(table):
+            raise ProtocolError(
+                f"line {line_no}: 'table' must name a base table"
+            )
+        inserts = [tuple(r) for r in obj.get("insert", ())]
+        deletes = [tuple(r) for r in obj.get("delete", ())]
+        async with self._update_lock:
+            loop = asyncio.get_event_loop()
+            summary = await loop.run_in_executor(
+                None,
+                functools.partial(
+                    self.apply_update, table, inserts, deletes
+                ),
+            )
+        return _envelope(
+            summary, kind="update", request_id=obj.get("id")
+        )
+
+    def apply_update(
+        self, table: str, inserts=(), deletes=()
+    ) -> dict:
+        """One base-table change: maintain views, refresh stats.
+
+        Invalidation itself happens in the delta listener, so it also
+        covers maintenance driven from outside this method.
+        """
+        epoch_before = self.memo.epoch()
+        maintainers = self._maintainers_reading(table)
+        apply_change(
+            list(maintainers.values()),
+            table,
+            inserts,
+            deletes,
+            database=self.database,
+        )
+        unmaintained = [
+            name
+            for name, view in self.catalog.views.items()
+            if name not in maintainers
+            and any(rel.name == table for rel in view.block.from_)
+        ]
+        if unmaintained:
+            # No maintainer to observe the delta -> no listener fired;
+            # still stale, so invalidate them here.
+            self.memo.invalidate_views(unmaintained)
+        return {
+            "table": table,
+            "inserted": len(list(inserts)),
+            "deleted": len(list(deletes)),
+            "maintained_views": sorted(maintainers),
+            "invalidated_views": sorted(
+                set(maintainers) | set(unmaintained)
+            ),
+            "epoch": self.memo.epoch(),
+            "epoch_before": epoch_before,
+        }
+
+    def _maintainers_reading(self, table: str) -> dict[str, MaintainedView]:
+        out = {}
+        for name, view in self.catalog.views.items():
+            if not any(rel.name == table for rel in view.block.from_):
+                continue
+            maintainer = self._maintainers.get(name)
+            if maintainer is None:
+                try:
+                    maintainer = MaintainedView(view, self.database)
+                except UnsupportedSQLError:
+                    continue
+                self._maintainers[name] = maintainer
+            out[name] = maintainer
+        return out
+
+    def _on_delta(self, event) -> None:
+        """The maintenance hook: refresh stats, evict, bump the epoch."""
+        if not event.relevant:
+            return
+        if event.maintainer.db is not self.database:
+            return  # someone else's warehouse
+        name = event.view_name
+        if name in self.catalog.views:
+            self.catalog.set_row_count(
+                name, len(event.maintainer.table())
+            )
+        self.memo.invalidate_views([name])

@@ -1,0 +1,190 @@
+"""The ``repro-api/1`` JSONL wire protocol of the serving daemon.
+
+One request per line, one response per line, both JSON objects. Every
+response is the consolidated envelope (:func:`repro.api.to_envelope`):
+top-level ``schema`` / ``kind`` / ``ok`` and exactly one of ``result``
+or ``error``, plus the request's ``id`` echoed back so clients may
+pipeline.
+
+Request objects::
+
+    {"op": "rewrite", "sql": "SELECT ...", "id": "r1",
+     "tenant": "dash", "views": ["Monthly"], "strategy": "default",
+     "deadline_ms": 50, "max_mappings": null, "max_candidates": null,
+     "max_steps": 3, "unfold": false}
+    {"op": "update", "table": "Calls", "insert": [[...], ...],
+     "delete": [[...], ...]}
+    {"op": "ping"} | {"op": "metrics"} | {"op": "shutdown"}
+
+``op`` defaults to ``rewrite`` when the object carries ``sql``/
+``query``, so the line format is a superset of ``repro batch`` input.
+
+The ``strategy`` field is the planner extension point: it names a
+registered request runner (today only ``"default"``, the memoized
+BFS planner of :mod:`repro.core.planner`; the Cohen–Nutt second planner
+of PAPERS.md plugs in here as an alternative runner without a protocol
+bump). Unknown strategies refuse in-band with the known names listed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional
+
+from ..catalog.schema import Catalog
+from ..errors import ReproError
+from ..obs.budget import SearchBudget
+from ..service.batcher import view_fingerprint
+from ..service.executor import execute_request
+from ..service.requests import RewriteRequest, RewriteResponse
+
+#: Ops a daemon understands.
+OPS = ("rewrite", "update", "ping", "metrics", "shutdown")
+
+#: The default strategy name every request gets.
+DEFAULT_STRATEGY = "default"
+
+
+class ProtocolError(ReproError):
+    """A request line the daemon could not make sense of."""
+
+
+# ----------------------------------------------------------------------
+# Strategy registry (the per-request planner extension point)
+
+#: A strategy runs one request on a (possibly warm) planner/engine and
+#: returns a RewriteResponse. Signature matches execute_request's
+#: keyword surface so new strategies can reuse the shared executor.
+StrategyRunner = Callable[..., RewriteResponse]
+
+
+def _default_strategy(request, **kwargs) -> RewriteResponse:
+    return execute_request(request, capture_errors=True, **kwargs)
+
+
+_STRATEGIES: dict[str, StrategyRunner] = {
+    DEFAULT_STRATEGY: _default_strategy
+}
+
+
+def register_strategy(name: str, runner: StrategyRunner) -> None:
+    """Register a request-execution strategy under ``name``."""
+    _STRATEGIES[name] = runner
+
+
+def strategy_names() -> tuple[str, ...]:
+    return tuple(sorted(_STRATEGIES))
+
+
+def resolve_strategy(name: Optional[str]) -> StrategyRunner:
+    runner = _STRATEGIES.get(name or DEFAULT_STRATEGY)
+    if runner is None:
+        raise ProtocolError(
+            f"unknown strategy {name!r}; known: "
+            + ", ".join(strategy_names())
+        )
+    return runner
+
+
+# ----------------------------------------------------------------------
+# Request parsing
+
+def parse_line(line: str, line_no: int = 0) -> dict:
+    """One wire line -> a validated op object."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(
+            f"line {line_no}: not valid JSON ({error})"
+        ) from error
+    if isinstance(obj, str):
+        obj = {"op": "rewrite", "sql": obj}
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"line {line_no}: expected a JSON object")
+    op = obj.get("op")
+    if op is None:
+        op = "rewrite" if ("sql" in obj or "query" in obj) else None
+        obj["op"] = op
+    if op not in OPS:
+        raise ProtocolError(
+            f"line {line_no}: unknown op {op!r}; known: "
+            + ", ".join(OPS)
+        )
+    return obj
+
+
+def budget_from_wire(obj: dict) -> Optional[SearchBudget]:
+    deadline_ms = obj.get("deadline_ms")
+    max_mappings = obj.get("max_mappings")
+    max_candidates = obj.get("max_candidates")
+    if (
+        deadline_ms is None
+        and max_mappings is None
+        and max_candidates is None
+    ):
+        return None
+    return SearchBudget(
+        deadline=deadline_ms / 1000.0 if deadline_ms is not None else None,
+        max_mappings=max_mappings,
+        max_candidates=max_candidates,
+    )
+
+
+def request_from_wire(
+    obj: dict, catalog: Catalog, line_no: int = 0
+) -> RewriteRequest:
+    """A ``rewrite`` op object -> the service's RewriteRequest."""
+    sql = obj.get("sql", obj.get("query"))
+    if not isinstance(sql, str) or not sql.strip():
+        raise ProtocolError(
+            f"line {line_no}: 'sql' must be a non-empty SELECT string"
+        )
+    views = None
+    if obj.get("views") is not None:
+        names = obj["views"]
+        if not isinstance(names, list):
+            raise ProtocolError(
+                f"line {line_no}: 'views' must be a list of view names"
+            )
+        try:
+            views = tuple(catalog.view(name) for name in names)
+        except ReproError as error:
+            raise ProtocolError(f"line {line_no}: {error}") from error
+    request_id = obj.get("id")
+    return RewriteRequest(
+        query=sql,
+        catalog=catalog,
+        views=views,
+        budget=budget_from_wire(obj),
+        max_steps=int(obj.get("max_steps", 3)),
+        unfold=bool(obj.get("unfold", False)),
+        collect_metrics=bool(obj.get("collect_metrics", False)),
+        request_id=str(request_id) if request_id is not None else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Serving fingerprints
+
+def serving_group_key(request: RewriteRequest) -> tuple:
+    """The shared-memo fingerprint of one request.
+
+    A refinement of :func:`repro.service.batcher.request_group_key`
+    built for a *mutating* catalog: only the request's own candidate
+    views contribute their cardinality estimates, so a maintenance
+    delta on view V changes the keys of exactly the groups that use V —
+    groups pinned to other views keep their fingerprints and stay hot.
+    Planner interchangeability still holds (the key only segments the
+    batch-service fingerprint further, never merges across it).
+    """
+    catalog = request.catalog
+    views = request.effective_views()
+    return (
+        tuple(sorted(catalog.tables.items())) if catalog else (),
+        tuple(
+            (view_fingerprint(v),
+             catalog.row_count(v.name) if catalog else None)
+            for v in views
+        ),
+        request.use_set_semantics,
+    )

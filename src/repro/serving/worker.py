@@ -1,0 +1,176 @@
+"""Request execution with shared-memo warm start.
+
+One :class:`PlannerCache` lives in every execution context — the daemon
+master (serial mode) and each process worker — and implements the
+reader side of the epoch protocol:
+
+1. compute the request's serving fingerprint;
+2. if a locally cached planner exists for that fingerprint *and* the
+   tier's epoch (one cheap shared-memory header read) is unchanged since
+   it was validated, reuse it — the hot path costs no payload read;
+3. otherwise look the fingerprint up in the shared tier: present means
+   build a planner and warm it with :meth:`import_memo` (the entry
+   cannot be stale — invalidation removes entries, it never leaves old
+   bytes findable); absent means plan cold;
+4. run the request through the registered strategy (the shared
+   :func:`repro.service.executor.execute_request` by default, so the
+   batch service's determinism rules — count-budgeted requests always
+   plan cold — hold verbatim in the daemon);
+5. hand the planner's memo export back to the caller. Workers never
+   write the tier: the daemon master is the single writer and publishes
+   exports after each response.
+
+Requests that pin an explicit view subset run against a restricted
+catalog clone so the engine's shared-planner fast path (and therefore
+the warm memo) applies to them too; their fingerprints then respond to
+invalidation independently of full-catalog traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Optional
+
+from ..catalog.schema import Catalog
+from ..core.planner import RewritePlanner
+from ..obs.metrics import current_metrics
+from ..service.executor import build_engine
+from ..service.requests import RewriteRequest, RewriteResponse
+from .memo import MEMO_EXPORT_MAX, SharedMemoTier
+from .protocol import resolve_strategy, serving_group_key
+
+#: Planner paths, as reported by repro_serving_planner_path_total.
+WARM_LOCAL = "warm_local"
+WARM_SHARED = "warm_shared"
+COLD = "cold"
+
+
+def _observe_path(path: str) -> None:
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.counter(
+            "repro_serving_planner_path_total",
+            "How requests obtained their planner: locally cached, "
+            "warm-started from the shared memo tier, or cold.",
+            ("path",),
+        ).labels(path).inc()
+
+
+def _restricted_catalog(catalog: Catalog, views) -> Catalog:
+    """A clone of ``catalog`` registering only ``views``."""
+    clone = Catalog(list(catalog.tables.values()))
+    for view in views:
+        clone.add_view(view, row_count=catalog.row_count(view.name))
+    return clone
+
+
+class PlannerCache:
+    """Per-process planners, validated against the memo tier's epoch."""
+
+    #: Distinct fingerprints kept warm per process.
+    MAX_PLANNERS = 8
+
+    def __init__(self, tier):
+        self.tier = tier
+        #: fingerprint -> (validated_epoch, planner)
+        self._planners: OrderedDict[tuple, tuple[int, RewritePlanner]] = (
+            OrderedDict()
+        )
+
+    def run(
+        self,
+        request: RewriteRequest,
+        strategy: Optional[str] = None,
+    ) -> tuple[RewriteResponse, tuple, tuple[str, ...], list, str]:
+        """Execute one request; returns
+        ``(response, fingerprint, view_names, memo_export, path)``.
+
+        ``memo_export`` is the planner's post-request substitution memo
+        for the daemon master to publish (single-writer discipline);
+        ``path`` reports how the planner was obtained.
+        """
+        key = serving_group_key(request)
+        views = request.effective_views()
+        view_names = tuple(v.name for v in views)
+
+        if request.views is not None and request.catalog is not None:
+            if set(view_names) != set(request.catalog.views):
+                request = replace(
+                    request,
+                    catalog=_restricted_catalog(request.catalog, views),
+                    views=None,
+                )
+            else:
+                request = replace(request, views=None)
+
+        planner, path = self._planner_for(key, views, request)
+        engine = (
+            build_engine(
+                request.catalog, request.use_set_semantics, planner
+            )
+            if request.catalog is not None
+            else None
+        )
+        runner = resolve_strategy(strategy)
+        response = runner(request, engine=engine, planner=planner)
+        export = planner.export_memo(MEMO_EXPORT_MAX)
+        _observe_path(path)
+        return response, key, view_names, export, path
+
+    def _planner_for(
+        self, key: tuple, views, request: RewriteRequest
+    ) -> tuple[RewritePlanner, str]:
+        epoch = self.tier.epoch()
+        cached = self._planners.get(key)
+        if cached is not None and cached[0] == epoch:
+            self._planners.move_to_end(key)
+            return cached[1], WARM_LOCAL
+        # Epoch moved (or first sight): revalidate against the tier.
+        self._planners.pop(key, None)
+        planner = RewritePlanner(
+            list(views), request.catalog, request.use_set_semantics
+        )
+        entry = self.tier.lookup(key)
+        if entry is not None:
+            planner.import_memo(entry.memo)
+            path = WARM_SHARED
+        else:
+            path = COLD
+        self._planners[key] = (epoch, planner)
+        while len(self._planners) > self.MAX_PLANNERS:
+            self._planners.popitem(last=False)
+        return planner, path
+
+
+# ----------------------------------------------------------------------
+# Process-pool entry points (module-level, picklable by reference)
+
+_WORKER_TIER = None
+_WORKER_CACHE: Optional[PlannerCache] = None
+
+
+def init_worker(memo_name: Optional[str]) -> None:
+    """ProcessPoolExecutor initializer: attach the shared tier once."""
+    global _WORKER_TIER, _WORKER_CACHE
+    if memo_name is not None:
+        _WORKER_TIER = SharedMemoTier.attach(memo_name)
+    else:
+        from .memo import LocalMemoTier
+
+        # No shared segment (local-tier daemon): workers plan cold but
+        # stay correct — every epoch read is 0 and every lookup misses.
+        _WORKER_TIER = LocalMemoTier()
+    _WORKER_CACHE = PlannerCache(_WORKER_TIER)
+
+
+def run_in_worker(payload: tuple):
+    """One request in a pool worker; returns the PlannerCache.run tuple.
+
+    ``payload`` is ``(request, strategy)``. The response, fingerprint,
+    view names, memo export and planner path travel back pickled; the
+    master publishes the export into the shared tier.
+    """
+    request, strategy = payload
+    assert _WORKER_CACHE is not None, "init_worker did not run"
+    return _WORKER_CACHE.run(request, strategy)

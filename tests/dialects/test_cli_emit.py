@@ -90,8 +90,9 @@ def test_emit_json(schema_file, capsys):
     assert code == 0
     assert doc["schema"] == "repro-api/1"
     assert doc["kind"] == "emit"
-    assert doc["dialect"] == "sqlite"
-    assert doc["sql"].startswith("SELECT")
+    assert doc["ok"] is True
+    assert doc["result"]["dialect"] == "sqlite"
+    assert doc["result"]["sql"].startswith("SELECT")
 
 
 def test_emit_conformance_json(capsys):
@@ -99,7 +100,8 @@ def test_emit_conformance_json(capsys):
     doc = json.loads(capsys.readouterr().out)
     assert code == 0
     assert doc["kind"] == "conformance"
-    assert "-- case:" in doc["corpus"]
+    assert doc["ok"] is True
+    assert "-- case:" in doc["result"]["corpus"]
 
 
 def test_emit_matches_golden_file(capsys):

@@ -160,10 +160,11 @@ def test_cli_rewrite_sql_json(db_file, capsys):
     doc = json.loads(capsys.readouterr().out)
     assert code == 0
     assert doc["kind"] == "sql-rewrite"
-    assert doc["verified"] is True
-    assert sorted(map(tuple, doc["rows"])) == [
+    assert doc["ok"] is True
+    assert doc["result"]["verified"] is True
+    assert sorted(map(tuple, doc["result"]["rows"])) == [
         ["east", 30], ["north", 30], ["west", 12],
-    ] or sorted(map(list, doc["rows"])) == [
+    ] or sorted(map(list, doc["result"]["rows"])) == [
         ["east", 30], ["north", 30], ["west", 12],
     ]
 
@@ -182,8 +183,9 @@ def test_cli_rewrite_sql_schema_source(tmp_path, capsys):
     )
     doc = json.loads(capsys.readouterr().out)
     assert code == 0
-    assert doc["dialect"] == "duckdb"
-    assert doc["rewritten"] is True
+    assert doc["kind"] == "sql-rewrite"
+    assert doc["result"]["dialect"] == "duckdb"
+    assert doc["result"]["rewritten"] is True
 
 
 def test_cli_rewrite_sql_execute_needs_db(tmp_path, capsys):

@@ -1,5 +1,12 @@
-"""The deprecated module-level entry points: warn, then behave exactly
-as before via the facade."""
+"""The deprecation shims are gone; the facade is the identity-pinned
+(and only) module-level entry point.
+
+The removed ``repro.all_rewritings`` / ``repro.rewrite_iteratively``
+shims used to be pinned byte-for-byte against the core search over 40
+seeds. Those pins now hold directly between :mod:`repro.api` and the
+core, so facade refactors keep producing the exact historical results
+— discovery order included.
+"""
 
 from __future__ import annotations
 
@@ -8,110 +15,71 @@ import warnings
 import pytest
 
 import repro
+from repro import api
 from repro.core.multiview import (
     all_rewritings as core_all_rewritings,
     rewrite_iteratively as core_rewrite_iteratively,
 )
-from repro.core.planner import RewritePlanner
 from repro.obs.budget import SearchBudget
 from repro.workloads.random_queries import random_scenario
-
-
-def shim_call(func, *args, **kwargs):
-    """Call a shim asserting exactly one DeprecationWarning fires."""
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        result = func(*args, **kwargs)
-    deprecations = [
-        w for w in caught if issubclass(w.category, DeprecationWarning)
-    ]
-    assert len(deprecations) == 1, caught
-    assert "deprecated" in str(deprecations[0].message)
-    return result
-
 
 SEEDS = range(0, 40)
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_all_rewritings_shim_identical_with_catalog(seed):
-    s = random_scenario(seed)
-    legacy = core_all_rewritings(
-        s.query, list(s.views), catalog=s.catalog
-    )
-    shimmed = shim_call(
-        repro.all_rewritings, s.query, list(s.views), catalog=s.catalog
-    )
-    assert shimmed == legacy
+def test_shims_are_gone():
+    assert not hasattr(repro, "all_rewritings")
+    assert not hasattr(repro, "rewrite_iteratively")
+    assert "all_rewritings" not in repro.__all__
+    assert "rewrite_iteratively" not in repro.__all__
 
 
 @pytest.mark.parametrize("seed", SEEDS)
-def test_all_rewritings_shim_identical_without_catalog(seed):
+def test_facade_rewrite_identical_to_core(seed):
     s = random_scenario(seed)
-    legacy = core_all_rewritings(s.query, list(s.views))
-    shimmed = shim_call(repro.all_rewritings, s.query, list(s.views))
-    assert shimmed == legacy
+    legacy = core_all_rewritings(s.query, list(s.views), catalog=s.catalog)
+    response = api.rewrite(
+        s.query,
+        catalog=s.catalog,
+        views=tuple(s.views),
+        use_set_semantics=False,
+        max_steps=4,
+    )
+    assert list(response.rewritings) == legacy
 
 
 @pytest.mark.parametrize("seed", range(0, 12))
-def test_all_rewritings_shim_identical_under_count_budget(seed):
+def test_facade_rewrite_identical_under_count_budget(seed):
     s = random_scenario(seed)
     budget = SearchBudget(max_mappings=2, max_candidates=1)
     legacy = core_all_rewritings(
         s.query, list(s.views), catalog=s.catalog, budget=budget
     )
-    shimmed = shim_call(
-        repro.all_rewritings, s.query, list(s.views), catalog=s.catalog,
+    response = api.rewrite(
+        s.query,
+        catalog=s.catalog,
+        views=tuple(s.views),
+        use_set_semantics=False,
+        max_steps=4,
         budget=budget,
     )
-    assert shimmed == legacy
-
-
-def test_all_rewritings_shim_planner_escape_hatch():
-    # use_planner=False and explicit planners route to the core search
-    # directly — still warned, still identical.
-    s = random_scenario(5)
-    legacy = core_all_rewritings(s.query, list(s.views), use_planner=False)
-    shimmed = shim_call(
-        repro.all_rewritings, s.query, list(s.views), use_planner=False
-    )
-    assert shimmed == legacy
-
-    planner = RewritePlanner(list(s.views), s.catalog, False)
-    legacy = core_all_rewritings(
-        s.query, list(s.views), catalog=s.catalog, planner=planner
-    )
-    shimmed = shim_call(
-        repro.all_rewritings, s.query, list(s.views), catalog=s.catalog,
-        planner=planner,
-    )
-    assert shimmed == legacy
+    assert list(response.rewritings) == legacy
 
 
 @pytest.mark.parametrize("seed", SEEDS)
-def test_rewrite_iteratively_shim_identical(seed):
+def test_facade_rewrite_iterative_identical_to_core(seed):
     s = random_scenario(seed)
     legacy = core_rewrite_iteratively(
         s.query, list(s.views), catalog=s.catalog
     )
-    shimmed = shim_call(
-        repro.rewrite_iteratively, s.query, list(s.views), catalog=s.catalog
+    assert (
+        api.rewrite_iterative(s.query, list(s.views), catalog=s.catalog)
+        == legacy
     )
-    assert shimmed == legacy
 
 
-def test_shims_have_docstrings_and_stay_in_all():
-    # test_public_api checks __all__ resolves; pin the shims explicitly.
-    assert "all_rewritings" in repro.__all__
-    assert "rewrite_iteratively" in repro.__all__
-    assert "deprecated" in repro.all_rewritings.__doc__.lower()
-    assert "deprecated" in repro.rewrite_iteratively.__doc__.lower()
-
-
-def test_internal_modules_do_not_warn():
-    # The package's own code must import from repro.core.multiview, not
-    # through the shims — a batch through the facade stays warning-free.
-    from repro import api
+def test_facade_does_not_warn():
+    # The consolidated entry points are first-class: a rewrite through
+    # the facade (single and batch) must be DeprecationWarning-free.
     from repro.service import RewriteRequest
 
     s = random_scenario(5)

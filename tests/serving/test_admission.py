@@ -1,0 +1,59 @@
+"""Admission control: the bounded queue and per-tenant quotas."""
+
+from __future__ import annotations
+
+from repro.obs.budget import SearchBudget
+from repro.serving import (
+    QUEUE_FULL,
+    TENANT_QUOTA,
+    AdmissionController,
+    TenantQuota,
+)
+
+
+def test_queue_limit_refuses_then_release_frees():
+    ctrl = AdmissionController(queue_limit=2)
+    assert ctrl.admit("a") is None
+    assert ctrl.admit("b") is None
+    assert ctrl.depth == 2
+    assert ctrl.admit("c") == QUEUE_FULL
+    ctrl.release("a")
+    assert ctrl.depth == 1
+    assert ctrl.admit("c") is None
+
+
+def test_zero_queue_limit_refuses_everything():
+    ctrl = AdmissionController(queue_limit=0)
+    assert ctrl.admit() == QUEUE_FULL
+
+
+def test_tenant_quota_isolated_per_tenant():
+    ctrl = AdmissionController(
+        queue_limit=10,
+        tenant_quotas={"dash": TenantQuota(max_inflight=1)},
+    )
+    assert ctrl.admit("dash") is None
+    assert ctrl.admit("dash") == TENANT_QUOTA
+    # Other tenants are unaffected by dash's cap.
+    assert ctrl.admit("etl") is None
+    ctrl.release("dash")
+    assert ctrl.admit("dash") is None
+
+
+def test_default_quota_applies_to_unnamed_tenants():
+    ctrl = AdmissionController(
+        queue_limit=10, default_quota=TenantQuota(max_inflight=1)
+    )
+    assert ctrl.admit() is None
+    assert ctrl.admit() == TENANT_QUOTA
+
+
+def test_budget_cap_tightens_only():
+    quota = TenantQuota(deadline_ms_cap=50.0)
+    cap = quota.budget_cap()
+    assert cap.deadline == 0.05
+    looser = SearchBudget(deadline=10.0).merged_with(cap)
+    assert looser.deadline == 0.05
+    tighter = SearchBudget(deadline=0.001).merged_with(cap)
+    assert tighter.deadline == 0.001
+    assert TenantQuota().budget_cap() is None

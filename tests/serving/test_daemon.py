@@ -1,0 +1,235 @@
+"""The daemon end to end: sockets, refusals, updates, metrics frames."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.blocks.to_sql import block_to_sql
+from repro.obs.metrics import MetricsRegistry
+from repro.serving import ServingClient, TenantQuota
+from repro.serving.memo import LocalMemoTier
+from repro.service.executor import execute_request
+from repro.service.requests import RewriteRequest
+
+from .conftest import running_daemon
+
+
+def assert_envelope(doc, kind=None):
+    assert doc["schema"] == "repro-api/1"
+    assert isinstance(doc["ok"], bool)
+    if kind is not None:
+        assert doc["kind"] == kind
+    assert ("result" in doc) or ("error" in doc)
+    if doc["ok"]:
+        assert "error" not in doc
+
+
+def connect(daemon) -> ServingClient:
+    return ServingClient.connect(("127.0.0.1", daemon.tcp_port))
+
+
+def test_rewrite_ping_metrics_shutdown_over_tcp(scenario):
+    sc, db = scenario
+    sql = block_to_sql(sc.query)
+    with running_daemon(sc.catalog, database=db) as daemon:
+        with connect(daemon) as client:
+            pong = client.ping()
+            assert_envelope(pong, "ping")
+            assert pong["result"]["pong"] is True
+            assert pong["result"]["strategies"] == ["default"]
+
+            doc = client.rewrite(sql, id="r1")
+            assert_envelope(doc, "rewrite")
+            assert doc["id"] == "r1"
+            cold = execute_request(
+                RewriteRequest(query=sc.query, catalog=sc.catalog)
+            )
+            assert len(doc["result"]["rewritings"]) == len(cold.rewritings)
+
+            metrics = client.metrics()
+            assert_envelope(metrics, "metrics")
+
+            bye = client.shutdown()
+            assert_envelope(bye, "shutdown")
+            assert bye["result"]["stopping"] is True
+
+
+def test_unix_domain_socket(scenario, tmp_path):
+    sc, db = scenario
+    path = str(tmp_path / "repro.sock")
+    with running_daemon(sc.catalog, database=db, unix_path=path) as daemon:
+        assert ("unix", path) in daemon.addresses
+        with ServingClient.connect("unix://" + path) as client:
+            doc = client.rewrite(block_to_sql(sc.query))
+            assert_envelope(doc, "rewrite")
+            assert doc["ok"] is True
+
+
+def test_pipelined_requests_matched_by_id(scenario):
+    sc, db = scenario
+    sql = block_to_sql(sc.query)
+    with running_daemon(sc.catalog, database=db) as daemon:
+        with connect(daemon) as client:
+            # Write three requests before reading any response; ids come
+            # back matched even if completion order differs.
+            payload = b"".join(
+                (json.dumps({"op": "rewrite", "sql": sql, "id": f"p{i}"})
+                 + "\n").encode()
+                for i in range(3)
+            )
+            client._sock.sendall(payload)
+            docs = [client._read_until(f"p{i}") for i in range(3)]
+            assert [d["id"] for d in docs] == ["p0", "p1", "p2"]
+            assert all(d["ok"] for d in docs)
+
+
+def test_queue_overload_refuses_in_band(scenario):
+    sc, db = scenario
+    sql = block_to_sql(sc.query)
+    with running_daemon(
+        sc.catalog, database=db, queue_limit=0
+    ) as daemon:
+        with connect(daemon) as client:
+            doc = client.rewrite(sql, id="refused")
+            # In-band refusal: a successful protocol exchange carrying a
+            # degraded response tripped on queue_full — the connection
+            # stays open and later ops still work.
+            assert_envelope(doc, "rewrite")
+            assert doc["ok"] is True
+            result = doc["result"]
+            assert result["degraded"] is True
+            assert result["exhausted"] is True
+            assert result["budget"]["tripped"] == ["queue_full"]
+            assert result["rewritings"] == []
+            assert client.ping()["ok"] is True
+
+
+def test_tenant_quota_refusal_names_the_reason(scenario):
+    sc, db = scenario
+    sql = block_to_sql(sc.query)
+    with running_daemon(
+        sc.catalog,
+        database=db,
+        tenant_quotas={"noisy": TenantQuota(max_inflight=0)},
+    ) as daemon:
+        with connect(daemon) as client:
+            refused = client.rewrite(sql, tenant="noisy")
+            assert refused["result"]["budget"]["tripped"] == [
+                "tenant_quota"
+            ]
+            # Other tenants are unaffected.
+            ok = client.rewrite(sql, tenant="quiet")
+            assert ok["result"]["degraded"] is False
+
+
+def test_protocol_errors_are_in_band(scenario):
+    sc, db = scenario
+    with running_daemon(sc.catalog, database=db) as daemon:
+        with connect(daemon) as client:
+            doc = client.request({"op": "nonsense"})
+            assert doc["ok"] is False
+            assert "unknown op" in doc["error"]["message"]
+            doc = client.rewrite("SELECT 1", strategy="cohen-nutt")
+            assert doc["ok"] is False
+            assert "unknown strategy" in doc["error"]["message"]
+            # The connection survives both errors.
+            assert client.ping()["ok"] is True
+
+
+def test_update_invalidates_and_keeps_serving(scenario):
+    sc, db = scenario
+    sql = block_to_sql(sc.query)
+    table = next(
+        rel.name
+        for view in sc.catalog.views.values()
+        for rel in view.block.from_
+    )
+    width = len(sc.catalog.tables[table].columns)
+    with running_daemon(sc.catalog, database=db) as daemon:
+        with connect(daemon) as client:
+            client.rewrite(sql)  # publish a memo entry
+            epoch_before = client.ping()["result"]["epoch"]
+            entries_before = len(daemon.memo)
+            assert entries_before >= 1
+
+            update = client.update(table, insert=[[1] * width])
+            assert_envelope(update, "update")
+            result = update["result"]
+            assert result["inserted"] == 1
+            assert result["epoch"] > result["epoch_before"]
+            affected = set(result["invalidated_views"])
+            assert affected  # some view reads this table
+
+            assert client.ping()["result"]["epoch"] > epoch_before
+            # Post-update responses keep flowing without a restart and
+            # match a cold planner over the post-update catalog.
+            doc = client.rewrite(sql)
+            assert doc["ok"] is True
+            cold = execute_request(
+                RewriteRequest(query=sc.query, catalog=sc.catalog)
+            )
+            assert [r["sql"] for r in doc["result"]["rewritings"]] == [
+                r.sql() for r in cold.rewritings
+            ]
+
+
+def test_update_refreshes_view_statistics(scenario):
+    sc, db = scenario
+    table = next(
+        rel.name
+        for view in sc.catalog.views.values()
+        for rel in view.block.from_
+    )
+    width = len(sc.catalog.tables[table].columns)
+    with running_daemon(sc.catalog, database=db) as daemon:
+        with connect(daemon) as client:
+            update = client.update(
+                table, insert=[[i + 50] * width for i in range(4)]
+            )
+            for name in update["result"]["maintained_views"]:
+                maintainer = daemon._maintainers[name]
+                assert sc.catalog.row_count(name) == len(
+                    maintainer.table()
+                )
+
+
+def test_process_workers_share_the_memo_tier(scenario):
+    sc, db = scenario
+    sql = block_to_sql(sc.query)
+    with running_daemon(sc.catalog, database=db, workers=2) as daemon:
+        with connect(daemon) as client:
+            first = client.rewrite(sql, id="w1")
+            second = client.rewrite(sql, id="w2")
+            assert first["ok"] and second["ok"]
+            assert (
+                first["result"]["rewritings"]
+                == second["result"]["rewritings"]
+            )
+            # The master published the workers' memo exports.
+            assert len(daemon.memo) >= 1
+
+
+def test_serving_metrics_recorded(scenario):
+    sc, db = scenario
+    sql = block_to_sql(sc.query)
+    daemon_metrics = MetricsRegistry()
+    with running_daemon(
+        sc.catalog,
+        database=db,
+        metrics=daemon_metrics,
+        memo_tier=LocalMemoTier(),
+    ) as daemon:
+        with connect(daemon) as client:
+            for i in range(3):
+                client.rewrite(sql, tenant="dash", id=f"m{i}")
+            client.shutdown()
+    families = daemon_metrics.snapshot().families
+    requests = {
+        tuple(lv): value
+        for lv, value in families["repro_serving_requests_total"]["samples"]
+    }
+    assert requests[("dash", "ok")] == 3
+    latency = families["repro_serving_request_seconds"]["samples"]
+    assert latency[0][1]["count"] == 3

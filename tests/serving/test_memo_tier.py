@@ -1,0 +1,142 @@
+"""The memo tier: epoch protocol, seqlock framing, capacity, fallback."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.serving.memo import (
+    _HEADER,
+    _MAGIC,
+    LocalMemoTier,
+    MemoEntry,
+    SharedMemoTier,
+    create_memo_tier,
+)
+
+
+def entry_of(tier, key):
+    entry = tier.lookup(key)
+    assert entry is not None
+    return entry
+
+
+class TestLocalMemoTier:
+    def test_publish_lookup_roundtrip(self):
+        tier = LocalMemoTier()
+        assert tier.epoch() == 0
+        assert tier.lookup(("k1",)) is None
+        tier.publish(("k1",), ("V0", "V1"), [("m", 1)])
+        entry = entry_of(tier, ("k1",))
+        assert entry.view_names == ("V0", "V1")
+        assert entry.memo == [("m", 1)]
+        assert len(tier) == 1
+
+    def test_invalidation_is_exact_and_always_bumps(self):
+        tier = LocalMemoTier()
+        tier.publish(("a",), ("V0",), [])
+        tier.publish(("b",), ("V1",), [])
+        tier.publish(("c",), ("V0", "V1"), [])
+        evicted = tier.invalidate_views(["V0"])
+        assert evicted == 2
+        assert tier.lookup(("a",)) is None
+        assert tier.lookup(("c",)) is None
+        assert tier.lookup(("b",)) is not None
+        assert tier.epoch() == 1
+        # No matching entries: still a bump (readers must revalidate).
+        assert tier.invalidate_views(["V0"]) == 0
+        assert tier.epoch() == 2
+
+    def test_capacity_evicts_oldest_first(self):
+        blob = list(range(2000))
+        one = len(pickle.dumps({("k", 0): MemoEntry(0, ("V",), blob)},
+                               pickle.HIGHEST_PROTOCOL))
+        tier = LocalMemoTier(capacity=3 * one)
+        for i in range(6):
+            tier.publish(("k", i), ("V",), blob)
+        kept = {k[1] for k in tier.keys()}
+        assert len(tier) < 6
+        assert 5 in kept  # newest survives
+        assert 0 not in kept  # oldest evicted
+
+    def test_name_is_none(self):
+        assert LocalMemoTier().name is None
+
+
+class TestSharedMemoTier:
+    def test_reader_sees_writer_state(self):
+        writer = SharedMemoTier(capacity=64 * 1024)
+        try:
+            reader = SharedMemoTier.attach(writer.name)
+            assert reader.epoch() == 0
+            assert reader.lookup(("k",)) is None
+            writer.publish(("k",), ("V0",), [("memo", 1)])
+            entry = entry_of(reader, ("k",))
+            assert entry.view_names == ("V0",)
+            assert entry.memo == [("memo", 1)]
+            writer.invalidate_views(["V0"])
+            assert reader.epoch() == 1
+            assert reader.lookup(("k",)) is None
+            reader.close()
+        finally:
+            writer.close()
+            writer.unlink()
+
+    def test_reader_cannot_publish(self):
+        writer = SharedMemoTier(capacity=64 * 1024)
+        try:
+            reader = SharedMemoTier.attach(writer.name)
+            with pytest.raises(RuntimeError):
+                reader.publish(("k",), ("V0",), [])
+            reader.close()
+        finally:
+            writer.close()
+            writer.unlink()
+
+    def test_reader_acts_cold_while_writer_mid_publish(self):
+        # Frame an odd generation (publish in progress, never finished):
+        # the seqlock reader gives up and reports an empty snapshot
+        # rather than returning torn bytes.
+        writer = SharedMemoTier(capacity=64 * 1024)
+        try:
+            writer.publish(("k",), ("V0",), [("memo", 1)])
+            reader = SharedMemoTier.attach(writer.name)
+            _HEADER.pack_into(
+                writer._shm.buf, 0, _MAGIC, 3, writer.epoch(), 0
+            )
+            assert reader.lookup(("k",)) is None
+            reader.close()
+        finally:
+            writer.close()
+            writer.unlink()
+
+    def test_oversized_single_entry_still_frames(self):
+        writer = SharedMemoTier(capacity=2048)
+        try:
+            writer.publish(("big",), ("V0",), list(range(5000)))
+            # The oversized entry was dropped rather than overflowing
+            # the segment; the tier stays consistent for readers.
+            reader = SharedMemoTier.attach(writer.name)
+            assert reader.lookup(("big",)) is None
+            reader.close()
+        finally:
+            writer.close()
+            writer.unlink()
+
+
+def test_create_memo_tier_prefers_shared():
+    tier = create_memo_tier(capacity=64 * 1024)
+    try:
+        assert isinstance(tier, (SharedMemoTier, LocalMemoTier))
+        tier.publish(("k",), ("V0",), [])
+        assert tier.lookup(("k",)) is not None
+    finally:
+        tier.close()
+        tier.unlink()
+
+
+def test_create_memo_tier_local_fallback():
+    tier = create_memo_tier(capacity=64 * 1024, shared=False)
+    assert isinstance(tier, LocalMemoTier)
+    assert not isinstance(tier, SharedMemoTier)

@@ -1,0 +1,154 @@
+"""The wire protocol: parsing, strategies, serving fingerprints."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serving import (
+    ProtocolError,
+    parse_line,
+    register_strategy,
+    request_from_wire,
+    resolve_strategy,
+    serving_group_key,
+    strategy_names,
+)
+from repro.serving.protocol import _STRATEGIES, budget_from_wire
+from repro.workloads.random_queries import random_scenario
+
+
+class TestParseLine:
+    def test_bare_string_is_a_rewrite(self):
+        obj = parse_line(json.dumps("SELECT 1 FROM T"))
+        assert obj["op"] == "rewrite"
+        assert obj["sql"] == "SELECT 1 FROM T"
+
+    def test_op_defaults_to_rewrite_with_sql(self):
+        assert parse_line('{"sql": "SELECT 1"}')["op"] == "rewrite"
+        assert parse_line('{"query": "SELECT 1"}')["op"] == "rewrite"
+
+    def test_explicit_ops_pass_through(self):
+        for op in ("ping", "metrics", "shutdown", "update"):
+            assert parse_line(json.dumps({"op": op}))["op"] == op
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            parse_line("{nope", line_no=3)
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_line("[1, 2]")
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            parse_line('{"op": "frobnicate"}')
+
+
+class TestBudgetFromWire:
+    def test_absent_is_none(self):
+        assert budget_from_wire({}) is None
+
+    def test_deadline_ms_converts_to_seconds(self):
+        budget = budget_from_wire({"deadline_ms": 50, "max_mappings": 7})
+        assert budget.deadline == 0.05
+        assert budget.max_mappings == 7
+        assert budget.max_candidates is None
+
+
+class TestRequestFromWire:
+    def test_full_request(self):
+        sc = random_scenario(3)
+        request = request_from_wire(
+            {
+                "op": "rewrite",
+                "sql": "SELECT 1 FROM " + sc.views[0].name,
+                "id": 42,
+                "max_steps": 5,
+                "unfold": True,
+            },
+            sc.catalog,
+        )
+        assert request.request_id == "42"
+        assert request.max_steps == 5
+        assert request.unfold is True
+        assert request.catalog is sc.catalog
+        assert request.views is None
+
+    def test_views_subset_resolved_by_name(self):
+        sc = random_scenario(3)
+        name = sc.views[0].name
+        request = request_from_wire(
+            {"op": "rewrite", "sql": "SELECT 1 FROM T", "views": [name]},
+            sc.catalog,
+        )
+        assert [v.name for v in request.views] == [name]
+
+    def test_unknown_view_refused(self):
+        sc = random_scenario(3)
+        with pytest.raises(ProtocolError):
+            request_from_wire(
+                {"op": "rewrite", "sql": "SELECT 1", "views": ["Nope"]},
+                sc.catalog,
+            )
+
+    def test_missing_sql_refused(self):
+        sc = random_scenario(3)
+        with pytest.raises(ProtocolError, match="non-empty SELECT"):
+            request_from_wire({"op": "rewrite"}, sc.catalog)
+
+
+class TestStrategies:
+    def test_default_registered(self):
+        assert "default" in strategy_names()
+        assert resolve_strategy(None) is resolve_strategy("default")
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(ProtocolError, match="known: default"):
+            resolve_strategy("cohen-nutt")
+
+    def test_register_and_resolve(self):
+        def runner(request, **kwargs):
+            raise AssertionError("never run")
+
+        register_strategy("experimental", runner)
+        try:
+            assert resolve_strategy("experimental") is runner
+            assert "experimental" in strategy_names()
+        finally:
+            _STRATEGIES.pop("experimental")
+
+
+class TestServingGroupKey:
+    def _request(self, sc, views=None):
+        from repro.service.requests import RewriteRequest
+
+        return RewriteRequest(
+            query=sc.query, catalog=sc.catalog, views=views
+        )
+
+    def test_stable_for_same_request(self):
+        sc = random_scenario(3)
+        assert serving_group_key(self._request(sc)) == serving_group_key(
+            self._request(sc)
+        )
+
+    def test_own_view_row_count_changes_key(self):
+        sc = random_scenario(3)
+        before = serving_group_key(self._request(sc))
+        name = sc.views[0].name
+        sc.catalog.set_row_count(name, sc.catalog.row_count(name) + 10)
+        assert serving_group_key(self._request(sc)) != before
+
+    def test_other_view_row_count_keeps_subset_key(self):
+        # A request pinned to a view subset keeps its fingerprint when an
+        # unrelated view's statistics move — that is the whole point of
+        # refining the batch-service group key.
+        sc = random_scenario(3)
+        assert len(sc.views) >= 2
+        pinned = (sc.views[0],)
+        other = sc.views[1].name
+        before = serving_group_key(self._request(sc, views=pinned))
+        sc.catalog.set_row_count(other, sc.catalog.row_count(other) + 10)
+        assert serving_group_key(self._request(sc, views=pinned)) == before

@@ -1,0 +1,101 @@
+"""PlannerCache: warm paths, epoch revalidation, cold parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.budget import SearchBudget
+from repro.serving import PlannerCache, serving_group_key
+from repro.serving.memo import LocalMemoTier
+from repro.serving.worker import COLD, WARM_LOCAL, WARM_SHARED
+from repro.service.executor import execute_request
+from repro.service.requests import RewriteRequest
+from repro.workloads.random_queries import random_scenario
+
+
+def request_for(sc, **kwargs):
+    return RewriteRequest(query=sc.query, catalog=sc.catalog, **kwargs)
+
+
+def rewriting_sqls(response):
+    return [r.sql() for r in response.rewritings]
+
+
+def test_cold_then_warm_local():
+    sc = random_scenario(7)
+    cache = PlannerCache(LocalMemoTier())
+    _response, key, view_names, export, path = cache.run(request_for(sc))
+    assert path == COLD
+    assert key == serving_group_key(request_for(sc))
+    assert set(view_names) == set(sc.catalog.views)
+    _r2, _k2, _v2, _e2, path2 = cache.run(request_for(sc))
+    assert path2 == WARM_LOCAL
+
+
+def test_epoch_bump_revalidates_through_shared_tier():
+    sc = random_scenario(7)
+    tier = LocalMemoTier()
+    cache = PlannerCache(tier)
+    _r, key, view_names, export, _p = cache.run(request_for(sc))
+    tier.publish(key, view_names, export)
+
+    # Epoch moved but the entry survives: warm-start from the tier.
+    tier.invalidate_views(["NotAView"])
+    _r2, _k2, _v2, _e2, path2 = cache.run(request_for(sc))
+    assert path2 == WARM_SHARED
+
+    # Entry evicted by invalidation: plan cold, never stale.
+    tier.invalidate_views(list(view_names))
+    _r3, _k3, _v3, _e3, path3 = cache.run(request_for(sc))
+    assert path3 == COLD
+
+
+@pytest.mark.parametrize("seed", range(0, 20))
+def test_warm_responses_match_cold_planner(seed):
+    sc = random_scenario(seed)
+    tier = LocalMemoTier()
+    cache = PlannerCache(tier)
+    _r, key, view_names, export, _p = cache.run(request_for(sc))
+    tier.publish(key, view_names, export)
+    warm, _k, _v, _e, path = cache.run(request_for(sc))
+    assert path == WARM_LOCAL
+    cold = execute_request(request_for(sc))
+    assert rewriting_sqls(warm) == rewriting_sqls(cold)
+    assert warm.original_cost == cold.original_cost
+
+
+def test_view_subset_request_uses_restricted_shared_planner():
+    for seed in range(0, 50):
+        sc = random_scenario(seed)
+        if len(sc.views) >= 2:
+            break
+    else:
+        pytest.skip("no multi-view scenario found")
+    pinned = (sc.views[0],)
+    request = request_for(sc, views=pinned)
+    cache = PlannerCache(LocalMemoTier())
+    response, key, view_names, _e, _p = cache.run(request)
+    assert view_names == (sc.views[0].name,)
+    # Only the pinned view may appear in results.
+    for rewriting in response.rewritings:
+        assert set(rewriting.view_names) <= {sc.views[0].name}
+    # Parity with the explicit-views cold path.
+    cold = execute_request(request_for(sc, views=pinned))
+    assert rewriting_sqls(response) == rewriting_sqls(cold)
+    # Second run is warm: the restricted catalog is cached by key.
+    _r2, key2, _v2, _e2, path2 = cache.run(request_for(sc, views=pinned))
+    assert key2 == key
+    assert path2 == WARM_LOCAL
+
+
+def test_count_budgeted_requests_stay_deterministic():
+    # The executor's determinism rule: count-budgeted requests always
+    # plan cold internally, so a warm PlannerCache must not change what
+    # they return.
+    sc = random_scenario(7)
+    budget = SearchBudget(max_mappings=2, max_candidates=1)
+    cache = PlannerCache(LocalMemoTier())
+    cache.run(request_for(sc))  # warm the planner
+    warm, _k, _v, _e, _p = cache.run(request_for(sc, budget=budget))
+    cold = execute_request(request_for(sc, budget=budget))
+    assert rewriting_sqls(warm) == rewriting_sqls(cold)

@@ -254,8 +254,9 @@ class TestFuzz:
         )
         assert code == 0
         doc = jsonlib.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro-fuzz/1"
+        assert doc["schema"] == "repro-api/1"
         assert doc["kind"] == "fuzz-stats"
-        assert doc["base_seed"] == 3
-        assert doc["scenarios"] == 25
-        assert doc["failures"] == 0
+        assert doc["ok"] is True
+        assert doc["result"]["base_seed"] == 3
+        assert doc["result"]["scenarios"] == 25
+        assert doc["result"]["failures"] == 0
