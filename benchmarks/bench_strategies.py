@@ -1,0 +1,139 @@
+"""Strategy benchmarks: completeness uplift and the differential sweep.
+
+The ``strategies`` workload entry for ``BENCH_rewriting.json`` answers:
+
+1. *Does the complete Cohen–Nutt strategy measurably grow rewriting
+   coverage?* Per-profile found counts for both strategies over the
+   fuzz corpus; the ``completeness`` profile is built from exactly the
+   shapes C1–C4 cannot answer, so its uplift is the headline number.
+2. *Does the cross-planner differential oracle stay clean at scale?*
+   The full run sweeps >= 5000 scenarios with ``strategy="both"`` and
+   asserts zero oracle mismatches and zero dominance violations
+   (every C1–C4 rewriting present in the Cohen–Nutt result set).
+3. *What does completeness cost?* Per-strategy search latency over the
+   same seeded scenarios.
+
+Like the other collectors, correctness failures raise AssertionError so
+the benchmark gate doubles as a soundness gate.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.multiview import all_rewritings
+from repro.fuzz import FuzzRunner
+from repro.fuzz.generate import fuzz_scenario
+from repro.strategies import STRATEGY_NAMES, cohen_nutt_rewritings
+
+#: Version tag of the ``strategies`` workload schema in
+#: ``BENCH_rewriting.json``; bump when fields change meaning.
+STRATEGIES_BENCH_VERSION = "strategies-bench/1"
+
+
+def _latency(n_scenarios: int) -> dict:
+    """Mean search latency per scenario, per strategy."""
+    scenarios = [fuzz_scenario(seed) for seed in range(n_scenarios)]
+    start = time.perf_counter()
+    base_found = 0
+    for sc in scenarios:
+        base_found += len(
+            all_rewritings(sc.query, sc.views, sc.catalog, use_planner=True)
+        )
+    c1c4_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    extra_found = 0
+    for sc in scenarios:
+        extra_found += len(cohen_nutt_rewritings(sc.query, sc.views))
+    extras_seconds = time.perf_counter() - start
+    union_seconds = c1c4_seconds + extras_seconds
+    return {
+        "scenarios": n_scenarios,
+        "c1c4_ms_per_scenario": round(
+            c1c4_seconds * 1e3 / n_scenarios, 4
+        ),
+        "cohen_nutt_ms_per_scenario": round(
+            union_seconds * 1e3 / n_scenarios, 4
+        ),
+        "completeness_overhead": round(
+            union_seconds / c1c4_seconds, 3
+        )
+        if c1c4_seconds
+        else None,
+        "c1c4_rewritings": base_found,
+        "cohen_nutt_extras": extra_found,
+    }
+
+
+def collect_strategies_metrics(quick: bool = False) -> dict:
+    """The ``strategies`` workload entry for ``BENCH_rewriting.json``."""
+    n_scenarios = 400 if quick else 5_000
+
+    # -- 1 + 2. the dual-strategy differential sweep -------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        runner = FuzzRunner(out_dir=Path(tmp), strategy="both")
+        start = time.perf_counter()
+        stats = runner.run(budget_seconds=None, max_scenarios=n_scenarios)
+        elapsed = time.perf_counter() - start
+    assert stats.failures == 0, (
+        f"dual-strategy sweep found {stats.failures} failures "
+        "(oracle mismatch or dominance violation): "
+        f"{[str(p) for p in stats.failure_files]}"
+    )
+    assert stats.rewritings > 0, "vacuous sweep: no rewritings exercised"
+
+    per_profile = {}
+    dominance_violations = 0
+    total_base = total_union = 0
+    for profile, bucket in sorted(stats.profiles.items()):
+        base = bucket.get("c1c4_found", 0)
+        union = bucket.get("cohen_nutt_found", 0)
+        dominance_violations += max(0, base - union)
+        total_base += base
+        total_union += union
+        per_profile[profile] = {
+            "scenarios": bucket["scenarios"],
+            "c1c4_found": base,
+            "cohen_nutt_found": union,
+            "uplift": union - base,
+        }
+    assert dominance_violations == 0, per_profile
+    assert total_union > total_base, (
+        "the complete strategy answered no scenario beyond C1-C4: "
+        f"{per_profile}"
+    )
+
+    # -- 3. per-strategy latency ---------------------------------------
+    latency = _latency(120 if quick else 400)
+
+    return {
+        "version": STRATEGIES_BENCH_VERSION,
+        "strategies": list(STRATEGY_NAMES),
+        "sweep": {
+            "strategy": "both",
+            "scenarios": stats.scenarios,
+            "checks": stats.checks,
+            "rewritings": stats.rewritings,
+            "skipped": stats.skipped,
+            "mismatches": stats.failures,
+            "dominance_violations": dominance_violations,
+            "c1c4_scenarios_answered": total_base,
+            "cohen_nutt_scenarios_answered": total_union,
+            "scenarios_per_sec": round(stats.scenarios / elapsed, 1)
+            if elapsed
+            else None,
+            "seconds": round(elapsed, 2),
+            "per_profile": per_profile,
+        },
+        "latency": latency,
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import json
+    import sys
+
+    quick = "--quick" in sys.argv
+    print(json.dumps(collect_strategies_metrics(quick=quick), indent=2))

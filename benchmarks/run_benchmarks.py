@@ -84,6 +84,7 @@ def main(argv: list[str] | None = None) -> int:
     from bench_oracle import collect_oracle_metrics
     from bench_service import collect_service_metrics
     from bench_serving import collect_serving_metrics
+    from bench_strategies import collect_strategies_metrics
 
     repeats = 2 if args.quick else 7
     report = BenchReport()
@@ -117,6 +118,10 @@ def main(argv: list[str] | None = None) -> int:
         ("oracle", lambda: collect_oracle_metrics(quick=args.quick)),
         ("columnar", lambda: collect_columnar_metrics(quick=args.quick)),
         ("dialects", lambda: collect_dialects_metrics(quick=args.quick)),
+        (
+            "strategies",
+            lambda: collect_strategies_metrics(quick=args.quick),
+        ),
     ]:
         print(f"== bench: {name} ==", flush=True)
         try:
@@ -186,6 +191,18 @@ def main(argv: list[str] | None = None) -> int:
             f"{nway['scenarios']} scenarios, {nway['checks']} checks, "
             f"{nway['mismatches']} mismatches "
             f"({nway['scenarios_per_sec']:.0f}/s)"
+        )
+    strategies = report.workloads.get("strategies", {})
+    if "sweep" in strategies:
+        sweep = strategies["sweep"]
+        print(
+            f"strategies sweep: {sweep['scenarios']} scenarios, "
+            f"{sweep['mismatches']} mismatches, "
+            f"{sweep['dominance_violations']} dominance violations; "
+            f"coverage {sweep['c1c4_scenarios_answered']} (C1-C4) -> "
+            f"{sweep['cohen_nutt_scenarios_answered']} (Cohen-Nutt), "
+            f"search overhead "
+            f"{strategies['latency']['completeness_overhead']}x"
         )
     print(json.dumps({"parity_failures": failures}))
     return 1 if failures else 0

@@ -139,6 +139,7 @@ def rewrite(
     trace: bool = False,
     collect_metrics: bool = False,
     request_id: Optional[str] = None,
+    strategy: Optional[str] = None,
 ) -> RewriteResponse:
     """Rewrite one query over materialized views.
 
@@ -149,10 +150,14 @@ def rewrite(
     a :class:`SearchBudget` or an already-running :class:`BudgetMeter`
     (to span several calls with one budget). ``collect_metrics=True``
     attaches a ``repro-metrics/1`` snapshot of exactly this request's
-    counters to ``response.metrics``. Errors raise
+    counters to ``response.metrics``. ``strategy`` picks the planner
+    strategy (``c1c4`` default, ``cohen_nutt``, ``both`` — see
+    :mod:`repro.strategies` and ``docs/strategies.md``). Errors raise
     :class:`~repro.errors.ReproError`; the batch path instead captures
     them per request.
     """
+    from .strategies import normalize_strategy
+
     request = RewriteRequest(
         query=query,
         catalog=catalog,
@@ -165,6 +170,7 @@ def rewrite(
         trace=trace,
         collect_metrics=collect_metrics,
         request_id=request_id,
+        strategy=normalize_strategy(strategy),
     )
     if isinstance(budget, BudgetMeter):
         # A live meter cannot ride inside the (picklable) request; pass

@@ -129,6 +129,7 @@ def cmd_rewrite(args) -> int:
             budget=_budget_from(args),
             unfold=args.unfold,
             trace=args.trace,
+            strategy=args.strategy,
         )
         print(json.dumps(api.to_envelope(response), indent=2))
         return 0 if response.rewritings else 1
@@ -138,6 +139,7 @@ def cmd_rewrite(args) -> int:
         unfold=args.unfold,
         budget=_budget_from(args),
         trace=args.trace,
+        strategy=args.strategy,
     )
     print(f"-- query (estimated cost {result.original_cost:,.0f}):")
     print(block_to_sql(result.query))
@@ -187,10 +189,20 @@ def cmd_explain(args) -> int:
     return 0
 
 
-def _parse_batch_line(obj: dict, line_no: int, catalog) -> RewriteRequest:
+def _parse_batch_line(
+    obj: dict, line_no: int, catalog, default_strategy: str = "c1c4"
+) -> RewriteRequest:
     """One JSONL object -> RewriteRequest (see docs/api.md for fields)."""
+    from .strategies import normalize_strategy
+
     if "query" not in obj:
         raise ReproError(f"line {line_no}: missing required field 'query'")
+    try:
+        strategy = normalize_strategy(
+            obj.get("strategy", default_strategy)
+        )
+    except ReproError as error:
+        raise ReproError(f"line {line_no}: {error}") from error
     deadline_ms = obj.get("deadline_ms")
     max_mappings = obj.get("max_mappings")
     max_candidates = obj.get("max_candidates")
@@ -212,6 +224,7 @@ def _parse_batch_line(obj: dict, line_no: int, catalog) -> RewriteRequest:
         max_steps=obj.get("max_steps", 3),
         unfold=obj.get("unfold", False),
         request_id=str(obj.get("id", f"line-{line_no}")),
+        strategy=strategy,
     )
 
 
@@ -233,7 +246,11 @@ def cmd_batch(args) -> int:
                 raise ReproError(
                     f"{args.requests}:{line_no}: expected a JSON object"
                 )
-            requests.append(_parse_batch_line(obj, line_no, catalog))
+            requests.append(
+                _parse_batch_line(
+                    obj, line_no, catalog, default_strategy=args.strategy
+                )
+            )
     if not requests:
         raise ReproError(f"{args.requests}: no requests found")
     result = api.rewrite_batch(
@@ -684,11 +701,17 @@ def cmd_fuzz(args) -> int:
         if args.inject_bug:
             with inject_bug(args.inject_bug):
                 report = replay(
-                    Path(args.replay), engine=args.engine, backends=backends
+                    Path(args.replay),
+                    engine=args.engine,
+                    backends=backends,
+                    strategy=args.strategy,
                 )
         else:
             report = replay(
-                Path(args.replay), engine=args.engine, backends=backends
+                Path(args.replay),
+                engine=args.engine,
+                backends=backends,
+                strategy=args.strategy,
             )
         print(report.describe())
         return 0 if report.ok else 1
@@ -709,6 +732,7 @@ def cmd_fuzz(args) -> int:
         base_seed=base_seed,
         engine=args.engine or "auto",
         backends=backends or ("sqlite",),
+        strategy=args.strategy or "c1c4",
     )
 
     def progress(stats, elapsed):
@@ -778,6 +802,16 @@ def build_parser() -> argparse.ArgumentParser:
             "Prometheus text snapshot to FILE on exit",
         )
 
+    def strategy_flag(p):
+        p.add_argument(
+            "--strategy",
+            choices=["c1c4", "cohen_nutt", "both"],
+            default="c1c4",
+            help="planner strategy: the C1-C4 usability conditions "
+            "(default), or add Cohen-Nutt complete-rewriting extras "
+            "(cohen_nutt/both)",
+        )
+
     def search_knobs(p):
         p.add_argument(
             "--trace",
@@ -803,6 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("rewrite", help="rewrite a query to use views")
     common(p)
     p.add_argument("--query", help="the SELECT to rewrite")
+    strategy_flag(p)
     p.add_argument(
         "--all", action="store_true", help="print every rewriting found"
     )
@@ -867,6 +902,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget for the WHOLE batch (milliseconds); "
         "overflow requests degrade gracefully",
     )
+    strategy_flag(p)
     metrics_flag(p)
     p.set_defaults(func=cmd_batch)
 
@@ -1148,6 +1184,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution engine per scenario; 'both' cross-checks row vs "
         "columnar on every evaluation (three-way oracle with SQLite). "
         "Default: auto for fuzzing, the recorded mode for --replay",
+    )
+    p.add_argument(
+        "--strategy",
+        choices=["c1c4", "cohen_nutt", "both"],
+        default=None,
+        help="planner strategy the oracle searches with; 'both' runs "
+        "the cross-planner differential mode (oracle soundness plus "
+        "C1-C4 <= Cohen-Nutt dominance per scenario). Default: c1c4 "
+        "for fuzzing, the recorded strategy for --replay",
     )
     p.add_argument(
         "--json",

@@ -282,6 +282,74 @@ class RewritePlanner:
         return adopted
 
     # ------------------------------------------------------------------
+    # Strategy memo families: the same export/import channel, shared by
+    # every planner strategy (the substitution memo is the original
+    # family; repro.strategies.cohen_nutt keeps its per-query answers in
+    # its own family). The wire shape stays a flat list — the serving
+    # memo tier truncates snapshots with ``list(memo)[-MAX:]`` — so
+    # family entries travel as 3-tuples mixed with the legacy 2-tuples.
+    # ------------------------------------------------------------------
+
+    STRATEGY_MEMO_MAX = 2048
+
+    def strategy_memo(self, family: str) -> "OrderedDict":
+        """The named auxiliary memo (created on first use).
+
+        Strategies own their key/value types; entries must be picklable
+        and only meaningful for an equal (views, catalog, semantics)
+        fingerprint, exactly like the substitution memo. Callers enforce
+        their own LRU discipline (``move_to_end`` on hit, pop-oldest
+        past their cap).
+        """
+        memos = getattr(self, "_strategy_memos", None)
+        if memos is None:
+            memos = {}
+            self._strategy_memos = memos
+        memo = memos.get(family)
+        if memo is None:
+            memo = OrderedDict()
+            memos[family] = memo
+        return memo
+
+    def export_memos(self, max_entries: Optional[int] = None) -> list:
+        """Every memo family as one flat picklable list.
+
+        Substitution entries ride as legacy ``(key, options)`` 2-tuples
+        (so pre-strategy snapshots replay unchanged), family entries as
+        ``(family, key, value)`` 3-tuples, each family LRU-newest last
+        and individually capped at ``max_entries``.
+        """
+        out: list = list(self.export_memo(max_entries))
+        for family, memo in getattr(self, "_strategy_memos", {}).items():
+            items = list(memo.items())
+            if max_entries is not None and len(items) > max_entries:
+                items = items[-max_entries:]
+            out.extend((family, key, value) for key, value in items)
+        return out
+
+    def import_memos(self, entries: Iterable) -> int:
+        """Warm-start from :meth:`export_memos` output (or the legacy
+        :meth:`export_memo` shape). Existing entries win; returns the
+        number adopted across all families."""
+        legacy: list = []
+        adopted = 0
+        for entry in entries:
+            if len(entry) == 2:
+                legacy.append(entry)
+                continue
+            family, key, value = entry
+            memo = self.strategy_memo(family)
+            if key in memo:
+                continue
+            memo[key] = value
+            memo.move_to_end(key, last=False)
+            adopted += 1
+        for memo in getattr(self, "_strategy_memos", {}).values():
+            while len(memo) > self.STRATEGY_MEMO_MAX:
+                memo.popitem(last=False)
+        return adopted + self.import_memo(legacy)
+
+    # ------------------------------------------------------------------
 
     def candidate_views(self, block: QueryBlock) -> list[ViewDef]:
         """The views whose signature is contained in ``block``'s FROM."""

@@ -93,6 +93,24 @@ class RewriteResult:
         return self.query
 
 
+def merge_strategy_extras(
+    candidates: Sequence[Rewriting], extras: Sequence[Rewriting]
+) -> list[Rewriting]:
+    """The strategy union: C1–C4 candidates plus the extras another
+    strategy found, deduplicated by canonical key (C1–C4's member wins a
+    tie, so rankings and provenance of the base set never shift)."""
+    from .canonical import canonical_key
+
+    seen = {canonical_key(rw.query) for rw in candidates}
+    merged = list(candidates)
+    for extra in extras:
+        key = canonical_key(extra.query)
+        if key not in seen:
+            seen.add(key)
+            merged.append(extra)
+    return merged
+
+
 def _rename_relation(block: QueryBlock, old: str, new: str) -> QueryBlock:
     """A copy of ``block`` with FROM occurrences of ``old`` renamed."""
     from ..blocks.query_block import Relation
@@ -217,6 +235,7 @@ class RewriteEngine:
         budget: Union[SearchBudget, BudgetMeter, None] = None,
         trace: bool = False,
         include_partial: bool = True,
+        strategy: str = "c1c4",
     ) -> RewriteResult:
         """Find all rewritings of ``query`` using the registered views.
 
@@ -231,6 +250,12 @@ class RewriteEngine:
         rather than an exception. ``trace=True`` attaches a
         :class:`repro.obs.RewriteTrace` of per-stage timings and search
         counters to the result.
+
+        ``strategy`` selects the search regime (see
+        :mod:`repro.strategies`): ``"c1c4"`` is the paper's search;
+        ``"cohen_nutt"`` / ``"both"`` add the Cohen–Nutt complete-
+        rewriting extras to the candidate set, deduplicated by
+        canonical key.
         """
         shared = (
             views is None
@@ -278,6 +303,22 @@ class RewriteEngine:
                     planner=planner,
                     budget=meter,
                 )
+                if strategy != "c1c4":
+                    from ..strategies import (
+                        cohen_nutt_rewritings,
+                        normalize_strategy,
+                    )
+
+                    normalize_strategy(strategy)
+                    candidates = merge_strategy_extras(
+                        candidates,
+                        cohen_nutt_rewritings(
+                            block,
+                            views if views is not None else self.views,
+                            planner=planner,
+                            budget=meter,
+                        ),
+                    )
             with span("rank"):
                 ranked = sorted(
                     (

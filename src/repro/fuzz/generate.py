@@ -17,7 +17,12 @@ regions where evaluator and rewriter bugs hide:
 * ``scalar_agg`` — aggregation without GROUP BY (the
   one-row-even-when-empty rule);
 * ``nulls`` — SQL NULLs sprinkled through the base data (aggregates must
-  skip them, comparisons must be not-true, ``COUNT(c) != COUNT(*)``).
+  skip them, comparisons must be not-true, ``COUNT(c) != COUNT(*)``);
+* ``completeness`` — Cohen–Nutt-shaped (query, view) pairs: exact-match
+  aggregation views with vacuous HAVING, AVG-only views and self-join
+  conjunctive views answering MIN/MAX queries — the regions where the
+  C1–C4 conditions find nothing but the complete strategy succeeds
+  (see ``docs/strategies.md``).
 
 Every profile is deterministic in the seed, and all of them reuse the
 ``Scenario`` container so the oracle, shrinker and serializer need no
@@ -30,10 +35,15 @@ import random
 from typing import Iterator
 
 from ..blocks.exprs import AggFunc, Aggregate, aggregates_in
-from ..blocks.query_block import QueryBlock, SelectItem
+from ..blocks.naming import FreshNames
+from ..blocks.query_block import QueryBlock, Relation, SelectItem, ViewDef
 from ..blocks.terms import Comparison, Constant, Op
 from ..errors import NormalizationError
-from ..workloads.random_queries import Scenario, random_scenario
+from ..workloads.random_queries import (
+    Scenario,
+    _random_atoms,
+    random_scenario,
+)
 
 PROFILES = (
     "baseline",
@@ -46,6 +56,7 @@ PROFILES = (
     "distinct",
     "scalar_agg",
     "nulls",
+    "completeness",
 )
 
 
@@ -219,6 +230,119 @@ def _nulls(scenario: Scenario, rng: random.Random) -> Scenario:
     return scenario
 
 
+def _completeness(scenario: Scenario, rng: random.Random) -> Scenario:
+    """Replace (query, views) with a Cohen–Nutt-shaped pair.
+
+    The shapes target exactly the gap between the C1–C4 usability
+    conditions and the complete rewriting strategy: aggregation views
+    with a vacuous HAVING, AVG views without a COUNT output, and
+    self-join conjunctive views answering duplicate-insensitive MIN/MAX
+    queries. The base catalog and instance are kept, so the oracle and
+    serializer need no special cases.
+    """
+    shape = rng.choice(
+        ("having", "having", "avg", "avg", "maxmin", "maxmin", "direct")
+    )
+    try:
+        query, view = _completeness_pair(scenario.catalog, rng, shape)
+    except (NormalizationError, ValueError, IndexError):
+        return scenario
+    scenario.query = query
+    scenario.views = [view]
+    scenario.catalog.add_view(view)
+    return scenario
+
+
+def _completeness_pair(catalog, rng: random.Random, shape: str):
+    namer = FreshNames()
+    names = list(catalog.tables)
+    if shape == "maxmin":
+        name = rng.choice(names)
+        base = catalog.columns_of(name)
+        rel = Relation(name, namer.columns(base), tuple(base))
+        columns = list(rel.columns)
+        where = _random_atoms(columns, rng, 1)
+        target = rng.choice(columns)
+        func = rng.choice([AggFunc.MIN, AggFunc.MAX])
+        group: tuple = ()
+        others = [c for c in columns if c != target]
+        if others and rng.random() < 0.4:
+            group = (rng.choice(others),)
+        query = QueryBlock(
+            select=tuple(SelectItem(c) for c in group)
+            + (SelectItem(Aggregate(func, target), alias="m"),),
+            from_=(rel,),
+            where=where,
+            group_by=group,
+        ).validate()
+        # The view joins the table against itself and exports every
+        # column of its first occurrence, so the query's single
+        # occurrence maps onto it many-to-one — set-equivalent only
+        # because MIN/MAX ignore the duplication.
+        vr1 = Relation(name, namer.columns(base), tuple(base))
+        vr2 = Relation(name, namer.columns(base), tuple(base))
+        sub = dict(zip(rel.columns, vr1.columns))
+        join = rng.randrange(len(base))
+        view_block = QueryBlock(
+            select=tuple(SelectItem(c) for c in vr1.columns),
+            from_=(vr1, vr2),
+            where=tuple(a.substitute(sub) for a in where)
+            + (Comparison(vr1.columns[join], Op.EQ, vr2.columns[join]),),
+        ).validate()
+    else:
+        chosen = [rng.choice(names) for _ in range(rng.randint(1, 2))]
+        rels = tuple(
+            Relation(
+                n,
+                namer.columns(catalog.columns_of(n)),
+                tuple(catalog.columns_of(n)),
+            )
+            for n in chosen
+        )
+        columns = [c for rel in rels for c in rel.columns]
+        where = _random_atoms(columns, rng, 2)
+        low = 1 if shape == "having" else 0
+        group = tuple(
+            rng.sample(columns, rng.randint(low, min(2, len(columns))))
+        )
+        if shape == "avg":
+            aggs = [Aggregate(AggFunc.AVG, rng.choice(columns))]
+        else:
+            aggs = [
+                Aggregate(rng.choice(list(_AGG_POOL)), rng.choice(columns))
+                for _ in range(rng.randint(1, 2))
+            ]
+        query = QueryBlock(
+            select=tuple(SelectItem(c) for c in group)
+            + tuple(
+                SelectItem(a, alias=f"agg{i}") for i, a in enumerate(aggs)
+            ),
+            from_=rels,
+            where=where,
+            group_by=group,
+        ).validate()
+        # The view is the query verbatim over renamed occurrences,
+        # optionally with a HAVING that is vacuous on every group
+        # (a group's COUNT is at least 1) — C1–C4 reject any view
+        # carrying a HAVING; the complete strategy proves it away.
+        sub = {c: namer.column(c.name) for c in columns}
+        view_block = query.substitute(sub)
+        if shape == "having":
+            op, bound = rng.choice([(Op.GE, 1), (Op.GT, 0), (Op.GE, 0)])
+            view_block = view_block.with_(
+                having=(
+                    Comparison(
+                        Aggregate(AggFunc.COUNT, sub[rng.choice(columns)]),
+                        op,
+                        Constant(bound),
+                    ),
+                )
+            )
+        view_block = view_block.validate()
+    out_names = tuple(f"o{i}" for i in range(len(view_block.select)))
+    return query, ViewDef("CN", view_block, out_names)
+
+
 _AGG_POOL = (AggFunc.SUM, AggFunc.COUNT, AggFunc.MIN, AggFunc.MAX, AggFunc.AVG)
 
 _MUTATORS = {
@@ -232,6 +356,7 @@ _MUTATORS = {
     "distinct": _distinct,
     "scalar_agg": _scalar_agg,
     "nulls": _nulls,
+    "completeness": _completeness,
 }
 
 

@@ -95,6 +95,7 @@ class FuzzRunner:
         shrink_checks: int = 300,
         engine: str = "auto",
         backends: tuple = ("sqlite",),
+        strategy: str = "c1c4",
     ):
         self.out_dir = Path(out_dir)
         self.base_seed = base_seed
@@ -106,10 +107,16 @@ class FuzzRunner:
         #: Live backend names every scenario executes on (the N-way
         #: oracle: row = columnar = SQLite = DuckDB = ...).
         self.backends = tuple(backends)
+        #: Planner strategy the oracle searches with; ``"both"`` runs the
+        #: cross-planner differential mode (oracle soundness of the
+        #: union plus C1–C4 ⊆ Cohen–Nutt dominance per scenario) and
+        #: records per-strategy found/missed tallies per profile.
+        self.strategy = strategy
         self.checker = CrossChecker(
             max_rewritings=max_rewritings_per_scenario,
             engine=engine,
             backends=self.backends,
+            strategy=strategy,
         )
         self.shrink_checks = shrink_checks
 
@@ -171,6 +178,13 @@ class FuzzRunner:
         bucket["scenarios"] += 1
         bucket["checks"] += report.checks
         bucket["mismatches"] += len(report.mismatches)
+        if self.strategy != "c1c4":
+            # Per-strategy uplift tallies: did each planner strategy
+            # find at least one rewriting for this scenario?
+            for name, count in report.strategy_counts.items():
+                outcome = "found" if count else "missed"
+                key = f"{name}_{outcome}"
+                bucket[key] = bucket.get(key, 0) + 1
         _record_outcome(
             profile, checks=report.checks, mismatches=len(report.mismatches)
         )
@@ -206,6 +220,7 @@ class FuzzRunner:
             result.scenario,
             profile=profile,
             engine=self.engine,
+            strategy=self.strategy,
             backends=list(self.backends),
             budget=budget.as_dict() if budget is not None else None,
             mismatches=[m.describe() for m in report.mismatches],
@@ -257,14 +272,17 @@ def replay(
     budget: Optional[SearchBudget] = None,
     engine: Optional[str] = None,
     backends: Optional[tuple] = None,
+    strategy: Optional[str] = None,
 ):
     """Re-run a persisted repro; returns the fresh :class:`CheckReport`.
 
-    ``engine`` and ``backends`` default to the modes recorded in the
-    repro document, so a failure found by an N-way sweep replays under
-    the same cross-checks. Recorded backends whose driver is absent on
-    this machine are dropped (with SQLite always retained), so a repro
-    from the CI DuckDB job still replays locally.
+    ``engine``, ``backends`` and ``strategy`` default to the modes
+    recorded in the repro document, so a failure found by an N-way sweep
+    replays under the same cross-checks (pre-strategy repro files
+    default to ``c1c4``, the search that produced them). Recorded
+    backends whose driver is absent on this machine are dropped (with
+    SQLite always retained), so a repro from the CI DuckDB job still
+    replays locally.
     """
     from .serialize import scenario_from_json
 
@@ -281,8 +299,10 @@ def replay(
         engine = doc.get("engine", "auto")
     if backends is None:
         backends = tuple(doc.get("backends", ("sqlite",)))
+    if strategy is None:
+        strategy = doc.get("strategy", "c1c4")
     installed = set(available_backends())
     backends = tuple(b for b in backends if b in installed) or ("sqlite",)
-    return CrossChecker(engine=engine, backends=backends).check(
-        scenario, budget=budget
-    )
+    return CrossChecker(
+        engine=engine, backends=backends, strategy=strategy
+    ).check(scenario, budget=budget)

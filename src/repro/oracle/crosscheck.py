@@ -81,6 +81,10 @@ class CheckReport:
     rewritings: int = 0
     skipped: list[str] = field(default_factory=list)
     backends: tuple[str, ...] = ("sqlite",)
+    #: Search-result sizes per planner strategy, filled when the checker
+    #: ran its own search (``{"c1c4": 2, "cohen_nutt": 3}``) — the
+    #: fuzzer's per-strategy found/missed tallies read from here.
+    strategy_counts: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -110,6 +114,7 @@ class CrossChecker:
         max_rewritings: Optional[int] = None,
         engine: str = "auto",
         backends: Sequence[str] = ("sqlite",),
+        strategy: str = "c1c4",
     ):
         #: Cap on rewritings checked per scenario (None = all). The fuzz
         #: loop uses a cap so one view-rich scenario cannot eat the budget.
@@ -135,6 +140,14 @@ class CrossChecker:
         #: a backend whose driver is missing raises
         #: :class:`~repro.errors.OracleUnsupported` per check() call.
         self.backends = tuple(backends)
+        from ..strategies import normalize_strategy
+
+        #: Planner strategy for the checker's own search. ``"both"`` is
+        #: the cross-planner differential mode: the C1–C4 and Cohen–Nutt
+        #: searches run independently, the union is oracle-checked, and
+        #: every C1–C4 rewriting must be found-or-subsumed by the
+        #: Cohen–Nutt set (a ``dominance`` mismatch otherwise).
+        self.strategy = normalize_strategy(strategy)
 
     def _engine_rows(
         self, report, db, query, extra_views, context: str, sql: str
@@ -208,7 +221,7 @@ class CrossChecker:
                 )
 
             if rewritings is None:
-                rewritings = self._search(scenario, budget)
+                rewritings = self._search(scenario, budget, report)
             if self.max_rewritings is not None:
                 rewritings = list(rewritings)[: self.max_rewritings]
             for i, rewriting in enumerate(rewritings):
@@ -221,16 +234,54 @@ class CrossChecker:
 
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _search(scenario, budget) -> list[Rewriting]:
+    def _search(self, scenario, budget, report) -> list[Rewriting]:
         meter = budget.start() if isinstance(budget, SearchBudget) else budget
-        return all_rewritings(
+        base = all_rewritings(
             scenario.query,
             scenario.views,
             scenario.catalog,
             use_planner=True,
             budget=meter,
         )
+        report.strategy_counts["c1c4"] = len(base)
+        if self.strategy == "c1c4":
+            return base
+        from ..core.canonical import canonical_key
+        from ..core.rewriter import merge_strategy_extras
+        from ..strategies import cohen_nutt_rewritings
+
+        union = merge_strategy_extras(
+            base,
+            cohen_nutt_rewritings(
+                scenario.query, scenario.views, budget=meter
+            ),
+        )
+        report.strategy_counts["cohen_nutt"] = len(union)
+        if self.strategy == "both":
+            # Completeness dominance: find-or-subsume every C1–C4
+            # rewriting. By construction the union contains the base
+            # set, so a violation is a structural regression in the
+            # merge — checked anyway, exactly because it must never
+            # fire.
+            report.checks += 1
+            union_keys = {canonical_key(rw.query) for rw in union}
+            for rw in base:
+                if canonical_key(rw.query) not in union_keys:
+                    report.mismatches.append(
+                        Mismatch(
+                            "dominance",
+                            "c1c4",
+                            "cohen_nutt",
+                            [],
+                            [],
+                            sql=rw.sql(),
+                            note=(
+                                "C1-C4 rewriting missing from the "
+                                "Cohen-Nutt result set"
+                            ),
+                        )
+                    )
+        return union
 
     def _check_view(self, report, db, backends, view) -> None:
         context = f"view {view.name}"
@@ -409,8 +460,12 @@ def check_scenario(
     max_rewritings: Optional[int] = None,
     engine: str = "auto",
     backends: Sequence[str] = ("sqlite",),
+    strategy: str = "c1c4",
 ) -> CheckReport:
     """Convenience wrapper: one-shot :class:`CrossChecker` run."""
     return CrossChecker(
-        max_rewritings=max_rewritings, engine=engine, backends=backends
+        max_rewritings=max_rewritings,
+        engine=engine,
+        backends=backends,
+        strategy=strategy,
     ).check(scenario, rewritings=rewritings, budget=budget)

@@ -192,6 +192,7 @@ def _run_engine(
         budget=meter,
         trace=request.trace,
         include_partial=request.include_partial,
+        strategy=request.strategy,
     )
     return RewriteResponse(
         query=result.query,
@@ -235,6 +236,17 @@ def _run_bare(
         planner=planner,
         budget=meter,
     )
+    if request.strategy != "c1c4":
+        from ..core.rewriter import merge_strategy_extras
+        from ..strategies import cohen_nutt_rewritings, normalize_strategy
+
+        normalize_strategy(request.strategy)
+        candidates = merge_strategy_extras(
+            candidates,
+            cohen_nutt_rewritings(
+                query, views, planner=planner, budget=meter
+            ),
+        )
     return RewriteResponse(
         query=query,
         rewritings=tuple(candidates),

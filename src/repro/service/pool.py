@@ -134,7 +134,7 @@ def _process_chunk(payload: dict) -> dict:
     snapshot = payload["snapshot"]
     planner = RewritePlanner(list(views), catalog, semantics)
     if payload["memo"]:
-        planner.import_memo(payload["memo"])
+        planner.import_memos(payload["memo"])
     # Worker-local registry: the snapshot ships back for the master to
     # merge exactly once, mirroring the memo/cache-stats discipline.
     registry = (
@@ -154,7 +154,7 @@ def _process_chunk(payload: dict) -> dict:
     return {
         "results": results,
         "memo": (
-            planner.export_memo(payload["memo_export_max"])
+            planner.export_memos(payload["memo_export_max"])
             if payload["want_memo"]
             else None
         ),
@@ -235,7 +235,7 @@ class BatchRewriteService:
         )
         memo = self._memo_store.get(group.key)
         if memo and self.memo_warm_start:
-            planner.import_memo(memo)
+            planner.import_memos(memo)
         return planner
 
     def _store_memo(self, key: tuple, export: Optional[list]) -> None:
@@ -419,7 +419,7 @@ class BatchRewriteService:
                 for position, response in results:
                     responses[position] = response
                 self._store_memo(
-                    group.key, planner.export_memo(self.MEMO_EXPORT_MAX)
+                    group.key, planner.export_memos(self.MEMO_EXPORT_MAX)
                 )
                 self._merge_planner_stats(
                     planner_stats, planner.stats.as_dict()
@@ -510,7 +510,7 @@ class BatchRewriteService:
             members, planner, deadline, snapshot,
         ):
             responses[position] = response
-        self._store_memo(group.key, planner.export_memo(self.MEMO_EXPORT_MAX))
+        self._store_memo(group.key, planner.export_memos(self.MEMO_EXPORT_MAX))
         self._merge_planner_stats(planner_stats, planner.stats.as_dict())
         if snapshot is not None and self.cache is not None:
             self.cache.merge_external(snapshot.stats)

@@ -52,6 +52,9 @@ class RewriteRequest:
     trace: bool = False
     collect_metrics: bool = False
     request_id: Optional[str] = None
+    #: Planner strategy (see :mod:`repro.strategies`): ``"c1c4"`` (the
+    #: paper's search, the default), ``"cohen_nutt"`` or ``"both"``.
+    strategy: str = "c1c4"
 
     def effective_views(self) -> tuple[ViewDef, ...]:
         """The view set this request searches over."""

@@ -20,10 +20,12 @@ Request objects::
 ``query``, so the line format is a superset of ``repro batch`` input.
 
 The ``strategy`` field is the planner extension point: it names a
-registered request runner (today only ``"default"``, the memoized
-BFS planner of :mod:`repro.core.planner`; the Cohen–Nutt second planner
-of PAPERS.md plugs in here as an alternative runner without a protocol
-bump). Unknown strategies refuse in-band with the known names listed.
+registered request runner. ``"default"`` is the plain executor (which
+honors whatever ``strategy`` the request itself carries); ``"c1c4"``,
+``"cohen_nutt"`` and ``"both"`` pin the engine-level strategies of
+:mod:`repro.strategies` — ``cohen_nutt``/``both`` add the Cohen–Nutt
+complete-rewriting extras to the C1–C4 result set. Unknown strategies
+refuse in-band with the known names listed.
 """
 
 from __future__ import annotations
@@ -62,8 +64,24 @@ def _default_strategy(request, **kwargs) -> RewriteResponse:
     return execute_request(request, capture_errors=True, **kwargs)
 
 
+def _pinned_strategy(name: str) -> StrategyRunner:
+    """A runner that forces the engine-level strategy ``name``."""
+
+    def run(request, **kwargs) -> RewriteResponse:
+        from dataclasses import replace
+
+        return execute_request(
+            replace(request, strategy=name), capture_errors=True, **kwargs
+        )
+
+    return run
+
+
 _STRATEGIES: dict[str, StrategyRunner] = {
-    DEFAULT_STRATEGY: _default_strategy
+    DEFAULT_STRATEGY: _default_strategy,
+    "c1c4": _pinned_strategy("c1c4"),
+    "cohen_nutt": _pinned_strategy("cohen_nutt"),
+    "both": _pinned_strategy("both"),
 }
 
 
@@ -151,6 +169,9 @@ def request_from_wire(
         except ReproError as error:
             raise ProtocolError(f"line {line_no}: {error}") from error
     request_id = obj.get("id")
+    from ..strategies import STRATEGY_NAMES
+
+    wire_strategy = obj.get("strategy")
     return RewriteRequest(
         query=sql,
         catalog=catalog,
@@ -160,6 +181,12 @@ def request_from_wire(
         unfold=bool(obj.get("unfold", False)),
         collect_metrics=bool(obj.get("collect_metrics", False)),
         request_id=str(request_id) if request_id is not None else None,
+        # Engine-level names ride in the request itself; other values
+        # (e.g. "default", or a runner registered by an extension) are
+        # the runner's business — resolve_strategy already vetted them.
+        strategy=(
+            wire_strategy if wire_strategy in STRATEGY_NAMES else "c1c4"
+        ),
     )
 
 

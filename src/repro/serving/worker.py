@@ -114,7 +114,7 @@ class PlannerCache:
         )
         runner = resolve_strategy(strategy)
         response = runner(request, engine=engine, planner=planner)
-        export = planner.export_memo(MEMO_EXPORT_MAX)
+        export = planner.export_memos(MEMO_EXPORT_MAX)
         _observe_path(path)
         return response, key, view_names, export, path
 
@@ -133,7 +133,7 @@ class PlannerCache:
         )
         entry = self.tier.lookup(key)
         if entry is not None:
-            planner.import_memo(entry.memo)
+            planner.import_memos(entry.memo)
             path = WARM_SHARED
         else:
             path = COLD

@@ -136,6 +136,67 @@ def test_repro_file_records_profile_stats(tmp_path):
     assert doc["profile_stats"]["mismatches"] >= 1
 
 
+def test_repro_strategy_round_trip(tmp_path):
+    """A repro written by a --strategy run records the producing
+    strategy, and replay honours it by default; documents from before
+    the field existed replay under c1c4, the search that wrote them."""
+    import json as _json
+
+    from repro.fuzz.generate import fuzz_scenario
+    from repro.fuzz.serialize import scenario_to_json
+
+    scenario = fuzz_scenario(0)
+    doc = scenario_to_json(scenario, strategy="both")
+    assert doc["strategy"] == "both"
+    path = tmp_path / "repro.json"
+    path.write_text(_json.dumps(doc))
+    report = replay(path)
+    # The dual search ran: per-strategy counts are populated, and the
+    # dominance cross-check contributed a comparison.
+    assert set(report.strategy_counts) == {"c1c4", "cohen_nutt"}
+    assert report.ok, report.describe()
+
+    # Pre-strategy documents (no field at all) stay on C1-C4.
+    del doc["strategy"]
+    path.write_text(_json.dumps(doc))
+    report = replay(path)
+    assert set(report.strategy_counts) == {"c1c4"}
+
+    # An explicit argument overrides the recorded strategy.
+    report = replay(path, strategy="both")
+    assert set(report.strategy_counts) == {"c1c4", "cohen_nutt"}
+
+
+def test_runner_records_strategy_in_repro(tmp_path):
+    """Failures found by a dual-strategy sweep persist strategy='both'
+    so the repro replays through the same cross-planner oracle."""
+    import json as _json
+
+    with inject_bug("min-as-max"):
+        stats = FuzzRunner(out_dir=tmp_path, strategy="both").run(
+            budget_seconds=None, max_scenarios=400, max_failures=1
+        )
+        assert stats.failures >= 1
+    doc = _json.loads(stats.failure_files[0].read_text())
+    assert doc["strategy"] == "both"
+
+
+def test_strategy_tallies_per_profile(tmp_path):
+    """Dual-strategy runs tally per-strategy found/missed per profile;
+    the complete strategy never scores below C1-C4."""
+    stats = FuzzRunner(out_dir=tmp_path, strategy="both").run(
+        budget_seconds=None, max_scenarios=60
+    )
+    assert stats.failures == 0, stats.as_dict()
+    tallied = 0
+    for bucket in stats.profiles.values():
+        found_base = bucket.get("c1c4_found", 0)
+        found_union = bucket.get("cohen_nutt_found", 0)
+        assert found_union >= found_base, stats.profiles
+        tallied += found_base + bucket.get("c1c4_missed", 0)
+    assert tallied == stats.scenarios, stats.profiles
+
+
 SEED_4916_REPRO = {
     "schema": "repro-fuzz/1",
     "seed": 4916,

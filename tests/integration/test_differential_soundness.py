@@ -45,6 +45,8 @@ FOUND_COUNTER = {
     "budget_trips": 0,
     "oracle_checks": 0,
     "oracle_rewritings": 0,
+    "cohen_nutt_checks": 0,
+    "cohen_nutt_extras": 0,
 }
 
 
@@ -150,6 +152,28 @@ def test_sqlite_cross_oracle(diff_seed):
     assert report.ok, f"seed={diff_seed}\n{report.describe()}"
 
 
+def test_cohen_nutt_soundness_and_dominance(diff_seed):
+    """The same seeds through the cross-planner differential oracle:
+    the Cohen–Nutt union must be sound on the independent backend, and
+    every C1–C4 rewriting must appear in the union (dominance — the
+    complete strategy never loses a rewriting the incomplete one has).
+    Both properties are Mismatch kinds inside ``report.ok``."""
+    scenario = random_scenario(diff_seed)
+    try:
+        report = check_scenario(scenario, strategy="both")
+    except OracleUnsupported as reason:
+        pytest.skip(f"sqlite backend cannot run this scenario: {reason}")
+    assert report.ok, f"seed={diff_seed}\n{report.describe()}"
+    base = report.strategy_counts["c1c4"]
+    union = report.strategy_counts["cohen_nutt"]
+    assert union >= base, (
+        f"seed={diff_seed}: dominance violated in counts "
+        f"({base} c1c4 vs {union} cohen_nutt)"
+    )
+    FOUND_COUNTER["cohen_nutt_checks"] += report.checks
+    FOUND_COUNTER["cohen_nutt_extras"] += union - base
+
+
 def test_harness_not_vacuous():
     """Runs last in this module: the sweeps above must have produced a
     healthy number of rewritings and actually tripped some budgets."""
@@ -158,3 +182,6 @@ def test_harness_not_vacuous():
     assert FOUND_COUNTER["budget_trips"] >= 20, FOUND_COUNTER
     assert FOUND_COUNTER["oracle_checks"] >= 3 * N_SCENARIOS, FOUND_COUNTER
     assert FOUND_COUNTER["oracle_rewritings"] >= 80, FOUND_COUNTER
+    assert FOUND_COUNTER["cohen_nutt_checks"] >= 3 * N_SCENARIOS, (
+        FOUND_COUNTER
+    )

@@ -38,7 +38,12 @@ def test_rewrite_ping_metrics_shutdown_over_tcp(scenario):
             pong = client.ping()
             assert_envelope(pong, "ping")
             assert pong["result"]["pong"] is True
-            assert pong["result"]["strategies"] == ["default"]
+            assert pong["result"]["strategies"] == [
+                "both",
+                "c1c4",
+                "cohen_nutt",
+                "default",
+            ]
 
             doc = client.rewrite(sql, id="r1")
             assert_envelope(doc, "rewrite")
@@ -131,7 +136,7 @@ def test_protocol_errors_are_in_band(scenario):
             doc = client.request({"op": "nonsense"})
             assert doc["ok"] is False
             assert "unknown op" in doc["error"]["message"]
-            doc = client.rewrite("SELECT 1", strategy="cohen-nutt")
+            doc = client.rewrite("SELECT 1", strategy="no-such-strategy")
             assert doc["ok"] is False
             assert "unknown strategy" in doc["error"]["message"]
             # The connection survives both errors.

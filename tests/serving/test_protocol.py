@@ -104,9 +104,29 @@ class TestStrategies:
         assert "default" in strategy_names()
         assert resolve_strategy(None) is resolve_strategy("default")
 
+    def test_engine_strategies_registered(self):
+        for name in ("c1c4", "cohen_nutt", "both"):
+            assert name in strategy_names()
+            assert callable(resolve_strategy(name))
+
     def test_unknown_lists_known(self):
-        with pytest.raises(ProtocolError, match="known: default"):
-            resolve_strategy("cohen-nutt")
+        with pytest.raises(ProtocolError, match="known: .*default"):
+            resolve_strategy("no-such-strategy")
+
+    def test_wire_strategy_rides_in_request(self):
+        sc = random_scenario(3)
+        request = request_from_wire(
+            {"op": "rewrite", "sql": "SELECT 1", "strategy": "both"},
+            sc.catalog,
+        )
+        assert request.strategy == "both"
+        # Runner-level names (and anything else) leave the request's
+        # own engine strategy at the default.
+        request = request_from_wire(
+            {"op": "rewrite", "sql": "SELECT 1", "strategy": "default"},
+            sc.catalog,
+        )
+        assert request.strategy == "c1c4"
 
     def test_register_and_resolve(self):
         def runner(request, **kwargs):

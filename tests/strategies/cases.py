@@ -1,0 +1,610 @@
+"""The Cohen–Nutt golden corpus: hand-built completeness witnesses.
+
+Every case is a (query, view) pair over R(a, b, c) / S(d, e) where the
+C1–C4 usability conditions find *no* rewriting but the complete
+Cohen–Nutt strategy does — the corpus pins the strategy's coverage gap
+closed. The families mirror ``docs/strategies.md``:
+
+* aggregation views carrying a HAVING that is vacuous on every group
+  (C1–C4 reject any view with a HAVING outright);
+* AVG views — AVG is not decomposable, so the C1–C4 regroup path cannot
+  use them even on an exact match;
+* scalar aggregate queries answered by whole-query views;
+* self-join conjunctive views answering duplicate-insensitive MIN/MAX
+  queries through a many-to-one mapping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.blocks.exprs import AggFunc, Aggregate
+from repro.blocks.query_block import (
+    QueryBlock,
+    Relation,
+    SelectItem,
+    ViewDef,
+)
+from repro.blocks.terms import Column, Comparison, Constant, Op
+from repro.catalog.schema import Catalog, table
+
+TABLES = {"R": ["a", "b", "c"], "S": ["d", "e"]}
+
+
+def _rel(name: str, suffix: str = "") -> Relation:
+    base = TABLES[name]
+    return Relation(
+        name, tuple(Column(c + suffix) for c in base), tuple(base)
+    )
+
+
+def _cols(*relations: Relation) -> dict[str, Column]:
+    return {c.name: c for rel in relations for c in rel.columns}
+
+
+def _agg(func: AggFunc, column: Column, alias=None) -> SelectItem:
+    return SelectItem(Aggregate(func, column), alias=alias)
+
+
+@dataclass(frozen=True)
+class Case:
+    name: str
+    query: QueryBlock
+    view: ViewDef
+
+    def catalog(self) -> Catalog:
+        catalog = Catalog(
+            [table(n, cols, row_count=10) for n, cols in TABLES.items()]
+        )
+        catalog.add_view(self.view)
+        return catalog
+
+    def instances(self, trials: int = 25):
+        """Deterministic small instances, the empty database included."""
+        yield {"R": [], "S": []}
+        for trial in range(trials):
+            rng = random.Random(f"golden:{self.name}:{trial}")
+            yield {
+                name: [
+                    tuple(rng.randint(0, 2) for _ in cols)
+                    for _ in range(rng.randint(0, 6))
+                ]
+                for name, cols in TABLES.items()
+            }
+
+
+_BUILDERS = []
+
+
+def _case(builder):
+    _BUILDERS.append(builder)
+    return builder
+
+
+def _view(block: QueryBlock, prefix: str = "o") -> ViewDef:
+    names = tuple(f"{prefix}{i}" for i in range(len(block.select)))
+    return ViewDef("V", block.validate(), names)
+
+
+# ---------------------------------------------------------------------
+# Scalar aggregate queries answered by whole-query views
+
+
+@_case
+def scalar_count_join():
+    r, s = _rel("R"), _rel("S")
+    q = _cols(r, s)
+    query = QueryBlock(
+        select=(_agg(AggFunc.COUNT, q["b"]),),
+        from_=(r, s),
+        where=(Comparison(q["c"], Op.EQ, q["d"]),),
+    ).validate()
+    vr, vs = _rel("R", "v"), _rel("S", "v")
+    v = _cols(vr, vs)
+    view = _view(
+        QueryBlock(
+            select=(_agg(AggFunc.COUNT, v["av"], alias="n"),),
+            from_=(vr, vs),
+            where=(Comparison(v["cv"], Op.EQ, v["dv"]),),
+        )
+    )
+    return query, view
+
+
+@_case
+def avg_residual_over_group():
+    # The view carries no WHERE at all; the query's predicate lands as
+    # a residual over the view's group output.
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(SelectItem(q["b"]), _agg(AggFunc.AVG, q["a"])),
+        from_=(r,),
+        where=(Comparison(q["b"], Op.GT, Constant(0)),),
+        group_by=(q["b"],),
+    ).validate()
+    vr = _rel("R", "v")
+    v = _cols(vr)
+    view = _view(
+        QueryBlock(
+            select=(
+                SelectItem(v["bv"]),
+                _agg(AggFunc.AVG, v["av"], alias="m"),
+            ),
+            from_=(vr,),
+            group_by=(v["bv"],),
+        )
+    )
+    return query, view
+
+
+@_case
+def scalar_count_filtered():
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(_agg(AggFunc.COUNT, q["a"]),),
+        from_=(r,),
+        where=(Comparison(q["b"], Op.GT, Constant(0)),),
+    ).validate()
+    vr = _rel("R", "v")
+    v = _cols(vr)
+    view = _view(
+        QueryBlock(
+            select=(_agg(AggFunc.COUNT, v["cv"], alias="n"),),
+            from_=(vr,),
+            where=(Comparison(v["bv"], Op.GT, Constant(0)),),
+        )
+    )
+    return query, view
+
+
+# ---------------------------------------------------------------------
+# Vacuous-HAVING views (one per accepted vacuous shape)
+
+
+def _vacuous_having_case(op: Op, bound: int):
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(SelectItem(q["b"]), _agg(AggFunc.COUNT, q["a"])),
+        from_=(r,),
+        where=(Comparison(q["c"], Op.GT, Constant(0)),),
+        group_by=(q["b"],),
+    ).validate()
+    vr = _rel("R", "v")
+    v = _cols(vr)
+    view = _view(
+        QueryBlock(
+            select=(
+                SelectItem(v["bv"]),
+                _agg(AggFunc.COUNT, v["av"], alias="n"),
+            ),
+            from_=(vr,),
+            where=(Comparison(v["cv"], Op.GT, Constant(0)),),
+            group_by=(v["bv"],),
+            having=(
+                Comparison(
+                    Aggregate(AggFunc.COUNT, v["av"]), op, Constant(bound)
+                ),
+            ),
+        )
+    )
+    return query, view
+
+
+@_case
+def vacuous_having_gt0():
+    return _vacuous_having_case(Op.GT, 0)
+
+
+@_case
+def vacuous_having_ge1():
+    return _vacuous_having_case(Op.GE, 1)
+
+
+@_case
+def vacuous_having_ge0():
+    return _vacuous_having_case(Op.GE, 0)
+
+
+@_case
+def vacuous_having_ne0():
+    return _vacuous_having_case(Op.NE, 0)
+
+
+@_case
+def grouped_sum_vacuous_join():
+    r, s = _rel("R"), _rel("S")
+    q = _cols(r, s)
+    query = QueryBlock(
+        select=(SelectItem(q["e"]), _agg(AggFunc.SUM, q["a"])),
+        from_=(r, s),
+        where=(Comparison(q["c"], Op.EQ, q["d"]),),
+        group_by=(q["e"],),
+    ).validate()
+    vr, vs = _rel("R", "v"), _rel("S", "v")
+    v = _cols(vr, vs)
+    view = _view(
+        QueryBlock(
+            select=(
+                SelectItem(v["ev"]),
+                _agg(AggFunc.SUM, v["av"], alias="s"),
+            ),
+            from_=(vr, vs),
+            where=(Comparison(v["cv"], Op.EQ, v["dv"]),),
+            group_by=(v["ev"],),
+            having=(
+                Comparison(
+                    Aggregate(AggFunc.COUNT, v["av"]), Op.GE, Constant(1)
+                ),
+            ),
+        )
+    )
+    return query, view
+
+
+@_case
+def residual_over_group_output():
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(SelectItem(q["b"]), _agg(AggFunc.SUM, q["a"])),
+        from_=(r,),
+        where=(
+            Comparison(q["c"], Op.GT, Constant(0)),
+            Comparison(q["b"], Op.GT, Constant(1)),
+        ),
+        group_by=(q["b"],),
+    ).validate()
+    vr = _rel("R", "v")
+    v = _cols(vr)
+    view = _view(
+        QueryBlock(
+            select=(
+                SelectItem(v["bv"]),
+                _agg(AggFunc.SUM, v["av"], alias="s"),
+            ),
+            from_=(vr,),
+            where=(Comparison(v["cv"], Op.GT, Constant(0)),),
+            group_by=(v["bv"],),
+            having=(
+                Comparison(
+                    Aggregate(AggFunc.COUNT, v["av"]), Op.GT, Constant(0)
+                ),
+            ),
+        )
+    )
+    return query, view
+
+
+@_case
+def avg_query_having_translated():
+    # The query's own HAVING moves into the rewriting's WHERE, reading
+    # the view's AVG output directly.
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(SelectItem(q["b"]), _agg(AggFunc.AVG, q["a"])),
+        from_=(r,),
+        group_by=(q["b"],),
+        having=(
+            Comparison(
+                Aggregate(AggFunc.AVG, q["a"]), Op.GT, Constant(1)
+            ),
+        ),
+    ).validate()
+    vr = _rel("R", "v")
+    v = _cols(vr)
+    view = _view(
+        QueryBlock(
+            select=(
+                SelectItem(v["bv"]),
+                _agg(AggFunc.AVG, v["av"], alias="m"),
+            ),
+            from_=(vr,),
+            group_by=(v["bv"],),
+        )
+    )
+    return query, view
+
+
+@_case
+def multi_aggregate_vacuous():
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(
+            SelectItem(q["b"]),
+            _agg(AggFunc.COUNT, q["a"]),
+            _agg(AggFunc.SUM, q["c"]),
+        ),
+        from_=(r,),
+        group_by=(q["b"],),
+    ).validate()
+    vr = _rel("R", "v")
+    v = _cols(vr)
+    view = _view(
+        QueryBlock(
+            select=(
+                SelectItem(v["bv"]),
+                _agg(AggFunc.COUNT, v["av"], alias="n"),
+                _agg(AggFunc.SUM, v["cv"], alias="s"),
+            ),
+            from_=(vr,),
+            group_by=(v["bv"],),
+            having=(
+                Comparison(
+                    Aggregate(AggFunc.COUNT, v["av"]), Op.GT, Constant(0)
+                ),
+            ),
+        )
+    )
+    return query, view
+
+
+@_case
+def count_argument_fallback():
+    # COUNT(c) answered by a COUNT(a) output: in the NULL-free model
+    # every COUNT over a group counts the same rows.
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(SelectItem(q["b"]), _agg(AggFunc.COUNT, q["c"])),
+        from_=(r,),
+        group_by=(q["b"],),
+    ).validate()
+    vr = _rel("R", "v")
+    v = _cols(vr)
+    view = _view(
+        QueryBlock(
+            select=(
+                SelectItem(v["bv"]),
+                _agg(AggFunc.COUNT, v["av"], alias="n"),
+            ),
+            from_=(vr,),
+            group_by=(v["bv"],),
+            having=(
+                Comparison(
+                    Aggregate(AggFunc.COUNT, v["av"]), Op.GE, Constant(1)
+                ),
+            ),
+        )
+    )
+    return query, view
+
+
+@_case
+def group_order_permuted():
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(
+            SelectItem(q["b"]),
+            SelectItem(q["c"]),
+            _agg(AggFunc.COUNT, q["a"]),
+        ),
+        from_=(r,),
+        group_by=(q["b"], q["c"]),
+    ).validate()
+    vr = _rel("R", "v")
+    v = _cols(vr)
+    view = _view(
+        QueryBlock(
+            select=(
+                SelectItem(v["cv"]),
+                SelectItem(v["bv"]),
+                _agg(AggFunc.COUNT, v["av"], alias="n"),
+            ),
+            from_=(vr,),
+            group_by=(v["cv"], v["bv"]),
+            having=(
+                Comparison(
+                    Aggregate(AggFunc.COUNT, v["av"]), Op.GT, Constant(0)
+                ),
+            ),
+        )
+    )
+    return query, view
+
+
+# ---------------------------------------------------------------------
+# AVG views (not decomposable, so C1-C4 can never regroup them)
+
+
+@_case
+def avg_grouped():
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(SelectItem(q["b"]), _agg(AggFunc.AVG, q["a"])),
+        from_=(r,),
+        group_by=(q["b"],),
+    ).validate()
+    vr = _rel("R", "v")
+    v = _cols(vr)
+    view = _view(
+        QueryBlock(
+            select=(
+                SelectItem(v["bv"]),
+                _agg(AggFunc.AVG, v["av"], alias="m"),
+            ),
+            from_=(vr,),
+            group_by=(v["bv"],),
+        )
+    )
+    return query, view
+
+
+@_case
+def avg_scalar():
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(_agg(AggFunc.AVG, q["b"]),), from_=(r,)
+    ).validate()
+    vr = _rel("R", "v")
+    v = _cols(vr)
+    view = _view(
+        QueryBlock(
+            select=(_agg(AggFunc.AVG, v["bv"], alias="m"),), from_=(vr,)
+        )
+    )
+    return query, view
+
+
+@_case
+def avg_join_grouped():
+    r, s = _rel("R"), _rel("S")
+    q = _cols(r, s)
+    query = QueryBlock(
+        select=(SelectItem(q["e"]), _agg(AggFunc.AVG, q["a"])),
+        from_=(r, s),
+        where=(Comparison(q["c"], Op.EQ, q["d"]),),
+        group_by=(q["e"],),
+    ).validate()
+    vr, vs = _rel("R", "v"), _rel("S", "v")
+    v = _cols(vr, vs)
+    view = _view(
+        QueryBlock(
+            select=(
+                SelectItem(v["ev"]),
+                _agg(AggFunc.AVG, v["av"], alias="m"),
+            ),
+            from_=(vr, vs),
+            where=(Comparison(v["cv"], Op.EQ, v["dv"]),),
+            group_by=(v["ev"],),
+        )
+    )
+    return query, view
+
+
+@_case
+def avg_closure_equal_group():
+    # The query groups by b, the view by c; b = c in both bodies, so
+    # the groupings coincide under the condition closure.
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(SelectItem(q["b"]), _agg(AggFunc.AVG, q["a"])),
+        from_=(r,),
+        where=(Comparison(q["b"], Op.EQ, q["c"]),),
+        group_by=(q["b"],),
+    ).validate()
+    vr = _rel("R", "v")
+    v = _cols(vr)
+    view = _view(
+        QueryBlock(
+            select=(
+                SelectItem(v["cv"]),
+                _agg(AggFunc.AVG, v["av"], alias="m"),
+            ),
+            from_=(vr,),
+            where=(Comparison(v["bv"], Op.EQ, v["cv"]),),
+            group_by=(v["cv"],),
+        )
+    )
+    return query, view
+
+
+# ---------------------------------------------------------------------
+# MIN/MAX through self-join conjunctive views (many-to-one mappings)
+
+
+def _selfjoin_view(name: str, join_col: str, extra=()):
+    base = TABLES[name]
+    r1 = Relation(
+        name, tuple(Column(f"{c}1") for c in base), tuple(base)
+    )
+    r2 = Relation(
+        name, tuple(Column(f"{c}2") for c in base), tuple(base)
+    )
+    by_name = _cols(r1, r2)
+    where = tuple(extra(by_name) if callable(extra) else extra) + (
+        Comparison(
+            by_name[f"{join_col}1"], Op.EQ, by_name[f"{join_col}2"]
+        ),
+    )
+    return _view(
+        QueryBlock(
+            select=tuple(SelectItem(c) for c in r1.columns),
+            from_=(r1, r2),
+            where=where,
+        ),
+        prefix="x",
+    )
+
+
+@_case
+def max_selfjoin_scalar():
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(_agg(AggFunc.MAX, q["a"]),), from_=(r,)
+    ).validate()
+    return query, _selfjoin_view("R", "c")
+
+
+@_case
+def min_selfjoin_scalar():
+    s = _rel("S")
+    q = _cols(s)
+    query = QueryBlock(
+        select=(_agg(AggFunc.MIN, q["e"]),), from_=(s,)
+    ).validate()
+    return query, _selfjoin_view("S", "d")
+
+
+@_case
+def max_selfjoin_grouped():
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(SelectItem(q["b"]), _agg(AggFunc.MAX, q["a"])),
+        from_=(r,),
+        group_by=(q["b"],),
+    ).validate()
+    return query, _selfjoin_view("R", "c")
+
+
+@_case
+def max_selfjoin_filtered():
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(_agg(AggFunc.MAX, q["a"]),),
+        from_=(r,),
+        where=(Comparison(q["b"], Op.GT, Constant(0)),),
+    ).validate()
+    view = _selfjoin_view(
+        "R",
+        "c",
+        extra=lambda v: (Comparison(v["b1"], Op.GT, Constant(0)),),
+    )
+    return query, view
+
+
+@_case
+def min_max_selfjoin_pair():
+    r = _rel("R")
+    q = _cols(r)
+    query = QueryBlock(
+        select=(
+            _agg(AggFunc.MIN, q["a"]),
+            _agg(AggFunc.MAX, q["b"]),
+        ),
+        from_=(r,),
+    ).validate()
+    return query, _selfjoin_view("R", "c")
+
+
+def all_cases() -> list[Case]:
+    out = []
+    for builder in _BUILDERS:
+        query, view = builder()
+        out.append(Case(builder.__name__, query, view))
+    return out
+
+
+CASES = all_cases()

@@ -1,0 +1,210 @@
+-- Cohen-Nutt golden corpus: rewritings beyond C1-C4.
+-- Regenerate with: pytest tests/strategies --update-goldens
+
+-- case: scalar_count_join
+-- view V: 'SELECT COUNT(R.a) AS n\nFROM R, S\nWHERE R.c = S.d'
+SELECT COUNT(R.b)
+FROM R, S
+WHERE R.c = S.d;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS _col0
+FROM V;
+
+-- case: avg_residual_over_group
+-- view V: 'SELECT R.b, AVG(R.a) AS m\nFROM R\nGROUP BY R.b'
+SELECT R.b, AVG(R.a)
+FROM R
+WHERE R.b > 0
+GROUP BY R.b;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS b, V.o1 AS _col1
+FROM V
+WHERE 0 < V.o0;
+
+-- case: scalar_count_filtered
+-- view V: 'SELECT COUNT(R.c) AS n\nFROM R\nWHERE R.b > 0'
+SELECT COUNT(R.a)
+FROM R
+WHERE R.b > 0;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS _col0
+FROM V;
+
+-- case: vacuous_having_gt0
+-- view V: 'SELECT R.b, COUNT(R.a) AS n\nFROM R\nWHERE R.c > 0\nGROUP BY R.b\nHAVING COUNT(R.a) > 0'
+SELECT R.b, COUNT(R.a)
+FROM R
+WHERE R.c > 0
+GROUP BY R.b;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS b, V.o1 AS _col1
+FROM V;
+
+-- case: vacuous_having_ge1
+-- view V: 'SELECT R.b, COUNT(R.a) AS n\nFROM R\nWHERE R.c > 0\nGROUP BY R.b\nHAVING COUNT(R.a) >= 1'
+SELECT R.b, COUNT(R.a)
+FROM R
+WHERE R.c > 0
+GROUP BY R.b;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS b, V.o1 AS _col1
+FROM V;
+
+-- case: vacuous_having_ge0
+-- view V: 'SELECT R.b, COUNT(R.a) AS n\nFROM R\nWHERE R.c > 0\nGROUP BY R.b\nHAVING COUNT(R.a) >= 0'
+SELECT R.b, COUNT(R.a)
+FROM R
+WHERE R.c > 0
+GROUP BY R.b;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS b, V.o1 AS _col1
+FROM V;
+
+-- case: vacuous_having_ne0
+-- view V: 'SELECT R.b, COUNT(R.a) AS n\nFROM R\nWHERE R.c > 0\nGROUP BY R.b\nHAVING COUNT(R.a) <> 0'
+SELECT R.b, COUNT(R.a)
+FROM R
+WHERE R.c > 0
+GROUP BY R.b;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS b, V.o1 AS _col1
+FROM V;
+
+-- case: grouped_sum_vacuous_join
+-- view V: 'SELECT S.e, SUM(R.a) AS s\nFROM R, S\nWHERE R.c = S.d\nGROUP BY S.e\nHAVING COUNT(R.a) >= 1'
+SELECT S.e, SUM(R.a)
+FROM R, S
+WHERE R.c = S.d
+GROUP BY S.e;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS e, V.o1 AS _col1
+FROM V;
+
+-- case: residual_over_group_output
+-- view V: 'SELECT R.b, SUM(R.a) AS s\nFROM R\nWHERE R.c > 0\nGROUP BY R.b\nHAVING COUNT(R.a) > 0'
+SELECT R.b, SUM(R.a)
+FROM R
+WHERE R.c > 0 AND R.b > 1
+GROUP BY R.b;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS b, V.o1 AS _col1
+FROM V
+WHERE 1 < V.o0;
+
+-- case: avg_query_having_translated
+-- view V: 'SELECT R.b, AVG(R.a) AS m\nFROM R\nGROUP BY R.b'
+SELECT R.b, AVG(R.a)
+FROM R
+GROUP BY R.b
+HAVING AVG(R.a) > 1;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS b, V.o1 AS _col1
+FROM V
+WHERE V.o1 > 1;
+
+-- case: multi_aggregate_vacuous
+-- view V: 'SELECT R.b, COUNT(R.a) AS n, SUM(R.c) AS s\nFROM R\nGROUP BY R.b\nHAVING COUNT(R.a) > 0'
+SELECT R.b, COUNT(R.a), SUM(R.c)
+FROM R
+GROUP BY R.b;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS b, V.o1 AS _col1, V.o2 AS _col2
+FROM V;
+
+-- case: count_argument_fallback
+-- view V: 'SELECT R.b, COUNT(R.a) AS n\nFROM R\nGROUP BY R.b\nHAVING COUNT(R.a) >= 1'
+SELECT R.b, COUNT(R.c)
+FROM R
+GROUP BY R.b;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS b, V.o1 AS _col1
+FROM V;
+
+-- case: group_order_permuted
+-- view V: 'SELECT R.c, R.b, COUNT(R.a) AS n\nFROM R\nGROUP BY R.c, R.b\nHAVING COUNT(R.a) > 0'
+SELECT R.b, R.c, COUNT(R.a)
+FROM R
+GROUP BY R.b, R.c;
+--> [cohen-nutt-direct]
+SELECT V.o1 AS b, V.o0 AS c, V.o2 AS _col2
+FROM V;
+
+-- case: avg_grouped
+-- view V: 'SELECT R.b, AVG(R.a) AS m\nFROM R\nGROUP BY R.b'
+SELECT R.b, AVG(R.a)
+FROM R
+GROUP BY R.b;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS b, V.o1 AS _col1
+FROM V;
+
+-- case: avg_scalar
+-- view V: 'SELECT AVG(R.b) AS m\nFROM R'
+SELECT AVG(R.b)
+FROM R;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS _col0
+FROM V;
+
+-- case: avg_join_grouped
+-- view V: 'SELECT S.e, AVG(R.a) AS m\nFROM R, S\nWHERE R.c = S.d\nGROUP BY S.e'
+SELECT S.e, AVG(R.a)
+FROM R, S
+WHERE R.c = S.d
+GROUP BY S.e;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS e, V.o1 AS _col1
+FROM V;
+
+-- case: avg_closure_equal_group
+-- view V: 'SELECT R.c, AVG(R.a) AS m\nFROM R\nWHERE R.b = R.c\nGROUP BY R.c'
+SELECT R.b, AVG(R.a)
+FROM R
+WHERE R.b = R.c
+GROUP BY R.b;
+--> [cohen-nutt-direct]
+SELECT V.o0 AS b, V.o1 AS _col1
+FROM V;
+
+-- case: max_selfjoin_scalar
+-- view V: 'SELECT r_1.a, r_1.b, r_1.c\nFROM R AS r_1, R AS r_2\nWHERE r_1.c = r_2.c'
+SELECT MAX(R.a)
+FROM R;
+--> [cohen-nutt-maxmin]
+SELECT MAX(V.x0)
+FROM V;
+
+-- case: min_selfjoin_scalar
+-- view V: 'SELECT s_1.d, s_1.e\nFROM S AS s_1, S AS s_2\nWHERE s_1.d = s_2.d'
+SELECT MIN(S.e)
+FROM S;
+--> [cohen-nutt-maxmin]
+SELECT MIN(V.x1)
+FROM V;
+
+-- case: max_selfjoin_grouped
+-- view V: 'SELECT r_1.a, r_1.b, r_1.c\nFROM R AS r_1, R AS r_2\nWHERE r_1.c = r_2.c'
+SELECT R.b, MAX(R.a)
+FROM R
+GROUP BY R.b;
+--> [cohen-nutt-maxmin]
+SELECT V.x1, MAX(V.x0)
+FROM V
+GROUP BY V.x1;
+
+-- case: max_selfjoin_filtered
+-- view V: 'SELECT r_1.a, r_1.b, r_1.c\nFROM R AS r_1, R AS r_2\nWHERE r_1.b > 0 AND r_1.c = r_2.c'
+SELECT MAX(R.a)
+FROM R
+WHERE R.b > 0;
+--> [cohen-nutt-maxmin]
+SELECT MAX(V.x0)
+FROM V;
+
+-- case: min_max_selfjoin_pair
+-- view V: 'SELECT r_1.a, r_1.b, r_1.c\nFROM R AS r_1, R AS r_2\nWHERE r_1.c = r_2.c'
+SELECT MIN(R.a), MAX(R.b)
+FROM R;
+--> [cohen-nutt-maxmin]
+SELECT MIN(V.x0), MAX(V.x1)
+FROM V;

@@ -1,0 +1,117 @@
+"""Golden corpus for the Cohen–Nutt strategy's coverage gap.
+
+Every case in :mod:`tests.strategies.cases` is a completeness witness:
+the C1–C4 search must find *nothing* while the Cohen–Nutt strategy must
+succeed, and the produced SQL is pinned under
+``tests/strategies/goldens/cohen_nutt.sql``. After an intentional
+strategy change, regenerate with ``pytest --update-goldens`` — the diff
+is the review artifact.
+
+The goldens are not just pretty: every pinned rewriting is executed by
+the engine against deterministic instances (the empty database
+included) and must multiset-match the original query's answer.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.blocks.to_sql import block_to_sql
+from repro.core.multiview import all_rewritings
+from repro.engine.database import Database
+from repro.strategies import cohen_nutt_rewritings
+
+from .cases import CASES
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "cohen_nutt.sql"
+
+
+def _extras(case):
+    return cohen_nutt_rewritings(case.query, [case.view])
+
+
+def corpus_document() -> str:
+    """The whole corpus as one reviewable SQL document."""
+    lines = [
+        "-- Cohen-Nutt golden corpus: rewritings beyond C1-C4.",
+        "-- Regenerate with: pytest tests/strategies --update-goldens",
+    ]
+    for case in CASES:
+        lines.append("")
+        lines.append(f"-- case: {case.name}")
+        lines.append(f"-- view {case.view.name}: "
+                     f"{block_to_sql(case.view.block)!r}")
+        lines.append(block_to_sql(case.query) + ";")
+        for rewriting in _extras(case):
+            lines.append(f"--> [{rewriting.strategy}]")
+            lines.append(rewriting.sql() + ";")
+    return "\n".join(lines) + "\n"
+
+
+def test_corpus_matches_golden(request):
+    document = corpus_document()
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(document)
+        return
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden {GOLDEN_PATH}; run pytest --update-goldens "
+        "to create it"
+    )
+    assert document == GOLDEN_PATH.read_text(), (
+        f"Cohen-Nutt corpus drifted from {GOLDEN_PATH}; if the change "
+        "is intentional, regenerate with pytest --update-goldens"
+    )
+
+
+def test_every_case_has_unique_name():
+    names = [case.name for case in CASES]
+    assert len(names) == len(set(names))
+    assert len(names) >= 20
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_c1c4_finds_nothing(case):
+    found = all_rewritings(
+        case.query, [case.view], case.catalog(), use_planner=True
+    )
+    assert not found, (
+        f"{case.name}: C1-C4 now answers this case; it is no longer a "
+        f"completeness witness — found {[r.sql() for r in found]}"
+    )
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_cohen_nutt_succeeds_and_is_sound(case):
+    extras = _extras(case)
+    assert extras, f"{case.name}: Cohen-Nutt strategy found no rewriting"
+    catalog = case.catalog()
+    for instance in case.instances():
+        db = Database(catalog, {k: list(v) for k, v in instance.items()})
+        baseline = db.execute(case.query)
+        for rewriting in extras:
+            got = db.execute(
+                rewriting.query, extra_views=rewriting.extra_views()
+            )
+            assert baseline.multiset_equal(got), (
+                f"{case.name}: unsound rewriting\n"
+                f"rewriting: {rewriting.sql()}\n"
+                f"instance: {instance}\n"
+                f"original:  {sorted(map(str, baseline.rows))}\n"
+                f"rewritten: {sorted(map(str, got.rows))}"
+            )
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_engine_union_contains_extras(case):
+    """strategy='cohen_nutt' at the engine level returns the union."""
+    from repro.core.canonical import canonical_key
+    from repro.core.rewriter import RewriteEngine
+
+    engine = RewriteEngine(case.catalog())
+    result = engine.rewrite(case.query, strategy="cohen_nutt")
+    keys = {canonical_key(r.rewriting.query) for r in result.ranked}
+    for rewriting in _extras(case):
+        assert canonical_key(rewriting.query) in keys, (
+            f"{case.name}: engine union lost {rewriting.sql()}"
+        )

@@ -1,0 +1,169 @@
+"""Strategy selection end to end: names, API, planner memo families.
+
+The golden corpus (:mod:`tests.strategies.test_cohen_nutt_goldens`)
+pins *what* the Cohen–Nutt strategy finds; this module pins *how it is
+reached* — the ``strategy=`` keyword on :func:`repro.api.rewrite`, the
+cross-planner differential oracle's dominance check, and the planner's
+per-family strategy memos surviving the serving tier's export/import
+round trip.
+"""
+
+import pytest
+
+from repro import api
+from repro.core.canonical import canonical_key
+from repro.core.planner import RewritePlanner
+from repro.core.rewriter import RewriteEngine, merge_strategy_extras
+from repro.errors import ReproError
+from repro.oracle import check_scenario
+from repro.strategies import (
+    DEFAULT_STRATEGY,
+    STRATEGY_NAMES,
+    cohen_nutt_rewritings,
+    normalize_strategy,
+    uses_cohen_nutt,
+)
+from repro.workloads.random_queries import random_scenario
+
+from .cases import CASES
+
+
+class TestNames:
+    def test_normalize(self):
+        assert normalize_strategy(None) == DEFAULT_STRATEGY
+        for name in STRATEGY_NAMES:
+            assert normalize_strategy(name) == name
+
+    def test_unknown_refused(self):
+        with pytest.raises(ReproError, match="unknown strategy"):
+            normalize_strategy("no-such-strategy")
+
+    def test_uses_cohen_nutt(self):
+        assert not uses_cohen_nutt("c1c4")
+        assert uses_cohen_nutt("cohen_nutt")
+        assert uses_cohen_nutt("both")
+
+
+class TestApi:
+    def test_rewrite_strategy_uplift(self):
+        case = CASES[0]
+        catalog = case.catalog()
+        base = api.rewrite(case.query, catalog=catalog)
+        assert not base.rewritings
+        extra = api.rewrite(
+            case.query, catalog=catalog, strategy="cohen_nutt"
+        )
+        assert extra.rewritings
+
+    def test_both_equals_cohen_nutt_result_set(self):
+        case = CASES[0]
+        catalog = case.catalog()
+        left = api.rewrite(case.query, catalog=catalog, strategy="both")
+        right = api.rewrite(
+            case.query, catalog=catalog, strategy="cohen_nutt"
+        )
+        assert [r.sql() for r in left.rewritings] == [
+            r.sql() for r in right.rewritings
+        ]
+
+    def test_unknown_strategy_refused(self):
+        case = CASES[0]
+        with pytest.raises(ReproError, match="unknown strategy"):
+            api.rewrite(
+                case.query,
+                catalog=case.catalog(),
+                strategy="no-such-strategy",
+            )
+
+
+class TestDominance:
+    def test_union_contains_c1c4(self):
+        """On generic scenarios the union must keep every C1-C4
+        rewriting (dominance by construction of the merge)."""
+        checked = 0
+        for seed in range(40):
+            scenario = random_scenario(seed)
+            engine = RewriteEngine(scenario.catalog)
+            base = engine.rewrite(scenario.query)
+            union = engine.rewrite(scenario.query, strategy="cohen_nutt")
+            base_keys = {
+                canonical_key(r.rewriting.query) for r in base.ranked
+            }
+            union_keys = {
+                canonical_key(r.rewriting.query) for r in union.ranked
+            }
+            assert base_keys <= union_keys, f"seed={seed}"
+            checked += len(base_keys)
+        assert checked >= 10, "dominance sweep was vacuous"
+
+    def test_merge_dedups_by_canonical_key(self):
+        case = CASES[0]
+        extras = cohen_nutt_rewritings(case.query, [case.view])
+        merged = merge_strategy_extras(list(extras), extras)
+        assert len(merged) == len(extras)
+
+    def test_oracle_flags_dominance_violation(self, monkeypatch):
+        """A union that loses C1-C4 rewritings must be caught by the
+        cross-planner oracle as a ``dominance`` mismatch."""
+        scenario = next(
+            sc
+            for sc in (random_scenario(seed) for seed in range(60))
+            if RewriteEngine(sc.catalog).rewrite(sc.query).ranked
+        )
+        monkeypatch.setattr(
+            "repro.core.rewriter.merge_strategy_extras",
+            lambda candidates, extras: [],
+        )
+        report = check_scenario(scenario, strategy="both")
+        assert not report.ok
+        assert any(m.context == "dominance" for m in report.mismatches)
+
+
+class TestMemoFamilies:
+    def _planner(self, case):
+        return RewritePlanner([case.view], case.catalog())
+
+    def test_strategy_memo_is_per_family(self):
+        planner = self._planner(CASES[0])
+        a = planner.strategy_memo("cohen_nutt")
+        b = planner.strategy_memo("other")
+        a[("k",)] = ("v",)
+        assert ("k",) not in b
+        assert planner.strategy_memo("cohen_nutt") is a
+
+    def test_export_import_round_trip(self):
+        planner = self._planner(CASES[0])
+        planner.strategy_memo("cohen_nutt")[("k1",)] = ("v1",)
+        planner.strategy_memo("cohen_nutt")[("k2",)] = ("v2",)
+        exported = planner.export_memos()
+        assert (("cohen_nutt", ("k1",), ("v1",))) in exported
+        other = self._planner(CASES[0])
+        adopted = other.import_memos(exported)
+        assert adopted >= 2
+        memo = other.strategy_memo("cohen_nutt")
+        assert memo[("k1",)] == ("v1",)
+        assert memo[("k2",)] == ("v2",)
+
+    def test_import_tolerates_legacy_two_tuples(self):
+        """Old wire payloads (substitution memo only) must keep
+        importing unchanged next to the new family entries."""
+        planner = self._planner(CASES[0])
+        legacy = planner.export_memo()
+        assert planner.import_memos(list(legacy)) == len(list(legacy))
+
+    def test_search_warms_from_imported_memo(self):
+        case = CASES[0]
+        planner = self._planner(case)
+        first = cohen_nutt_rewritings(
+            case.query, [case.view], planner=planner
+        )
+        assert first
+        exported = planner.export_memos()
+        warm = self._planner(case)
+        warm.import_memos(exported)
+        memo = warm.strategy_memo("cohen_nutt")
+        assert case.query in memo
+        again = cohen_nutt_rewritings(
+            case.query, [case.view], planner=warm
+        )
+        assert [r.sql() for r in again] == [r.sql() for r in first]
